@@ -1,0 +1,255 @@
+package mcspeedup_test
+
+// One benchmark per table/figure of the paper's evaluation (the bench
+// harness of DESIGN.md §6), plus micro-benchmarks of the core analyses
+// the experiments are built from. Figure benches run scaled-down
+// configurations so `go test -bench=.` completes in seconds; the full-
+// scale runs are produced by cmd/mcs-experiments.
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.ExperimentTable1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.ExperimentFig1(30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.ExperimentFig3(30, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.ExperimentFig4(9, 13); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.ExperimentFig5(5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := mcspeedup.ExperimentFig6(mcspeedup.Fig6Config{
+			SetsPerPoint: 10,
+			UBounds:      []float64{0.5, 0.7, 0.9},
+			Seed:         int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := mcspeedup.ExperimentFig7(mcspeedup.Fig7Config{
+			SetsPerPoint: 5,
+			Grid:         []float64{0.3, 0.6, 0.85},
+			Seed:         int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := mcspeedup.ExperimentAblation(mcspeedup.AblationConfig{
+			SetsPerPoint: 10,
+			UBounds:      []float64{0.5, 0.7, 0.9},
+			Seed:         int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the analyses underlying every figure ---
+
+func BenchmarkMinSpeedForReset(b *testing.B) {
+	set := benchSet(b, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.MinSpeedForReset(set, 50000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimalY(b *testing.B) {
+	g := mcspeedup.DefaultGenerator()
+	rnd := rand.New(rand.NewSource(77))
+	var prepared mcspeedup.Set
+	for { // redraw until the LO mode is feasible for some x
+		set := g.MustSet(rnd, 0.7)
+		if _, p, err := mcspeedup.MinimalX(set); err == nil {
+			prepared = p
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mcspeedup.MinimalY(prepared, mcspeedup.RatTwo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSet(b *testing.B, uBound float64) mcspeedup.Set {
+	b.Helper()
+	g := mcspeedup.DefaultGenerator()
+	set := g.MustSet(rand.New(rand.NewSource(99)), uBound)
+	set, err := set.DegradeLO(mcspeedup.RatTwo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, prepared, err := mcspeedup.MinimalX(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prepared
+}
+
+func BenchmarkMinSpeedupTableI(b *testing.B) {
+	set := mcspeedup.TableISet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.MinSpeedup(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinSpeedupSynthetic(b *testing.B) {
+	set := benchSet(b, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.MinSpeedup(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinSpeedupFMS(b *testing.B) {
+	set, err := mcspeedup.FMSTasks(mcspeedup.RatTwo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err = set.DegradeLO(mcspeedup.RatTwo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, prepared, err := mcspeedup.MinimalX(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.MinSpeedup(prepared); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResetTimeSynthetic(b *testing.B) {
+	set := benchSet(b, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.ResetTime(set, mcspeedup.RatTwo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulableLO(b *testing.B) {
+	set := benchSet(b, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.SchedulableLO(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimalX(b *testing.B) {
+	g := mcspeedup.DefaultGenerator()
+	set := g.MustSet(rand.New(rand.NewSource(99)), 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mcspeedup.MinimalX(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClosedFormSpeedup(b *testing.B) {
+	set := benchSet(b, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mcspeedup.ClosedFormSpeedup(set)
+	}
+}
+
+func BenchmarkEDFVDAnalyze(b *testing.B) {
+	g := mcspeedup.DefaultGenerator()
+	set := g.MustSet(rand.New(rand.NewSource(99)), 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.EDFVDAnalyze(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateOverrunBursts(b *testing.B) {
+	set := mcspeedup.TableISet()
+	w := mcspeedup.SynchronousPeriodic(set, 1000, mcspeedup.AlwaysOverrun)
+	cfg := mcspeedup.SimConfig{Speedup: mcspeedup.RatTwo}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mcspeedup.Simulate(set, w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Misses) != 0 {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func BenchmarkGenerateTaskSet(b *testing.B) {
+	g := mcspeedup.DefaultGenerator()
+	rnd := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.MustSet(rnd, 0.8)
+	}
+}

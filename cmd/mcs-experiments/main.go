@@ -1,0 +1,123 @@
+// Command mcs-experiments regenerates the tables and figures of the
+// paper's evaluation section and prints them as fixed-width text (see
+// EXPERIMENTS.md for the recorded outputs).
+//
+// Usage:
+//
+//	mcs-experiments [flags]
+//
+//	-run string   comma-separated subset of
+//	              table1,fig1,fig2,fig3,fig4,fig5,fig6,fig7,ablation,service
+//	              (default "all")
+//	-json         emit results as JSON instead of rendered text
+//	-sets int     task sets per data point for fig6/fig7 (default 100/20)
+//	-grid int     grid resolution for fig5/fig7 (default 9)
+//	-seed int     RNG seed (default 2015)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"mcspeedup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcs-experiments: ")
+	var (
+		run    = flag.String("run", "all", "experiments to run (comma-separated)")
+		sets   = flag.Int("sets", 0, "task sets per data point (fig6/fig7/ablation)")
+		grid   = flag.Int("grid", 9, "grid resolution (fig5/fig7)")
+		seed   = flag.Int64("seed", 2015, "random seed")
+		asJSON = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	type renderer interface{ Render() string }
+	emit := func(name string, r renderer, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if *asJSON {
+			data, err := json.MarshalIndent(map[string]any{"experiment": name, "result": r}, "", "  ")
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			fmt.Println(string(data))
+			return
+		}
+		fmt.Printf("==== %s ====\n%s\n", name, r.Render())
+	}
+
+	if selected("table1") {
+		r, err := mcspeedup.ExperimentTable1()
+		emit("Table I / Examples 1-2", r, err)
+	}
+	if selected("fig1") {
+		r, err := mcspeedup.ExperimentFig1(30)
+		emit("Figure 1", r, err)
+	}
+	if selected("fig2") {
+		emit("Figure 2", mcspeedup.ExperimentFig2(), nil)
+	}
+	if selected("fig3") {
+		r, err := mcspeedup.ExperimentFig3(30, 40)
+		emit("Figure 3", r, err)
+	}
+	if selected("fig4") {
+		r, err := mcspeedup.ExperimentFig4(17, 25)
+		emit("Figure 4", r, err)
+	}
+	if selected("fig5") {
+		r, err := mcspeedup.ExperimentFig5(*grid)
+		emit("Figure 5", r, err)
+	}
+	if selected("fig6") {
+		cfg := mcspeedup.Fig6Config{Seed: *seed}
+		if *sets > 0 {
+			cfg.SetsPerPoint = *sets
+		}
+		r, err := mcspeedup.ExperimentFig6(cfg)
+		emit("Figure 6", r, err)
+	}
+	if selected("fig7") {
+		cfg := mcspeedup.Fig7Config{Seed: *seed}
+		if *sets > 0 {
+			cfg.SetsPerPoint = *sets
+		}
+		if *grid > 0 {
+			for i := 0; i < *grid; i++ {
+				cfg.Grid = append(cfg.Grid, 0.1+0.85*float64(i)/float64(*grid-1))
+			}
+		}
+		r, err := mcspeedup.ExperimentFig7(cfg)
+		emit("Figure 7", r, err)
+	}
+	if selected("service") {
+		cfg := mcspeedup.ServiceQualityConfig{Seed: *seed}
+		if *sets > 0 {
+			cfg.Sets = *sets
+		}
+		r, err := mcspeedup.ExperimentServiceQuality(cfg)
+		emit("LO-service quality", r, err)
+	}
+	if selected("ablation") {
+		cfg := mcspeedup.AblationConfig{Seed: *seed}
+		if *sets > 0 {
+			cfg.SetsPerPoint = *sets
+		}
+		r, err := mcspeedup.ExperimentAblation(cfg)
+		emit("Policy ablation", r, err)
+	}
+}

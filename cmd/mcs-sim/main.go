@@ -1,0 +1,145 @@
+// Command mcs-sim simulates a dual-criticality task set under the
+// paper's runtime protocol — EDF with mode switching, temporary processor
+// speedup, and idle-triggered reset — on a random sporadic workload with
+// overruns, and reports misses, HI-mode episodes, and an ASCII Gantt
+// chart.
+//
+// Usage:
+//
+//	mcs-sim [flags] [taskset.json]
+//
+//	-speed float     HI-mode speed factor (default 2)
+//	-horizon int     workload horizon in ticks (default 20 periods)
+//	-overrun float   per-HI-job overrun probability (default 0.3)
+//	-seed int        RNG seed (default 1)
+//	-budget int      speedup budget in ticks (0 = unlimited)
+//	-sync            synchronous periodic workload, every HI job overruns
+//	-gantt int       Gantt chart width (0 = no chart)
+//	-json string     write the full run (episodes, jobs, trace) as JSON
+//	-responses       print per-task response-time statistics
+//	-workload string replay a workload JSON file instead of generating one
+//	-save string     save the generated workload as JSON for later replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+
+	"mcspeedup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcs-sim: ")
+	var (
+		speed     = flag.Float64("speed", 2, "HI-mode speed factor")
+		horizon   = flag.Int64("horizon", 0, "workload horizon in ticks (default 20 max-periods)")
+		overrun   = flag.Float64("overrun", 0.3, "per-HI-job overrun probability")
+		seed      = flag.Int64("seed", 1, "random seed")
+		budget    = flag.Int64("budget", 0, "HI-mode wall-clock budget in ticks (0 = unlimited)")
+		sync      = flag.Bool("sync", false, "synchronous periodic workload with every HI job overrunning")
+		gantt     = flag.Int("gantt", 100, "Gantt chart width (0 disables)")
+		jsonOut   = flag.String("json", "", "write the run as JSON to this file ('-' for stdout)")
+		responses = flag.Bool("responses", false, "print per-task response-time statistics")
+		loadWL    = flag.String("workload", "", "replay a workload JSON file")
+		saveWL    = flag.String("save", "", "save the generated workload as JSON")
+	)
+	flag.Parse()
+
+	data, err := readInput(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := mcspeedup.ParseSetJSON(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	h := mcspeedup.Time(*horizon)
+	if h <= 0 {
+		h = 20 * set.MaxPeriod()
+	}
+	var w mcspeedup.Workload
+	switch {
+	case *loadWL != "":
+		data, err := os.ReadFile(*loadWL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err = mcspeedup.ParseWorkload(data, set)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *sync:
+		w = mcspeedup.SynchronousPeriodic(set, h, mcspeedup.AlwaysOverrun)
+	default:
+		w = mcspeedup.RandomSporadic(rand.New(rand.NewSource(*seed)), set, h, *overrun)
+	}
+	if *saveWL != "" {
+		data, err := mcspeedup.MarshalWorkload(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*saveWL, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := mcspeedup.SimConfig{
+		Speedup:      mcspeedup.RatFromFloat(*speed),
+		CollectTrace: *gantt > 0 || *jsonOut != "",
+		CollectJobs:  *responses || *jsonOut != "",
+	}
+	if *budget > 0 {
+		cfg.Budget = mcspeedup.NewRat(*budget, 1)
+	}
+	res, err := mcspeedup.Simulate(set, w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("jobs: %d completed, %d dropped, %d killed; %d HI-mode episodes; %d deadline misses\n",
+		res.Completed, res.Dropped, res.Killed, len(res.Episodes), len(res.Misses))
+	for _, m := range res.Misses {
+		fmt.Printf("  MISS task %s: arrival %d, deadline %v, detected %v\n",
+			set[m.Task].Name, m.Arrival, m.Deadline, m.DetectedAt)
+	}
+	if n := len(res.Episodes); n > 0 {
+		fmt.Printf("longest HI-mode episode: %v ticks\n", res.MaxEpisode())
+		rt, err := mcspeedup.ResetTime(set, cfg.Speedup)
+		if err == nil {
+			fmt.Printf("analytical bound Δ_R:    %v ticks\n", rt.Reset)
+		}
+	}
+	if *responses {
+		fmt.Print(mcspeedup.ResponseTable(set, res))
+	}
+	if *gantt > 0 {
+		fmt.Print(mcspeedup.Gantt(set, res, *gantt))
+	}
+	if *jsonOut != "" {
+		data, err := mcspeedup.ExportSimJSON(set, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if len(res.Misses) > 0 {
+		os.Exit(1)
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" || path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

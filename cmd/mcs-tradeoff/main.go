@@ -1,0 +1,125 @@
+// Command mcs-tradeoff explores the paper's Section-V design space for a
+// concrete task set: given a platform speed cap (e.g. the 2× Intel Turbo
+// Boost ceiling the paper cites) and a recovery budget, it reports
+//
+//   - the minimum service degradation y that fits under the cap,
+//   - the feasible window of overrun-preparation factors x,
+//   - the minimum speed for the recovery budget,
+//   - and a y-sweep table of (s_min, Δ_R) so the trade-off is visible.
+//
+// Usage:
+//
+//	mcs-tradeoff [flags] [taskset.json]
+//
+//	-cap float      HI-mode speed cap (default 2)
+//	-budget int     recovery budget in ticks (default 50000 = 5 s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"mcspeedup"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcs-tradeoff: ")
+	var (
+		capF   = flag.Float64("cap", 2, "HI-mode speed cap")
+		budget = flag.Int64("budget", 50000, "recovery budget in ticks")
+	)
+	flag.Parse()
+
+	data, err := readInput(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := mcspeedup.ParseSetJSON(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedCap := mcspeedup.RatFromFloat(*capF)
+
+	fmt.Println(set.Table())
+
+	// 1. Minimum degradation under the cap (with minimal x applied per
+	// candidate configuration).
+	_, prepared, err := mcspeedup.MinimalX(set)
+	if err != nil {
+		log.Fatalf("LO mode infeasible: %v", err)
+	}
+	y, degraded, err := mcspeedup.MinimalY(prepared, speedCap)
+	if err != nil {
+		fmt.Printf("no degradation factor fits under cap %v: %v\n", speedCap, err)
+	} else {
+		sp, err := mcspeedup.MinSpeedup(degraded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("minimal degradation for cap %v: y = %v (%.3f) → s_min = %v (%.3f)\n",
+			speedCap, y, y.Float64(), sp.Speedup, sp.Speedup.Float64())
+
+		// 2. Feasible x window at that degradation.
+		base, err := set.DegradeLO(y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xLo, xHi, err := mcspeedup.FeasibleXWindow(base, speedCap)
+		if err != nil {
+			fmt.Printf("feasible x window: none (%v)\n", err)
+		} else {
+			fmt.Printf("feasible x window: [%.4f, %.4f]\n", xLo.Float64(), xHi.Float64())
+		}
+	}
+
+	// 3. Speed needed for the recovery budget (on the prepared set).
+	sr, err := mcspeedup.MinSpeedForReset(prepared, mcspeedup.Time(*budget))
+	if err != nil {
+		log.Fatal(err)
+	}
+	openNote := ""
+	if !sr.Attained {
+		openNote = " (open infimum: use any speed strictly above)"
+	}
+	fmt.Printf("minimum speed for Δ_R ≤ %d ticks: %v (%.4f)%s\n",
+		*budget, sr.Speed, sr.Speed.Float64(), openNote)
+
+	// 4. y sweep.
+	fmt.Println("\ny sweep (minimal x per row):")
+	fmt.Printf("%-8s %-14s %-14s %-14s\n", "y", "s_min", "Δ_R(cap)", "Δ_R(cap) [ok]")
+	for _, yv := range []float64{1, 1.25, 1.5, 2, 3, 4} {
+		row, err := set.DegradeLO(mcspeedup.RatFromFloat(yv))
+		if err != nil {
+			continue
+		}
+		_, rowPrepared, err := mcspeedup.MinimalX(row)
+		if err != nil {
+			continue
+		}
+		sp, err := mcspeedup.MinSpeedup(rowPrepared)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := mcspeedup.ResetTime(rowPrepared, speedCap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		within := "no"
+		if !rt.Reset.IsInf() && rt.Reset.Cmp(mcspeedup.NewRat(*budget, 1)) <= 0 &&
+			sp.Speedup.Cmp(speedCap) <= 0 {
+			within = "yes"
+		}
+		fmt.Printf("%-8.2f %-14.4f %-14v %-14s\n", yv, sp.Speedup.Float64(), rt.Reset, within)
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" || path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}

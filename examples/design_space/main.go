@@ -1,0 +1,101 @@
+// Design space: use the inverse solvers to configure a system under real
+// platform constraints — a 2× turbo ceiling and a 1-second recovery
+// budget — instead of sweeping parameters by hand. Mirrors the trade-off
+// analysis of the paper's Section V, and finishes with the policy
+// ablation contrasting the overrun reactions from the paper's
+// introduction.
+//
+// Run with:
+//
+//	go run ./examples/design_space
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcspeedup"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	set, err := mcspeedup.FMSTasks(mcspeedup.RatTwo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	turbo := mcspeedup.RatTwo                             // platform speed cap
+	budget := mcspeedup.Time(1000 * mcspeedup.TicksPerMS) // 1 s recovery
+
+	fmt.Println("Constraints: speed cap 2x, recovery budget 1 s")
+	fmt.Println(set.Table())
+
+	// Step 1: prepare LO mode maximally (minimal x).
+	x, prepared, err := mcspeedup.MinimalX(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 1 — minimal overrun preparation: x = %.4f\n", x.Float64())
+
+	// Step 2: the least degradation that fits under the turbo ceiling.
+	y, degraded, err := mcspeedup.MinimalY(prepared, turbo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := mcspeedup.MinSpeedup(degraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 2 — minimal degradation under the cap: y = %v (%.4f) → s_min = %.4f\n",
+		y, y.Float64(), sp.Speedup.Float64())
+
+	// Step 3: the speed needed for the recovery budget; take the max of
+	// the two requirements as the operating speed.
+	sr, err := mcspeedup.MinSpeedForReset(degraded, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	operating := sp.Speedup
+	if sr.Speed.Cmp(operating) > 0 {
+		operating = sr.Speed
+		if !sr.Attained {
+			// The recovery requirement binds and its infimum is open:
+			// bump by one part in a thousand.
+			operating = operating.Mul(mcspeedup.NewRat(1001, 1000))
+		}
+	}
+	fmt.Printf("step 3 — speed for Δ_R ≤ 1 s: %.4f → operating speed %.4f",
+		sr.Speed.Float64(), operating.Float64())
+	if operating.Cmp(turbo) <= 0 {
+		fmt.Println("  (within the turbo ceiling)")
+	} else {
+		fmt.Println("  (EXCEEDS the turbo ceiling!)")
+	}
+
+	rt, err := mcspeedup.ResetTime(degraded, operating)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resulting recovery: %.1f ms\n", rt.Reset.Float64()/mcspeedup.TicksPerMS)
+
+	// Step 4: how much slack remains in x at this configuration?
+	xLo, xHi, err := mcspeedup.FeasibleXWindow(degraded, turbo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 4 — feasible x window at y = %v: [%.4f, %.4f]\n\n",
+		y, xLo.Float64(), xHi.Float64())
+
+	// Finally: why combine speedup with degradation at all? The paired
+	// ablation over a random corpus.
+	fmt.Println("policy ablation on a synthetic corpus (30 sets/point):")
+	ab, err := mcspeedup.ExperimentAblation(mcspeedup.AblationConfig{
+		SetsPerPoint: 30,
+		UBounds:      []float64{0.5, 0.7, 0.9},
+		Seed:         21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ab.Render())
+}

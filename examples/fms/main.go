@@ -1,0 +1,106 @@
+// FMS: the paper's Section VI.A case study on the (reconstructed)
+// industrial flight management system — 7 DO-178B level-B tasks and 4
+// level-C tasks. The example sweeps the design space the paper's Fig. 5
+// explores: how overrun preparation (x), service degradation (y), the
+// HI-mode speed (s), and the WCET uncertainty (γ) trade off against the
+// required speedup and the recovery time.
+//
+// Run with:
+//
+//	go run ./examples/fms
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcspeedup"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	set, err := mcspeedup.FMSTasks(mcspeedup.RatTwo) // γ = 2
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Flight management system (reconstruction, γ = 2):")
+	fmt.Println(set.Table())
+	fmt.Printf("U(LO) = %.3f, U(HI undegraded) = %.3f\n\n",
+		set.Util(mcspeedup.LO).Float64(), set.Util(mcspeedup.HI).Float64())
+
+	// Without degradation, every level-C task can hand the mode switch a
+	// carry-over job that is due almost immediately, so the four LO
+	// tasks alone force a 4x speedup — the reason the paper pairs
+	// speedup with service adaptation.
+	_, undegraded, err := mcspeedup.MinimalX(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp0, err := mcspeedup.MinSpeedup(undegraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("no degradation:            s_min = %v\n", sp0.Speedup)
+
+	// With moderate degradation (y = 2) the required speedup drops into
+	// commodity-DVFS range.
+	degraded, err := set.DegradeLO(mcspeedup.RatTwo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, prepared, err := mcspeedup.MinimalX(degraded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp2, err := mcspeedup.MinSpeedup(prepared)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degradation y = 2 (x = %.3f): s_min = %v (%.3f)\n\n",
+		x.Float64(), sp2.Speedup, sp2.Speedup.Float64())
+
+	// Recovery: the paper's headline is "less than 3 s to recover with a
+	// speedup of 2".
+	for _, speed := range []float64{1.5, 2, 3} {
+		rt, err := mcspeedup.ResetTime(prepared, mcspeedup.RatFromFloat(speed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovery at s = %.1f: %8.1f ms\n",
+			speed, rt.Reset.Float64()/mcspeedup.TicksPerMS)
+	}
+
+	// γ sweep (Fig. 5b's other axis): more WCET pessimism means more
+	// overload to drain after a switch.
+	fmt.Println("\nγ sweep at s = 2 (y = 2, minimal x):")
+	for g := 1.0; g <= 4.01; g += 0.5 {
+		s, err := mcspeedup.FMSTasks(mcspeedup.RatFromFloat(g))
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err = s.DegradeLO(mcspeedup.RatTwo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, p, err := mcspeedup.MinimalX(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := mcspeedup.ResetTime(p, mcspeedup.RatTwo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  γ = %.1f: Δ_R = %8.1f ms\n", g, rt.Reset.Float64()/mcspeedup.TicksPerMS)
+	}
+
+	// The Section-IV remark: if overrun bursts are at least 30 s apart,
+	// is a 2x-speedup policy sustainable?
+	rt, err := mcspeedup.ResetTime(prepared, mcspeedup.RatTwo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gap := mcspeedup.Time(30_000 * mcspeedup.TicksPerMS)
+	fmt.Printf("\nsustainable with ≥ 30 s between overrun bursts: %v\n",
+		mcspeedup.SustainableOverrunGap(rt.Reset, gap))
+}

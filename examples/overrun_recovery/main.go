@@ -1,0 +1,88 @@
+// Overrun recovery: drive the simulator through repeated overrun bursts
+// and compare the observed HI-mode episode lengths against the analytical
+// resetting-time bound, for several speedup factors — including the
+// Section-I "speedup budget" fallback, where an episode that outlives the
+// Turbo-style budget terminates LO tasks and returns to nominal speed.
+//
+// Run with:
+//
+//	go run ./examples/overrun_recovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mcspeedup"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A moderately loaded three-task system with degraded LO service.
+	set := mcspeedup.Set{
+		mcspeedup.NewHITask("ctrl", 20, 8, 18, 3, 7),
+		mcspeedup.NewHITask("nav", 50, 20, 45, 6, 12),
+		mcspeedup.NewLOTask("ui", 25, 25, 5),
+	}
+	var err error
+	set, err = set.DegradeLO(mcspeedup.RatTwo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(set.Table())
+
+	sp, err := mcspeedup.MinSpeedup(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("s_min = %v (%.3f)\n\n", sp.Speedup, sp.Speedup.Float64())
+
+	rnd := rand.New(rand.NewSource(42))
+	w := mcspeedup.RandomSporadic(rnd, set, 4000, 0.5)
+
+	fmt.Println("speed   misses  episodes  longest-observed  analytical Δ_R")
+	for _, speed := range []mcspeedup.Rat{sp.Speedup, mcspeedup.RatTwo, mcspeedup.NewRat(3, 1)} {
+		res, err := mcspeedup.Simulate(set, w, mcspeedup.SimConfig{Speedup: speed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := mcspeedup.ResetTime(set, speed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7v %-7d %-9d %-17v %v\n",
+			speed, len(res.Misses), len(res.Episodes), res.MaxEpisode(), rt.Reset)
+	}
+
+	// Budget fallback: allow at most 10 ticks of overclocking per
+	// episode; past that, LO tasks are terminated and the speed returns
+	// to 1 (the paper's Section-I escape hatch).
+	fmt.Println("\nwith a 10-tick speedup budget:")
+	res, err := mcspeedup.Simulate(set, w, mcspeedup.SimConfig{
+		Speedup: sp.Speedup,
+		Budget:  mcspeedup.NewRat(10, 1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tripped := 0
+	for _, e := range res.Episodes {
+		if e.BudgetTripped {
+			tripped++
+		}
+	}
+	fmt.Printf("episodes: %d (%d hit the budget), LO jobs killed: %d, dropped: %d, HI misses: %d\n",
+		len(res.Episodes), tripped, res.Killed, res.Dropped, countHIMisses(set, res))
+}
+
+func countHIMisses(set mcspeedup.Set, res *mcspeedup.SimResult) int {
+	n := 0
+	for _, m := range res.Misses {
+		if set[m.Task].Crit == mcspeedup.HI {
+			n++
+		}
+	}
+	return n
+}

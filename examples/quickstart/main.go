@@ -1,0 +1,78 @@
+// Quickstart: analyze the paper's running example (Table I) end to end —
+// LO-mode schedulability, minimum HI-mode speedup (Theorem 2), service
+// resetting time (Corollary 5), closed-form bounds (Lemmas 6–7) — then
+// replay an overrun scenario on the simulator and watch the system speed
+// up, recover, and reset.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcspeedup"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's Table-I set: one HI task that may overrun from C=2 to
+	// C=4, one LO task.
+	set := mcspeedup.TableISet()
+	fmt.Println("Task set (Table I):")
+	fmt.Println(set.Table())
+
+	// 1. Is the system schedulable in normal (LO) operation?
+	okLO, err := mcspeedup.SchedulableLO(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LO-mode EDF schedulable: %v\n\n", okLO)
+
+	// 2. How much must the processor speed up after an overrun so that
+	// every deadline is still met? (Theorem 2 — Example 1 of the paper.)
+	sp, err := mcspeedup.MinSpeedup(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Theorem 2: minimum HI-mode speedup s_min = %v (witness interval Δ = %d)\n",
+		sp.Speedup, sp.WitnessDelta)
+	fmt.Printf("Lemma 6 closed-form bound: %v\n\n", mcspeedup.ClosedFormSpeedup(set))
+
+	// 3. How quickly can the system return to normal speed? (Corollary 5
+	// — Example 2 of the paper: Δ_R = 6 at s = 2.)
+	for _, speed := range []mcspeedup.Rat{sp.Speedup, mcspeedup.RatTwo} {
+		rt, err := mcspeedup.ResetTime(set, speed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Corollary 5: Δ_R at s = %-4v: %v ticks (Lemma 7 bound: %v)\n",
+			speed, rt.Reset, mcspeedup.ClosedFormReset(set, speed))
+	}
+
+	// 4. Replay the worst-case-style scenario on the simulator: both
+	// tasks release together and the HI task overruns.
+	w := mcspeedup.Workload{
+		{Task: 0, At: 0, Demand: 4}, // τ1 takes its pessimistic WCET
+		{Task: 1, At: 0, Demand: 2},
+		{Task: 0, At: 10, Demand: 2}, // back to normal afterwards
+		{Task: 1, At: 10, Demand: 2},
+	}
+	res, err := mcspeedup.Simulate(set, w, mcspeedup.SimConfig{
+		Speedup:      mcspeedup.RatTwo,
+		CollectTrace: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSimulation at s = 2: %d jobs completed, %d deadline misses, %d HI-mode episode(s)\n",
+		res.Completed, len(res.Misses), len(res.Episodes))
+	if len(res.Episodes) > 0 {
+		fmt.Printf("observed recovery: %v ticks (bound: Δ_R = 6)\n", res.Episodes[0].Duration())
+	}
+	fmt.Println()
+	fmt.Print(mcspeedup.Gantt(set, res, 72))
+}

@@ -1,0 +1,41 @@
+package mcspeedup_test
+
+// Compiles and runs every example program and checks a signature line of
+// each, so the documentation can never silently rot.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples e2e skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"s_min = 4/3", "observed recovery: 2 ticks", "'^' HI-mode"}},
+		{"fms", []string{"no degradation:            s_min = 4", "sustainable with ≥ 30 s between overrun bursts: true"}},
+		{"overrun_recovery", []string{"analytical Δ_R", "speedup budget"}},
+		{"schedulability_region", []string{"diagonal U_HI = U_LO", "2x-speedup"}},
+		{"design_space", []string{"within the turbo ceiling", "Policy ablation"}},
+		{"turbo_governor", []string{"sustainable burst spacing", "full speed"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			out, err := exec.Command("go", "run", "./examples/"+c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package mcspeedup
+
+import "mcspeedup/internal/experiments"
+
+// Experiment drivers regenerating the paper's evaluation. Each returns a
+// structured result with a Render method emitting fixed-width text; see
+// EXPERIMENTS.md for the recorded outputs and the paper-vs-measured
+// comparison.
+
+// Table1Result holds Table I and the Example-1/2 numbers.
+type Table1Result = experiments.Table1Result
+
+// ExperimentTable1 recomputes Table I's derived quantities
+// (s_min = 4/3, degraded s_min < 1, Δ_R(2) = 6).
+func ExperimentTable1() (Table1Result, error) { return experiments.Table1() }
+
+// Fig1Result holds the demand/supply curves of Fig. 1.
+type Fig1Result = experiments.Fig1Result
+
+// ExperimentFig1 samples the HI-mode demand bound functions of the
+// running example against their minimum supply lines.
+func ExperimentFig1(horizon Time) (Fig1Result, error) { return experiments.Fig1(horizon) }
+
+// Fig3Result holds the arrived-demand and resetting-time curves of Fig. 3.
+type Fig3Result = experiments.Fig3Result
+
+// ExperimentFig3 computes the service-resetting-time study of Fig. 3.
+func ExperimentFig3(horizon Time, speedSteps int) (Fig3Result, error) {
+	return experiments.Fig3(horizon, speedSteps)
+}
+
+// Fig4Result holds the closed-form trade-off curves of Fig. 4.
+type Fig4Result = experiments.Fig4Result
+
+// ExperimentFig4 evaluates the Lemma-6/7 closed forms over the x/y and
+// s/s_min trade-off grids.
+func ExperimentFig4(xSteps, speedSteps int) (Fig4Result, error) {
+	return experiments.Fig4(xSteps, speedSteps)
+}
+
+// Fig5Result holds the FMS contour grids of Fig. 5.
+type Fig5Result = experiments.Fig5Result
+
+// ExperimentFig5 runs the flight-management-system study on steps×steps
+// grids.
+func ExperimentFig5(steps int) (Fig5Result, error) { return experiments.Fig5(steps) }
+
+// Fig6Config and Fig6Result parameterize the synthetic-task-set study.
+type (
+	Fig6Config = experiments.Fig6Config
+	Fig6Result = experiments.Fig6Result
+)
+
+// ExperimentFig6 runs the synthetic-task-set study of Fig. 6.
+func ExperimentFig6(cfg Fig6Config) (Fig6Result, error) { return experiments.Fig6(cfg) }
+
+// Fig7Config and Fig7Result parameterize the schedulability-region study.
+type (
+	Fig7Config = experiments.Fig7Config
+	Fig7Result = experiments.Fig7Result
+)
+
+// ExperimentFig7 runs the schedulability-region study of Fig. 7.
+func ExperimentFig7(cfg Fig7Config) (Fig7Result, error) { return experiments.Fig7(cfg) }
+
+// AblationConfig, AblationResult and Policy parameterize the policy
+// ablation comparing the reactions to overrun the paper's introduction
+// contrasts: termination, degradation, speedup, and speedup+degradation.
+type (
+	AblationConfig = experiments.AblationConfig
+	AblationResult = experiments.AblationResult
+	Policy         = experiments.Policy
+)
+
+// The four overrun-reaction policies.
+const (
+	PolicyTerminate = experiments.PolicyTerminate
+	PolicyDegrade   = experiments.PolicyDegrade
+	PolicySpeedup   = experiments.PolicySpeedup
+	PolicyCombined  = experiments.PolicyCombined
+)
+
+// ExperimentAblation runs the policy ablation over a shared random
+// corpus.
+func ExperimentAblation(cfg AblationConfig) (AblationResult, error) {
+	return experiments.Ablation(cfg)
+}
+
+// Fig2Result is the annotated worst-case-geometry illustration of Fig. 2.
+type Fig2Result = experiments.Fig2Result
+
+// ExperimentFig2 renders the Fig. 2 timeline and checks the window
+// identity of eq. (9) on the running example.
+func ExperimentFig2() Fig2Result { return experiments.Fig2() }
+
+// ServiceQualityConfig and ServiceQualityResult parameterize the
+// LO-service study: how much LO-criticality service survives overruns
+// under each overrun-reaction policy (paired simulation corpus).
+type (
+	ServiceQualityConfig = experiments.ServiceQualityConfig
+	ServiceQualityResult = experiments.ServiceQualityResult
+)
+
+// ExperimentServiceQuality runs the LO-service study.
+func ExperimentServiceQuality(cfg ServiceQualityConfig) (ServiceQualityResult, error) {
+	return experiments.ServiceQuality(cfg)
+}

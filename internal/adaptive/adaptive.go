@@ -1,0 +1,231 @@
+// Package adaptive implements the runtime governance layer sketched in
+// the paper's introduction: processor speedup "is often regulated by
+// power/thermal management — for example, Intel turbo boost technology
+// would allow a maximum of 2x speedup for around 30s", and "if [the
+// overclocking time] exceeds the time allowed, we could then terminate
+// tasks instead of overclocking to reset the system to normal speed".
+//
+// The governor models the thermal allowance as a token bucket: overclock
+// credit drains at rate (s − 1) while the processor runs at speed s and
+// recharges at a fixed rate while at nominal speed, capped at the bucket
+// capacity (so "2x for 30 s" is capacity 30·(2−1) = 30 credit-seconds).
+// Every overrun burst requests one HI-mode episode of the analytical
+// worst-case length Δ_R(s); the governor admits the episode at full speed
+// when the bucket covers it, degrades to the largest affordable speed
+// that still meets the schedulability floor when it does not, and falls
+// back to terminating LO-criticality tasks (nominal speed, LO service
+// lost for the episode) when even that floor is unaffordable.
+//
+// The package is deliberately analytical — it reasons over episode
+// requests and Corollary-5 bounds rather than individual jobs — so its
+// guarantees compose with the exact analyses: if the governor admits an
+// episode at speed s, the job-level simulator (package sim) running that
+// episode at s provably meets all deadlines and resets within Δ_R(s).
+package adaptive
+
+import (
+	"fmt"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// Budget is the thermal/power token bucket.
+type Budget struct {
+	// Capacity is the maximum stored overclock credit, in
+	// (speed−1)·time units.
+	Capacity rat.Rat
+	// Recharge is the credit gained per unit of wall-clock time spent at
+	// nominal speed.
+	Recharge rat.Rat
+}
+
+// Validate checks the bucket parameters.
+func (b Budget) Validate() error {
+	if b.Capacity.Sign() <= 0 || b.Capacity.IsInf() {
+		return fmt.Errorf("adaptive: capacity %v must be positive and finite", b.Capacity)
+	}
+	if b.Recharge.Sign() <= 0 || b.Recharge.IsInf() {
+		return fmt.Errorf("adaptive: recharge rate %v must be positive and finite", b.Recharge)
+	}
+	return nil
+}
+
+// TurboBudget returns the bucket for "speed s for at most d time units
+// from full, recharging from empty to full in rechargeTime".
+func TurboBudget(speed rat.Rat, d, rechargeTime task.Time) Budget {
+	cost := speed.Sub(rat.One).MulInt(int64(d))
+	return Budget{
+		Capacity: cost,
+		Recharge: cost.Div(rat.FromInt64(int64(rechargeTime))),
+	}
+}
+
+// Decision is the governor's verdict for one overrun episode.
+type Decision struct {
+	// At is the episode's start time.
+	At task.Time
+	// Speed is the admitted HI-mode speed (1 when terminating).
+	Speed rat.Rat
+	// Reset is the analytical worst-case episode length Δ_R(Speed).
+	Reset rat.Rat
+	// Terminated reports the fallback: LO tasks are dropped for this
+	// episode instead of overclocking.
+	Terminated bool
+	// CreditBefore and CreditAfter book-end the bucket level.
+	CreditBefore, CreditAfter rat.Rat
+}
+
+// Governor makes per-episode speed decisions for one task set.
+type Governor struct {
+	set    task.Set
+	budget Budget
+
+	// fullSpeed is the preferred HI-mode speed; floorSpeed is the exact
+	// s_min of the (non-terminated) configuration — below it the
+	// episode cannot be admitted without termination.
+	fullSpeed  rat.Rat
+	floorSpeed rat.Rat
+	// termReset is Δ_R at nominal speed with LO tasks terminated (the
+	// fallback is free: no overclock credit is spent).
+	termReset rat.Rat
+
+	credit   rat.Rat
+	lastIdle rat.Rat // absolute time the previous episode's work drained
+	// Decisions is the full history, for inspection and tests.
+	Decisions []Decision
+}
+
+// NewGovernor validates the configuration and pre-computes the
+// analytical quantities. The set must be HI-mode schedulable at
+// fullSpeed, and the terminated fallback must itself be feasible at
+// nominal speed (otherwise no governance policy can help).
+func NewGovernor(s task.Set, fullSpeed rat.Rat, budget Budget) (*Governor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := budget.Validate(); err != nil {
+		return nil, err
+	}
+	if fullSpeed.Cmp(rat.One) < 0 {
+		return nil, fmt.Errorf("adaptive: full speed %v below nominal", fullSpeed)
+	}
+	smin, err := core.MinSpeedup(s)
+	if err != nil {
+		return nil, err
+	}
+	if !smin.Exact {
+		return nil, fmt.Errorf("adaptive: inexact s_min bracket [%v, %v]; refusing to govern",
+			smin.LowerBound, smin.Speedup)
+	}
+	if fullSpeed.Cmp(smin.Speedup) < 0 {
+		return nil, fmt.Errorf("adaptive: full speed %v below s_min = %v", fullSpeed, smin.Speedup)
+	}
+	term := s.TerminateLO()
+	tsmin, err := core.MinSpeedup(term)
+	if err != nil {
+		return nil, err
+	}
+	if tsmin.Speedup.Cmp(rat.One) > 0 {
+		return nil, fmt.Errorf("adaptive: even termination needs speedup %v > 1; no safe fallback",
+			tsmin.Speedup)
+	}
+	trr, err := core.ResetTime(term, rat.One)
+	if err != nil {
+		return nil, err
+	}
+	if trr.Reset.IsInf() {
+		return nil, fmt.Errorf("adaptive: terminated configuration never provably idles at nominal speed")
+	}
+	g := &Governor{
+		set:        s,
+		budget:     budget,
+		fullSpeed:  fullSpeed,
+		floorSpeed: smin.Speedup,
+		termReset:  trr.Reset,
+		credit:     budget.Capacity,
+		lastIdle:   rat.Zero,
+	}
+	return g, nil
+}
+
+// episodeCost returns the worst-case overclock credit an episode at the
+// given speed consumes: (s − 1)·Δ_R(s). ok is false when Δ_R is infinite.
+func (g *Governor) episodeCost(speed rat.Rat) (cost, reset rat.Rat, ok bool) {
+	rr, err := core.ResetTime(g.set, speed)
+	if err != nil || rr.Reset.IsInf() {
+		return rat.Rat{}, rat.Rat{}, false
+	}
+	return speed.Sub(rat.One).Mul(rr.Reset), rr.Reset, true
+}
+
+// Request asks the governor to admit an overrun episode starting at time
+// at (absolute integer ticks; requests must be non-decreasing in time and
+// are assumed to arrive no earlier than the previous episode's reset —
+// the §IV burst model). It returns the decision and updates the budget.
+func (g *Governor) Request(at task.Time) (Decision, error) {
+	t := rat.FromInt64(int64(at))
+	if t.Cmp(g.lastIdle) < 0 {
+		return Decision{}, fmt.Errorf("adaptive: request at %d predates previous reset %v", at, g.lastIdle)
+	}
+	// Recharge for the nominal-speed interval since the last reset.
+	g.credit = rat.Min(g.budget.Capacity,
+		g.credit.Add(t.Sub(g.lastIdle).Mul(g.budget.Recharge)))
+
+	d := Decision{At: at, CreditBefore: g.credit}
+
+	// Try the preferred speed, then the schedulability floor (when it
+	// actually overclocks), then terminate.
+	try := func(speed rat.Rat) bool {
+		if speed.Cmp(rat.One) <= 0 {
+			return false
+		}
+		cost, reset, ok := g.episodeCost(speed)
+		if !ok || cost.Cmp(g.credit) > 0 {
+			return false
+		}
+		g.credit = g.credit.Sub(cost)
+		d.Speed, d.Reset = speed, reset
+		return true
+	}
+	switch {
+	case try(g.fullSpeed):
+	case g.floorSpeed.Cmp(g.fullSpeed) < 0 && try(g.floorSpeed):
+	case g.floorSpeed.Cmp(rat.One) <= 0:
+		// The set needs no overclocking at all; run the episode at
+		// nominal speed with full service.
+		_, reset, ok := g.episodeCost(rat.One)
+		if !ok {
+			return Decision{}, fmt.Errorf("adaptive: nominal-speed episode never drains despite s_min = %v", g.floorSpeed)
+		}
+		d.Speed, d.Reset = rat.One, reset
+	default:
+		// Fallback: terminate LO tasks for this episode, no credit
+		// spent.
+		d.Speed, d.Reset, d.Terminated = rat.One, g.termReset, true
+	}
+	d.CreditAfter = g.credit
+	g.lastIdle = t.Add(d.Reset)
+	g.Decisions = append(g.Decisions, d)
+	return d, nil
+}
+
+// Credit returns the current bucket level (as of the last decision).
+func (g *Governor) Credit() rat.Rat { return g.credit }
+
+// SustainableGap returns the minimum spacing between overrun bursts for
+// which every episode can run at the preferred speed indefinitely: the
+// per-episode credit cost must be recharged within the gap's nominal-
+// speed remainder. ok is false when even back-to-back full-capacity use
+// cannot sustain the preferred speed (cost exceeds capacity).
+func (g *Governor) SustainableGap() (task.Time, bool) {
+	cost, reset, ok := g.episodeCost(g.fullSpeed)
+	if !ok || cost.Cmp(g.budget.Capacity) > 0 {
+		return 0, false
+	}
+	// gap ≥ reset + cost/recharge: the episode runs for reset, then the
+	// bucket refills its cost before the next burst.
+	gap := reset.Add(cost.Div(g.budget.Recharge))
+	return task.Time(gap.Ceil()), true
+}

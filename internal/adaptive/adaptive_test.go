@@ -1,0 +1,215 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+func tableIGovernor(t *testing.T, budget Budget) *Governor {
+	t.Helper()
+	g, err := NewGovernor(examplesets.TableI(), rat.Two, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTurboBudget(t *testing.T) {
+	b := TurboBudget(rat.Two, 30, 300)
+	if !b.Capacity.Eq(rat.FromInt64(30)) {
+		t.Errorf("capacity = %v, want 30", b.Capacity)
+	}
+	if !b.Recharge.Eq(rat.New(1, 10)) {
+		t.Errorf("recharge = %v, want 1/10", b.Recharge)
+	}
+	if err := b.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Budget{}).Validate(); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestGovernorAdmitsAtFullSpeed(t *testing.T) {
+	// Table I: Δ_R(2) = 6, so an episode at speed 2 costs (2−1)·6 = 6.
+	g := tableIGovernor(t, Budget{Capacity: rat.FromInt64(10), Recharge: rat.One})
+	d, err := g.Request(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Speed.Eq(rat.Two) || d.Terminated {
+		t.Fatalf("decision = %+v, want full speed", d)
+	}
+	if !d.Reset.Eq(rat.FromInt64(6)) {
+		t.Fatalf("reset = %v, want 6", d.Reset)
+	}
+	if !d.CreditAfter.Eq(rat.FromInt64(4)) {
+		t.Fatalf("credit after = %v, want 10 − 6 = 4", d.CreditAfter)
+	}
+}
+
+func TestGovernorDegradesSpeedThenTerminates(t *testing.T) {
+	// Capacity 6 admits exactly one full-speed episode; with recharge
+	// 1/100 the second immediate burst cannot afford speed 2, falls to
+	// the floor s_min = 4/3 (cost (1/3)·Δ_R(4/3) = (1/3)·9 = 3)...
+	g := tableIGovernor(t, Budget{Capacity: rat.FromInt64(6), Recharge: rat.New(1, 100)})
+	d1, err := g.Request(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Speed.Eq(rat.Two) {
+		t.Fatalf("first episode at %v, want 2", d1.Speed)
+	}
+	// Next burst arrives right at the reset: credit ≈ 0 + 6·(1/100).
+	d2, err := g.Request(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Terminated {
+		t.Fatalf("second decision = %+v, want termination (credit %v)", d2, d2.CreditBefore)
+	}
+	if !d2.Speed.Eq(rat.One) {
+		t.Fatalf("termination must run at nominal speed, got %v", d2.Speed)
+	}
+
+	// A larger bucket with the same timing affords the floor speed.
+	g2 := tableIGovernor(t, Budget{Capacity: rat.FromInt64(10), Recharge: rat.New(1, 100)})
+	if _, err := g2.Request(0); err != nil { // full speed, cost 6 → 4 left
+		t.Fatal(err)
+	}
+	d, err := g2.Request(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Terminated || !d.Speed.Eq(rat.New(4, 3)) {
+		t.Fatalf("expected floor speed 4/3, got %+v", d)
+	}
+}
+
+func TestGovernorRecharges(t *testing.T) {
+	g := tableIGovernor(t, Budget{Capacity: rat.FromInt64(6), Recharge: rat.New(1, 10)})
+	if _, err := g.Request(0); err != nil {
+		t.Fatal(err)
+	}
+	// After the episode (reset at 6), waiting 60 ticks refills the
+	// bucket (6 credits at 1/10 per tick) — full speed again.
+	d, err := g.Request(66)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Speed.Eq(rat.Two) || d.Terminated {
+		t.Fatalf("recharged decision = %+v, want full speed", d)
+	}
+	// Credit never exceeds capacity.
+	if d.CreditBefore.Cmp(g.budget.Capacity) > 0 {
+		t.Fatalf("credit %v above capacity", d.CreditBefore)
+	}
+}
+
+func TestGovernorRejectsOutOfOrder(t *testing.T) {
+	g := tableIGovernor(t, Budget{Capacity: rat.FromInt64(10), Recharge: rat.One})
+	if _, err := g.Request(0); err != nil {
+		t.Fatal(err)
+	}
+	// The first episode resets at 6; a request at 3 violates the burst
+	// model.
+	if _, err := g.Request(3); err == nil {
+		t.Error("overlapping request accepted")
+	}
+}
+
+func TestSustainableGap(t *testing.T) {
+	// Cost 6, recharge 1/10 → gap ≥ 6 + 60 = 66.
+	g := tableIGovernor(t, Budget{Capacity: rat.FromInt64(6), Recharge: rat.New(1, 10)})
+	gap, ok := g.SustainableGap()
+	if !ok || gap != 66 {
+		t.Fatalf("gap = %d, %v; want 66", gap, ok)
+	}
+	// Bursts at exactly that spacing run at full speed forever.
+	at := task.Time(0)
+	for i := 0; i < 50; i++ {
+		d, err := g.Request(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Speed.Eq(rat.Two) || d.Terminated {
+			t.Fatalf("burst %d at %d degraded: %+v", i, at, d)
+		}
+		at += gap
+	}
+	// Consistency with the paper's Section-IV remark.
+	rr, err := core.ResetTime(examplesets.TableI(), rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SustainableOverrunGap(rr.Reset, gap) {
+		t.Error("sustainable gap shorter than Δ_R")
+	}
+
+	// An undersized bucket can never sustain full speed.
+	small := tableIGovernor(t, Budget{Capacity: rat.FromInt64(2), Recharge: rat.One})
+	if _, ok := small.SustainableGap(); ok {
+		t.Error("capacity 2 cannot cover a cost-6 episode")
+	}
+}
+
+func TestGovernorCreditInvariant(t *testing.T) {
+	// Random burst trains: the credit must stay within [0, capacity] and
+	// decisions must stay consistent with affordability.
+	rnd := rand.New(rand.NewSource(99))
+	g := tableIGovernor(t, Budget{Capacity: rat.FromInt64(8), Recharge: rat.New(1, 7)})
+	at := task.Time(0)
+	for i := 0; i < 300; i++ {
+		d, err := g.Request(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.CreditAfter.Sign() < 0 || d.CreditAfter.Cmp(g.budget.Capacity) > 0 {
+			t.Fatalf("credit %v out of [0, %v]", d.CreditAfter, g.budget.Capacity)
+		}
+		if d.Terminated && d.CreditBefore.Cmp(rat.FromInt64(3)) >= 0 {
+			// With ≥ 3 credits the floor episode (cost 3) was
+			// affordable; termination would be a policy bug.
+			t.Fatalf("terminated with %v credits available", d.CreditBefore)
+		}
+		at += task.Time(d.Reset.Ceil()) + task.Time(rnd.Int63n(40))
+	}
+	if len(g.Decisions) != 300 {
+		t.Fatalf("history length %d", len(g.Decisions))
+	}
+}
+
+func TestNewGovernorRejections(t *testing.T) {
+	set := examplesets.TableI()
+	okBudget := Budget{Capacity: rat.FromInt64(10), Recharge: rat.One}
+	if _, err := NewGovernor(set, rat.New(1, 2), okBudget); err == nil {
+		t.Error("sub-nominal full speed accepted")
+	}
+	if _, err := NewGovernor(set, rat.One, okBudget); err == nil {
+		t.Error("full speed below s_min = 4/3 accepted")
+	}
+	if _, err := NewGovernor(set, rat.Two, Budget{}); err == nil {
+		t.Error("invalid budget accepted")
+	}
+	if _, err := NewGovernor(task.Set{}, rat.Two, okBudget); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestCreditAccessor(t *testing.T) {
+	g := tableIGovernor(t, Budget{Capacity: rat.FromInt64(10), Recharge: rat.One})
+	if !g.Credit().Eq(rat.FromInt64(10)) {
+		t.Errorf("initial credit %v, want capacity", g.Credit())
+	}
+	if _, err := g.Request(0); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Credit().Eq(rat.FromInt64(4)) {
+		t.Errorf("credit after episode %v, want 4", g.Credit())
+	}
+}

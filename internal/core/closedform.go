@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/big"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// TaskSigma returns the per-task supremum
+//
+//	σ_i = sup_{Δ > 0} DBF_HI(τ_i, Δ)/Δ,
+//
+// the smallest slope of a line through the origin dominating the task's
+// HI-mode demand curve. By the exact periodicity
+// DBF_HI(Δ+T) = DBF_HI(Δ)+C(HI), the supremum equals
+//
+//	max{ U_i(HI), (C(HI)−C(LO))/gap, C(HI)/min(gap+C(LO), T(HI)) }
+//
+// where gap = D(HI)−D(LO) is the carry-over window offset: the three
+// candidates are the ratio limit Δ→∞, the jump at the ramp start, and the
+// ramp end (clipped to the period). A zero gap with C(HI) > C(LO) yields
+// +Inf — the paper's observation that HI tasks whose deadlines are not
+// shortened in LO mode force infinite speedup. Terminated tasks have
+// σ_i = 0.
+func TaskSigma(t *task.Task) rat.Rat {
+	if t.Terminated() {
+		return rat.Zero
+	}
+	period := t.Period[task.HI]
+	cLO, cHI := t.WCET[task.LO], t.WCET[task.HI]
+	gap := t.Deadline[task.HI] - t.Deadline[task.LO]
+
+	sigma := rat.New(int64(cHI), int64(period)) // U_i(HI)
+	if gap == 0 {
+		if cHI > cLO {
+			return rat.PosInf
+		}
+	} else {
+		sigma = rat.Max(sigma, rat.New(int64(cHI-cLO), int64(gap)))
+	}
+	rampEnd := gap + cLO
+	if rampEnd > period {
+		rampEnd = period
+	}
+	if rampEnd > 0 {
+		sigma = rat.Max(sigma, rat.New(int64(cHI), int64(rampEnd)))
+	}
+	return sigma
+}
+
+// ClosedFormSpeedup is the Lemma-6 closed-form upper bound on the minimum
+// HI-mode speedup: the sum Σ_i σ_i of the per-task demand-curve slopes.
+// Each σ_i is the exact per-task supremum, so the bound is tight for
+// singleton sets; summing ignores that the per-task suprema are attained
+// at different interval lengths, which is exactly the looseness Lemma 6
+// trades for a closed form. With the uniform implicit-deadline scalings of
+// eqs. (13)–(14) (gap_HI = (1−x)·T, gap_LO = (y−1)·T) the bound expands to
+// the paper's eq. (15) shape
+//
+//	Σ_HI max{U_i(HI), (U_i(HI)−U_i(LO))/(1−x), U_i(HI)/((1−x)+U_i(LO))}
+//	+ Σ_LO U_i(LO)/((y−1)+U_i(LO))
+//
+// and is monotone increasing in x and decreasing in y, matching the
+// paper's Fig. 4a.
+func ClosedFormSpeedup(s task.Set) rat.Rat {
+	sum := new(big.Rat)
+	for i := range s {
+		sigma := TaskSigma(&s[i])
+		if sigma.IsInf() {
+			return rat.PosInf
+		}
+		sum.Add(sum, sigma.Big())
+	}
+	// Rounding up (if needed at all) keeps the Lemma-6 upper bound sound.
+	return rat.FromBig(sum, true)
+}
+
+// ClosedFormReset is the Lemma-7 closed-form upper bound on the service
+// resetting time,
+//
+//	Δ_R ≤ Σ_i C_i(HI) / (s − s_min),                          (eq. (16))
+//
+// with s_min the Lemma-6 closed form. It is +Inf when s ≤ s_min. The bound
+// is sound because ADB_HI(τ_i, Δ) ≤ DBF_HI(τ_i, Δ) + C_i(HI) pointwise
+// (the arrived-demand window never opens earlier than the deadline-based
+// one, and the job term counts exactly one extra C(HI)), so the arrived
+// demand stays below s·Δ from Δ = ΣC(HI)/(s − Σσ) on. Terminated tasks
+// still contribute C_i(HI) to the numerator: their carry-over job must
+// drain before the processor idles.
+func ClosedFormReset(s task.Set, speed rat.Rat) rat.Rat {
+	smin := ClosedFormSpeedup(s)
+	if smin.IsInf() || speed.Cmp(smin) <= 0 {
+		return rat.PosInf
+	}
+	return rat.FromInt64(int64(s.TotalCHI())).Div(speed.Sub(smin))
+}

@@ -1,0 +1,273 @@
+package core
+
+// Design-space solvers: the paper's Section V studies how the overrun
+// preparation x (eq. (13)), the service degradation y (eq. (14)), the
+// HI-mode speed s, and the resetting time Δ_R trade off against each
+// other. The functions here answer the corresponding inverse questions a
+// system designer actually asks — "my platform turbo-boosts at most 2×;
+// how little degradation can I get away with?", "what speed do I need to
+// be back at nominal within 5 s?" — exactly, on top of the Theorem-2 /
+// Corollary-5 machinery.
+
+import (
+	"fmt"
+
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// SpeedForResetResult is the outcome of MinSpeedForReset.
+type SpeedForResetResult struct {
+	// Speed is the infimum HI-mode speed factor whose service resetting
+	// time meets the budget: Δ_R(s) ≤ budget for every s > Speed, and
+	// for s = Speed itself iff Attained.
+	Speed rat.Rat
+	// Attained reports whether the infimum itself meets the budget.
+	// It is false exactly when the decisive demand/length ratio occurs
+	// as a left limit just before an upward jump of the arrived-demand
+	// curve: the ratio is then approached arbitrarily closely but never
+	// reached, so any speed strictly above Speed works while Speed
+	// itself does not.
+	Attained bool
+}
+
+// MinSpeedForReset computes the infimum HI-mode speed factor s such that
+// the service resetting time satisfies Δ_R(s) ≤ budget. The inverse is
+// exact and direct: Δ_R(s) ≤ B holds iff the arrived-demand curve dips to
+// (or below) the supply line s·Δ somewhere in (0, B], so
+//
+//	s* = inf_{Δ ∈ (0, B]} Σ_i ADB_HI(τ_i, Δ) / Δ ,
+//
+// and since the curve is piecewise linear the infimum occurs at an event
+// point, at a left limit just before an event's upward jump, or at B
+// itself. See SpeedForResetResult.Attained for the (rare) open-infimum
+// case.
+func MinSpeedForReset(s task.Set, budget task.Time) (SpeedForResetResult, error) {
+	if err := s.Validate(); err != nil {
+		return SpeedForResetResult{}, err
+	}
+	if budget <= 0 {
+		return SpeedForResetResult{}, fmt.Errorf("core: reset budget %d must be positive", budget)
+	}
+	w := newHIWalker(s, dbf.KindADB)
+	best := rat.PosInf
+	attained := false
+	consider := func(r rat.Rat, pointAttained bool) {
+		switch r.Cmp(best) {
+		case -1:
+			best, attained = r, pointAttained
+		case 0:
+			attained = attained || pointAttained
+		}
+	}
+	for {
+		next, ok := w.PeekNext()
+		if !ok || next > budget {
+			break
+		}
+		// Left limit just before the event: the segment's infimum when
+		// the curve jumps upward there. It is attained only in the
+		// limit, hence pointAttained = false — unless the curve is
+		// continuous at the event, in which case the identical ratio is
+		// recorded as attained right below.
+		leftLimit := w.Value() + w.Slope()*(next-w.Pos())
+		consider(rat.New(int64(leftLimit), int64(next)), false)
+		w.Next()
+		consider(rat.New(int64(w.Value()), int64(w.Pos())), true)
+	}
+	// The final partial segment up to B (linear, value at B included:
+	// any upward jump exactly at B only raises the ratio).
+	vAtB := w.Value() + w.Slope()*(budget-w.Pos())
+	consider(rat.New(int64(vAtB), int64(budget)), true)
+	return SpeedForResetResult{Speed: best, Attained: attained}, nil
+}
+
+// MinimalY finds the smallest uniform service-degradation factor y ≥ 1
+// (eq. (14)) such that the degraded set's minimum HI-mode speedup does
+// not exceed speedCap. HI-criticality virtual deadlines are kept as they
+// are in s — apply MinimalX or ShortenHIDeadlines first. It returns the
+// factor and the degraded set.
+//
+// Degrading more (larger y) only enlarges the LO tasks' HI-mode periods
+// and deadlines, which lowers their demand curves pointwise, so
+// feasibility is monotone in y and a binary search over the grid
+// y = k/T_max (realizing every floor(y·T), floor(y·D) combination) is
+// exact up to the configured ceiling. If even terminating the LO tasks
+// (the y → ∞ limit of the demand) misses the cap, no y exists and an
+// error is returned.
+func MinimalY(s task.Set, speedCap rat.Rat) (rat.Rat, task.Set, error) {
+	if err := s.Validate(); err != nil {
+		return rat.Rat{}, nil, err
+	}
+	if speedCap.Sign() <= 0 {
+		return rat.Rat{}, nil, fmt.Errorf("core: speed cap %v must be positive", speedCap)
+	}
+	meets := func(set task.Set) (bool, error) {
+		res, err := MinSpeedup(set)
+		if err != nil {
+			return false, err
+		}
+		return res.Speedup.Cmp(speedCap) <= 0, nil
+	}
+
+	if len(s.ByCrit(task.LO)) == 0 {
+		ok, err := meets(s)
+		if err != nil {
+			return rat.Rat{}, nil, err
+		}
+		if !ok {
+			return rat.Rat{}, nil, fmt.Errorf("core: no LO tasks to degrade and s_min exceeds %v", speedCap)
+		}
+		return rat.One, s.Clone(), nil
+	}
+
+	// Feasibility ceiling: termination is the demand limit of y → ∞.
+	if ok, err := meets(s.TerminateLO()); err != nil {
+		return rat.Rat{}, nil, err
+	} else if !ok {
+		return rat.Rat{}, nil, fmt.Errorf("core: even terminating LO tasks needs more than %v speedup", speedCap)
+	}
+
+	// Granularity: y = k/q with q = max LO-task period realizes every
+	// reachable (floor(y·T), floor(y·D)) vector.
+	var q task.Time
+	for i := range s {
+		if s[i].Crit == task.LO && s[i].Period[task.LO] > q {
+			q = s[i].Period[task.LO]
+		}
+	}
+	degradeK := func(k int64) (task.Set, error) { return s.DegradeLO(rat.New(k, int64(q))) }
+
+	// y = 1 might already suffice.
+	if set, err := degradeK(int64(q)); err == nil {
+		if ok, err := meets(set); err != nil {
+			return rat.Rat{}, nil, err
+		} else if ok {
+			return rat.One, set, nil
+		}
+	}
+
+	// Exponential search for a feasible ceiling, then bisect.
+	loK, hiK := int64(q), int64(q)*2
+	for {
+		set, err := degradeK(hiK)
+		if err != nil {
+			return rat.Rat{}, nil, err
+		}
+		ok, err := meets(set)
+		if err != nil {
+			return rat.Rat{}, nil, err
+		}
+		if ok {
+			break
+		}
+		loK = hiK
+		hiK *= 2
+		if hiK > int64(q)*(1<<20) {
+			// Termination met the cap but no finite grid y does within
+			// the ceiling: the demand converges to the termination
+			// limit only in the y → ∞ limit for this set.
+			return rat.Rat{}, nil, fmt.Errorf("core: no finite degradation factor up to 2^20 meets %v", speedCap)
+		}
+	}
+	var bestSet task.Set
+	for hiK-loK > 1 {
+		mid := loK + (hiK-loK)/2
+		set, err := degradeK(mid)
+		if err != nil {
+			return rat.Rat{}, nil, err
+		}
+		ok, err := meets(set)
+		if err != nil {
+			return rat.Rat{}, nil, err
+		}
+		if ok {
+			hiK, bestSet = mid, set
+		} else {
+			loK = mid
+		}
+	}
+	if bestSet == nil {
+		set, err := degradeK(hiK)
+		if err != nil {
+			return rat.Rat{}, nil, err
+		}
+		bestSet = set
+	}
+	return rat.New(hiK, int64(q)), bestSet, nil
+}
+
+// FeasibleXWindow computes the design freedom in the overrun-preparation
+// factor x for a given HI-mode speed cap: the smallest x keeping LO mode
+// schedulable (more preparation than that starves the LO-mode demand
+// test) and the largest x keeping the HI-mode speedup within the cap
+// (less preparation than that leaves too much carry-over urgency). Any
+// grid point in [XLo, XHi] is a valid configuration; an error is returned
+// when the window is empty. Degradation (eq. (14)) must already be
+// applied to s if desired.
+func FeasibleXWindow(s task.Set, speedCap rat.Rat) (xLo, xHi rat.Rat, err error) {
+	if speedCap.Sign() <= 0 {
+		return rat.Rat{}, rat.Rat{}, fmt.Errorf("core: speed cap %v must be positive", speedCap)
+	}
+	xLo, _, err = MinimalX(s)
+	if err != nil {
+		return rat.Rat{}, rat.Rat{}, err
+	}
+	if len(s.ByCrit(task.HI)) == 0 {
+		return xLo, xLo, nil
+	}
+
+	var dMax task.Time
+	for i := range s {
+		if s[i].Crit == task.HI && s[i].Deadline[task.HI] > dMax {
+			dMax = s[i].Deadline[task.HI]
+		}
+	}
+	meets := func(k int64) (bool, error) {
+		set, err := s.ShortenHIDeadlines(rat.New(k, int64(dMax)))
+		if err != nil {
+			return false, nil
+		}
+		res, err := MinSpeedup(set)
+		if err != nil {
+			return false, err
+		}
+		return res.Speedup.Cmp(speedCap) <= 0, nil
+	}
+
+	// Increasing x raises the HI-mode demand pointwise, so the set of
+	// cap-respecting k is downward-closed: binary search for the largest
+	// feasible k. Re-anchor xLo on the k/dMax grid first (MinimalX
+	// already returns that form, but guard against other denominators).
+	kLo := xLo.MulInt(int64(dMax)).Ceil()
+	ok, err := meets(kLo)
+	if err != nil {
+		return rat.Rat{}, rat.Rat{}, err
+	}
+	if !ok {
+		return rat.Rat{}, rat.Rat{}, fmt.Errorf(
+			"core: no overrun preparation satisfies both LO mode and a %v speed cap", speedCap)
+	}
+	lo, hi := kLo, int64(dMax)-1
+	okHi, err := meets(hi)
+	if err != nil {
+		return rat.Rat{}, rat.Rat{}, err
+	}
+	if okHi {
+		return xLo, rat.New(hi, int64(dMax)), nil
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := meets(mid)
+		if err != nil {
+			return rat.Rat{}, rat.Rat{}, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return xLo, rat.New(lo, int64(dMax)), nil
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// TestMinSpeedForResetDefinition: the returned speed achieves the budget,
+// and any slightly smaller speed misses it.
+func TestMinSpeedForResetDefinition(t *testing.T) {
+	rnd := rand.New(rand.NewSource(401))
+	checked := 0
+	attainedSeen, openSeen := 0, 0
+	for iter := 0; iter < 300; iter++ {
+		s := randomSet(rnd, 1+rnd.Intn(4), 20)
+		budget := task.Time(rnd.Int63n(200) + 5)
+		res, err := MinSpeedForReset(s, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speed := res.Speed
+		if speed.IsInf() || speed.Sign() <= 0 {
+			t.Fatalf("degenerate speed %v for budget %d:\n%s", speed, budget, s.Table())
+		}
+		budgetRat := rat.FromInt64(int64(budget))
+		if res.Attained {
+			attainedSeen++
+			rr, err := ResetTime(s, speed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rr.Reset.Cmp(budgetRat) > 0 {
+				t.Fatalf("attained speed %v has Δ_R = %v > budget %d:\n%s",
+					speed, rr.Reset, budget, s.Table())
+			}
+		} else {
+			openSeen++
+			// The infimum itself must miss the budget...
+			rr, err := ResetTime(s, speed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rr.Reset.Cmp(budgetRat) <= 0 {
+				t.Fatalf("open infimum %v unexpectedly meets budget %d:\n%s",
+					speed, budget, s.Table())
+			}
+		}
+		// ...any speed strictly above works...
+		above, err := ResetTime(s, speed.Mul(rat.New(10001, 10000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above.Reset.Cmp(budgetRat) > 0 {
+			t.Fatalf("speed just above infimum %v misses budget %d (Δ_R = %v):\n%s",
+				speed, budget, above.Reset, s.Table())
+		}
+		// ...and any speed strictly below fails.
+		below, err := ResetTime(s, speed.Mul(rat.New(9999, 10000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if below.Reset.Cmp(budgetRat) <= 0 {
+			t.Fatalf("infimum %v not minimal for budget %d:\n%s", speed, budget, s.Table())
+		}
+		checked++
+	}
+	if attainedSeen == 0 {
+		t.Error("no attained infimum in the corpus — suspicious")
+	}
+	t.Logf("corpus: %d attained, %d open infima", attainedSeen, openSeen)
+	if checked < 100 {
+		t.Fatal("corpus too small")
+	}
+}
+
+func TestMinSpeedForResetTableI(t *testing.T) {
+	s := examplesets.TableI()
+	// Δ_R(2) = 6, so a budget of 6 needs at most s = 2 (possibly less if
+	// a cheaper crossing exists within 6). Verify consistency both ways.
+	res, err := MinSpeedForReset(s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speed.Cmp(rat.Two) > 0 {
+		t.Fatalf("budget 6 needs %v > 2, but Δ_R(2) = 6", res.Speed)
+	}
+	if res.Attained {
+		rr, err := ResetTime(s, res.Speed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Reset.Cmp(rat.FromInt64(6)) > 0 {
+			t.Fatalf("Δ_R(%v) = %v > 6", res.Speed, rr.Reset)
+		}
+	}
+	// A generous budget needs only a speed near the utilization limit.
+	slow, err := MinSpeedForReset(s, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Speed.Cmp(res.Speed) > 0 {
+		t.Fatalf("larger budget demands more speed: %v > %v", slow.Speed, res.Speed)
+	}
+	if _, err := MinSpeedForReset(s, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestMinimalY(t *testing.T) {
+	// FMS-like situation in miniature: two undegraded LO tasks force
+	// s_min = 2; find the degradation that brings it under the cap.
+	s := task.Set{
+		task.NewHI("h", 20, 10, 18, 2, 4),
+		task.NewLO("l1", 10, 10, 2),
+		task.NewLO("l2", 12, 12, 2),
+	}
+	base, err := MinSpeedup(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := rat.New(11, 10)
+	if base.Speedup.Cmp(cap) <= 0 {
+		t.Fatalf("test premise broken: undegraded s_min = %v already ≤ %v", base.Speedup, cap)
+	}
+	y, degraded, err := MinimalY(s, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Cmp(rat.One) < 0 {
+		t.Fatalf("y = %v < 1", y)
+	}
+	got, err := MinSpeedup(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Speedup.Cmp(cap) > 0 {
+		t.Fatalf("degraded s_min = %v exceeds cap %v at y = %v", got.Speedup, cap, y)
+	}
+	// Minimality on the grid: one step less degradation must violate the
+	// cap (when the parameters actually change).
+	var q task.Time
+	for i := range s {
+		if s[i].Crit == task.LO && s[i].Period[task.LO] > q {
+			q = s[i].Period[task.LO]
+		}
+	}
+	kk := y.MulInt(int64(q)).Floor() - 1
+	if kk >= int64(q) {
+		less, err := s.DegradeLO(rat.New(kk, int64(q)))
+		if err == nil {
+			changed := false
+			for i := range less {
+				if less[i].Period[task.HI] != degraded[i].Period[task.HI] ||
+					less[i].Deadline[task.HI] != degraded[i].Deadline[task.HI] {
+					changed = true
+				}
+			}
+			if changed {
+				r, err := MinSpeedup(less)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Speedup.Cmp(cap) <= 0 {
+					t.Fatalf("y = %v not minimal: %v/%d also meets the cap", y, kk, q)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimalYEdgeCases(t *testing.T) {
+	// Cap met without degradation → y = 1.
+	easy := task.Set{
+		task.NewHI("h", 20, 10, 18, 2, 4),
+		task.NewLO("l", 10, 10, 2),
+	}
+	y, _, err := MinimalY(easy, rat.FromInt64(5))
+	if err != nil || !y.Eq(rat.One) {
+		t.Errorf("easy cap: y = %v, err %v; want 1", y, err)
+	}
+
+	// No LO tasks: y is irrelevant; succeeds iff the cap holds.
+	hiOnly := task.Set{task.NewHI("h", 20, 10, 18, 2, 4)}
+	if _, _, err := MinimalY(hiOnly, rat.FromInt64(3)); err != nil {
+		t.Errorf("HI-only feasible: %v", err)
+	}
+	if _, _, err := MinimalY(hiOnly, rat.New(1, 100)); err == nil {
+		t.Error("HI-only infeasible cap accepted")
+	}
+
+	// Cap below what even termination achieves → error.
+	s := task.Set{
+		task.NewHI("h", 20, 10, 18, 2, 12),
+		task.NewLO("l", 10, 10, 2),
+	}
+	if _, _, err := MinimalY(s, rat.New(1, 10)); err == nil {
+		t.Error("impossible cap accepted")
+	}
+	if _, _, err := MinimalY(s, rat.Zero); err == nil {
+		t.Error("zero cap accepted")
+	}
+}
+
+func TestFeasibleXWindow(t *testing.T) {
+	s := task.Set{
+		task.NewImplicitHI("h1", 100, 10, 25),
+		task.NewImplicitHI("h2", 200, 30, 60),
+		task.NewImplicitLO("l", 50, 10),
+	}
+	s, err := s.DegradeLO(rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capSpeed := rat.Two
+	xLo, xHi, err := FeasibleXWindow(s, capSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xLo.Cmp(xHi) > 0 {
+		t.Fatalf("empty window [%v, %v] reported as feasible", xLo, xHi)
+	}
+	// Both endpoints really work.
+	for _, x := range []rat.Rat{xLo, xHi} {
+		set, err := s.ShortenHIDeadlines(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		okLO, err := SchedulableLO(set)
+		if err != nil || !okLO {
+			// Only xLo carries the LO-mode guarantee; xHi with more
+			// slack can only be easier.
+			t.Fatalf("x = %v not LO-schedulable: %v", x, err)
+		}
+	}
+	set, err := s.ShortenHIDeadlines(xHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinSpeedup(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup.Cmp(capSpeed) > 0 {
+		t.Fatalf("xHi = %v busts the cap: s_min = %v", xHi, res.Speedup)
+	}
+	// One grid step beyond xHi must bust the cap (xHi is maximal).
+	var dMax task.Time
+	for i := range s {
+		if s[i].Crit == task.HI && s[i].Deadline[task.HI] > dMax {
+			dMax = s[i].Deadline[task.HI]
+		}
+	}
+	beyond := xHi.Add(rat.New(1, int64(dMax)))
+	if beyond.Cmp(rat.One) < 0 {
+		set, err := s.ShortenHIDeadlines(beyond)
+		if err == nil {
+			r, err := MinSpeedup(set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Speedup.Cmp(capSpeed) <= 0 {
+				t.Fatalf("xHi = %v not maximal: %v also within cap", xHi, beyond)
+			}
+		}
+	}
+}
+
+func TestFeasibleXWindowEmpty(t *testing.T) {
+	// A HI task whose overrun is so large that even maximal preparation
+	// cannot keep s_min ≤ 1, while LO mode is tight enough to forbid
+	// x below ~0.5: window empty for cap 1.
+	s := task.Set{
+		task.NewImplicitHI("h", 10, 4, 10),
+		task.NewImplicitLO("l", 10, 5),
+	}
+	if _, _, err := FeasibleXWindow(s, rat.New(1, 4)); err == nil {
+		t.Error("empty window not reported")
+	}
+}

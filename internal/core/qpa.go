@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/big"
+
+	"mcspeedup/internal/task"
+)
+
+// This file implements QPA — Quick Processor-demand Analysis (Zhang &
+// Burns, IEEE TC 2009) — as the production LO-mode EDF test behind
+// SchedulableLO. Instead of checking the processor demand criterion at
+// every absolute deadline up to the horizon L (the demandWalkLO below),
+// QPA iterates t ← h(t) (or the largest deadline below t) downward from
+// the last deadline before L, visiting only a tiny fraction of the
+// testing points. Both implementations are exact for U < 1; the walk is
+// kept as a differential-testing oracle and fallback.
+
+// demandLO returns h(t) = Σ_i DBF_LO(τ_i, t).
+func demandLO(s task.Set, t task.Time) task.Time {
+	var sum task.Time
+	for i := range s {
+		d, p, c := s[i].Deadline[task.LO], s[i].Period[task.LO], s[i].WCET[task.LO]
+		if t >= d {
+			sum += ((t-d)/p + 1) * c
+		}
+	}
+	return sum
+}
+
+// maxDeadlineBelow returns the largest absolute LO-mode deadline strictly
+// below t, with ok=false when none exists.
+func maxDeadlineBelow(s task.Set, t task.Time) (task.Time, bool) {
+	var best task.Time
+	found := false
+	for i := range s {
+		d, p := s[i].Deadline[task.LO], s[i].Period[task.LO]
+		if t <= d {
+			continue
+		}
+		k := (t - d - 1) / p
+		cand := k*p + d
+		if !found || cand > best {
+			best, found = cand, true
+		}
+	}
+	return best, found
+}
+
+// minDeadline returns the smallest relative LO-mode deadline.
+func minDeadline(s task.Set) task.Time {
+	m := task.Unbounded
+	for i := range s {
+		if d := s[i].Deadline[task.LO]; d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// qpaLO runs the QPA iteration over (0, limit]. Preconditions: the set is
+// valid and U(LO) < 1 (callers handle U ≥ 1 separately).
+func qpaLO(s task.Set, limit int64) bool {
+	t, ok := maxDeadlineBelow(s, task.Time(limit)+1)
+	if !ok {
+		return true // no deadline within the horizon: nothing to check
+	}
+	dMin := minDeadline(s)
+	for {
+		h := demandLO(s, t)
+		switch {
+		case h > t:
+			return false
+		case h <= dMin:
+			return true
+		case h < t:
+			t = h
+		default: // h == t: skip to the previous deadline
+			prev, ok := maxDeadlineBelow(s, t)
+			if !ok {
+				return true
+			}
+			t = prev
+		}
+	}
+}
+
+// demandWalkLO is the straightforward processor-demand walk over every
+// testing point (the pre-QPA implementation), kept as the differential
+// oracle for qpaLO.
+func demandWalkLO(s task.Set, limit int64) bool {
+	var h eventHeap
+	for i := range s {
+		h.push(s[i].Deadline[task.LO], i)
+	}
+	var demand task.Time
+	for h.Len() > 0 {
+		next := h.times[0]
+		if int64(next) > limit {
+			return true
+		}
+		for h.Len() > 0 && h.times[0] == next {
+			_, i := h.pop()
+			demand += s[i].WCET[task.LO]
+			h.push(next+s[i].Period[task.LO], i)
+		}
+		if demand > next {
+			return false
+		}
+	}
+	return true
+}
+
+// loHorizon computes the pseudo-polynomial PDC horizon
+// max(max_i D_i(LO), Σ_i (T_i−D_i)·U_i/(1−U)) in big.Rat (utilization
+// sums of large sets overflow fixed-width rationals). Precondition:
+// U < 1 (u is the precomputed utilization sum).
+func loHorizon(s task.Set, u *big.Rat) int64 {
+	one := big.NewRat(1, 1)
+	horizon := new(big.Rat)
+	maxD := task.Time(0)
+	for i := range s {
+		ti, di := s[i].Period[task.LO], s[i].Deadline[task.LO]
+		if di > maxD {
+			maxD = di
+		}
+		term := new(big.Rat).Mul(
+			big.NewRat(int64(ti-di), 1),
+			big.NewRat(int64(s[i].WCET[task.LO]), int64(ti)))
+		horizon.Add(horizon, term)
+	}
+	horizon.Quo(horizon, new(big.Rat).Sub(one, u))
+	limit := ceilBig(horizon)
+	if task.Time(limit) < maxD {
+		limit = int64(maxD)
+	}
+	return limit
+}

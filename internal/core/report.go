@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// Report bundles every analysis of the paper for one concrete
+// configuration — the one-stop answer to "is this system safe, how fast
+// must it turbo, and how quickly is it back to normal?".
+type Report struct {
+	// Set is the analyzed configuration (after any transforms the
+	// caller applied).
+	Set task.Set
+	// Speed is the HI-mode speed factor the resetting-time entries are
+	// computed for.
+	Speed rat.Rat
+
+	// SchedulableLO is the exact LO-mode processor-demand verdict.
+	SchedulableLO bool
+	// Speedup is the Theorem-2 result (exact s_min or safe bound).
+	Speedup SpeedupResult
+	// SchedulableHI reports Speed ≥ s_min.
+	SchedulableHI bool
+	// Reset is the Corollary-5 result at Speed.
+	Reset ResetResult
+	// ClosedSpeedup and ClosedReset are the Lemma-6/7 bounds.
+	ClosedSpeedup, ClosedReset rat.Rat
+	// UtilLO and UtilHI are the per-mode utilizations.
+	UtilLO, UtilHI rat.Rat
+}
+
+// Analyze runs the complete analysis suite on the set at the given
+// HI-mode speed.
+func Analyze(s task.Set, speed rat.Rat) (Report, error) {
+	if err := s.Validate(); err != nil {
+		return Report{}, err
+	}
+	if err := validateSpeed(speed); err != nil {
+		return Report{}, err
+	}
+	r := Report{
+		Set:    s.Clone(),
+		Speed:  speed,
+		UtilLO: s.Util(task.LO),
+		UtilHI: s.Util(task.HI),
+	}
+	var err error
+	r.SchedulableLO, err = SchedulableLO(s)
+	if err != nil {
+		return Report{}, err
+	}
+	r.Speedup, err = MinSpeedup(s)
+	if err != nil {
+		return Report{}, err
+	}
+	r.SchedulableHI = speed.Cmp(r.Speedup.Speedup) >= 0
+	r.Reset, err = ResetTime(s, speed)
+	if err != nil {
+		return Report{}, err
+	}
+	r.ClosedSpeedup = ClosedFormSpeedup(s)
+	r.ClosedReset = ClosedFormReset(s, speed)
+	return r, nil
+}
+
+// Safe reports whether the configuration is safe end to end at the
+// report's speed: schedulable in LO mode and, should any overrun occur,
+// schedulable in HI mode under the temporary speedup.
+func (r Report) Safe() bool { return r.SchedulableLO && r.SchedulableHI }
+
+// Render emits the report as fixed-width text.
+func (r Report) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Set.Table())
+	fmt.Fprintf(&b, "U(LO) = %.4f   U(HI) = %.4f\n", r.UtilLO.Float64(), r.UtilHI.Float64())
+	fmt.Fprintf(&b, "LO-mode EDF schedulable:  %v\n", r.SchedulableLO)
+	exact := ""
+	if !r.Speedup.Exact {
+		exact = fmt.Sprintf(" (safe bound; ≥ %v)", r.Speedup.LowerBound)
+	}
+	fmt.Fprintf(&b, "minimum HI-mode speedup:  s_min = %v (%.4f)%s, witness Δ = %d\n",
+		r.Speedup.Speedup, r.Speedup.Speedup.Float64(), exact, r.Speedup.WitnessDelta)
+	fmt.Fprintf(&b, "  Lemma-6 closed form:    %v\n", r.ClosedSpeedup)
+	fmt.Fprintf(&b, "HI-mode schedulable at s = %v: %v\n", r.Speed, r.SchedulableHI)
+	fmt.Fprintf(&b, "service resetting time:   Δ_R = %v ticks\n", r.Reset.Reset)
+	fmt.Fprintf(&b, "  Lemma-7 closed form:    %v ticks\n", r.ClosedReset)
+	fmt.Fprintf(&b, "SAFE (LO + HI under temporary speedup): %v\n", r.Safe())
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+func TestAnalyzeReport(t *testing.T) {
+	r, err := Analyze(examplesets.TableI(), rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SchedulableLO || !r.SchedulableHI || !r.Safe() {
+		t.Fatalf("Table I at s=2 must be safe: %+v", r)
+	}
+	if !r.Speedup.Speedup.Eq(rat.New(4, 3)) || !r.Reset.Reset.Eq(rat.FromInt64(6)) {
+		t.Fatalf("report numbers: %v, %v", r.Speedup.Speedup, r.Reset.Reset)
+	}
+	if !r.UtilLO.Eq(rat.New(2, 5)) || !r.UtilHI.Eq(rat.New(3, 5)) {
+		t.Fatalf("utilizations: %v, %v", r.UtilLO, r.UtilHI)
+	}
+	out := r.Render()
+	for _, want := range []string{"s_min = 4/3", "Δ_R = 6", "SAFE", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Below s_min: analyzable but not safe.
+	r, err = Analyze(examplesets.TableI(), rat.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SchedulableHI || r.Safe() {
+		t.Fatalf("s=1 must not be HI-schedulable: %+v", r)
+	}
+	if !r.Reset.Reset.IsInf() == false && r.Reset.Reset.Sign() <= 0 {
+		t.Fatalf("reset at s=1: %v", r.Reset.Reset)
+	}
+
+	// Invalid inputs.
+	if _, err := Analyze(task.Set{}, rat.Two); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := Analyze(examplesets.TableI(), rat.Zero); err == nil {
+		t.Error("zero speed accepted")
+	}
+}

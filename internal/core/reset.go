@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// ResetResult reports the outcome of the Corollary-5 computation.
+type ResetResult struct {
+	// Reset is the safe service resetting time Δ_R: the earliest
+	// interval length after the mode switch by which the processor is
+	// guaranteed to have idled, so the system can return to LO mode and
+	// nominal speed. It is rat.PosInf when the HI-mode speed does not
+	// exceed the HI-mode utilization (the backlog then never provably
+	// drains).
+	Reset rat.Rat
+	// Events is the number of slope-change events examined.
+	Events int
+}
+
+// ResetTime computes the service resetting time of Corollary 5:
+//
+//	Δ_R = min{ Δ ≥ 0 : Σ_i ADB_HI(τ_i, Δ) ≤ speed·Δ }         (eq. (12))
+//
+// The summed arrived-demand bound is continuous piecewise linear with
+// integer slope between integer events (package dbf), so the minimum is
+// found by walking segments: either the condition already holds at a
+// segment's left endpoint, or the linear segment crosses the supply line
+// speed·Δ at an exactly representable rational point.
+//
+// Because ADB_HI(τ_i, Δ) > U_i(HI)·Δ for every Δ (each curve counts one
+// job beyond the utilization line), speed ≤ U_HI makes the condition
+// unsatisfiable and Δ_R = +∞. Conversely, for speed > U_HI the bound
+// ADB ≤ U_HI·Δ + 2ΣC(HI) guarantees a crossing no later than
+// 2ΣC(HI)/(speed − U_HI), so the walk always terminates.
+func ResetTime(s task.Set, speed rat.Rat) (ResetResult, error) {
+	if err := s.Validate(); err != nil {
+		return ResetResult{}, err
+	}
+	if err := validateSpeed(speed); err != nil {
+		return ResetResult{}, err
+	}
+	// Using the utilization *upper* bound here is conservative: in the
+	// (sub-2^-20-wide) window between the bounds, a finite Δ_R is
+	// reported as +Inf rather than risking a non-terminating walk.
+	_, uHI := s.UtilBounds(task.HI)
+	if speed.Cmp(uHI) <= 0 {
+		return ResetResult{Reset: rat.PosInf}, nil
+	}
+
+	w := newHIWalker(s, dbf.KindADB)
+	events := 0
+	for {
+		pos, v := w.Pos(), w.Value()
+		supply := speed.MulInt(int64(pos))
+		if rat.FromInt64(int64(v)).Cmp(supply) <= 0 {
+			return ResetResult{Reset: rat.FromInt64(int64(pos)), Events: events}, nil
+		}
+		next, ok := w.PeekNext()
+		if !ok {
+			// All tasks terminated: ADB is the constant ΣC(HI), so
+			// the crossing is at ΣC(HI)/speed.
+			return ResetResult{
+				Reset:  rat.FromInt64(int64(v)).Div(speed),
+				Events: events,
+			}, nil
+		}
+		// Within (pos, next) the curve is v + m·(Δ − pos); solve
+		// v + m·(Δ − pos) ≤ speed·Δ.
+		m := rat.FromInt64(int64(w.Slope()))
+		if speed.Cmp(m) > 0 {
+			// Δ* = (v − m·pos) / (speed − m); Δ* > pos is implied by
+			// v > speed·pos.
+			cross := rat.FromInt64(int64(v)).Sub(m.MulInt(int64(pos))).Div(speed.Sub(m))
+			if cross.Cmp(rat.FromInt64(int64(next))) < 0 {
+				return ResetResult{Reset: cross, Events: events}, nil
+			}
+		}
+		w.Next()
+		events++
+		// Defensive: the analytical bound guarantees termination well
+		// before this.
+		if events > 50_000_000 {
+			return ResetResult{}, fmt.Errorf("core: ResetTime walk did not converge (speed %v, U_HI %v)", speed, uHI)
+		}
+	}
+}
+
+// SustainableOverrunGap implements the Remark of Section IV: if bursts of
+// overrun are separated by at least tO time units, the speedup episodes
+// occur with frequency at most 1/tO provided Δ_R ≤ tO. It reports whether
+// that condition holds for the given resetting time.
+func SustainableOverrunGap(reset rat.Rat, tO task.Time) bool {
+	return reset.Cmp(rat.FromInt64(int64(tO))) <= 0
+}

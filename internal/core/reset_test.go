@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// TestExample2 reproduces the paper's Example 2 on the Table-I set:
+// the service resetting time is 6 at s = 2, and larger (here 9) at the
+// minimum speedup s = 4/3.
+func TestExample2(t *testing.T) {
+	s := examplesets.TableI()
+	r2, err := ResetTime(s, rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rat.FromInt64(6); !r2.Reset.Eq(want) {
+		t.Fatalf("Δ_R(s=2) = %v, want %v", r2.Reset, want)
+	}
+	r43, err := ResetTime(s, rat.New(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rat.FromInt64(9); !r43.Reset.Eq(want) {
+		t.Fatalf("Δ_R(s=4/3) = %v, want %v", r43.Reset, want)
+	}
+	if r43.Reset.Cmp(r2.Reset) <= 0 {
+		t.Error("higher speed must not lengthen recovery")
+	}
+
+	// Degradation shortens recovery further (Example 2's last point).
+	d2, err := ResetTime(examplesets.TableIDegraded(), rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Reset.Cmp(r2.Reset) >= 0 {
+		t.Errorf("degraded Δ_R(2) = %v, want < %v", d2.Reset, r2.Reset)
+	}
+}
+
+// TestResetDefinition verifies eq. (12) directly: the returned Δ_R
+// satisfies the arrived-demand condition, and no earlier point does.
+func TestResetDefinition(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		s := randomSet(rnd, 1+rnd.Intn(4), 15)
+		speed := rat.New(rnd.Int63n(30)+5, 10) // 0.5 .. 3.4
+		res, err := ResetTime(s, speed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reset.IsInf() {
+			if speed.Cmp(s.Util(task.HI)) > 0 {
+				t.Fatalf("infinite Δ_R although speed %v > U_HI %v:\n%s", speed, s.Util(task.HI), s.Table())
+			}
+			continue
+		}
+		// Condition holds at Δ_R.
+		adbAt := func(d rat.Rat) rat.Rat {
+			sum := rat.Zero
+			for j := range s {
+				sum = sum.Add(dbf.ADBAt(&s[j], d))
+			}
+			return sum
+		}
+		if adbAt(res.Reset).Cmp(speed.Mul(res.Reset)) > 0 {
+			t.Fatalf("ADB(Δ_R) > s·Δ_R for set:\n%s speed=%v Δ_R=%v", s.Table(), speed, res.Reset)
+		}
+		// No earlier point satisfies it: sample rationally below Δ_R.
+		for k := int64(1); k <= 40; k++ {
+			d := res.Reset.MulInt(k).Div(rat.FromInt64(41))
+			if adbAt(d).Cmp(speed.Mul(d)) <= 0 {
+				t.Fatalf("condition already holds at %v < Δ_R = %v for:\n%s speed=%v",
+					d, res.Reset, s.Table(), speed)
+			}
+		}
+	}
+}
+
+func TestResetInfiniteWhenSpeedAtOrBelowUtil(t *testing.T) {
+	s := examplesets.TableI() // U_HI = 4/10 + 2/10 = 3/5
+	u := s.Util(task.HI)
+	if !u.Eq(rat.New(3, 5)) {
+		t.Fatalf("unexpected U_HI %v", u)
+	}
+	for _, sp := range []rat.Rat{u, u.Mul(rat.New(1, 2)), rat.New(1, 10)} {
+		res, err := ResetTime(s, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Reset.IsInf() {
+			t.Errorf("Δ_R(speed=%v) = %v, want +Inf", sp, res.Reset)
+		}
+	}
+}
+
+func TestResetMonotoneInSpeed(t *testing.T) {
+	rnd := rand.New(rand.NewSource(23))
+	for i := 0; i < 100; i++ {
+		s := randomSet(rnd, 1+rnd.Intn(4), 15)
+		prev := rat.PosInf
+		for num := int64(8); num <= 40; num += 4 { // speeds 0.8 .. 4.0
+			res, err := ResetTime(s, rat.New(num, 10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Reset.Cmp(prev) > 0 {
+				t.Fatalf("Δ_R increased with speed for:\n%s", s.Table())
+			}
+			prev = res.Reset
+		}
+	}
+}
+
+func TestResetTerminatedOnly(t *testing.T) {
+	s := task.Set{task.NewLO("l", 10, 10, 3)}.TerminateLO()
+	res, err := ResetTime(s, rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The carry-over job's 3 units drain at speed 2.
+	if want := rat.New(3, 2); !res.Reset.Eq(want) {
+		t.Errorf("Δ_R = %v, want %v", res.Reset, want)
+	}
+}
+
+func TestResetRejectsBadInput(t *testing.T) {
+	s := examplesets.TableI()
+	for _, sp := range []rat.Rat{rat.Zero, rat.New(-1, 2), rat.PosInf} {
+		if _, err := ResetTime(s, sp); err == nil {
+			t.Errorf("speed %v accepted", sp)
+		}
+	}
+	if _, err := ResetTime(task.Set{}, rat.Two); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestSustainableOverrunGap(t *testing.T) {
+	if !SustainableOverrunGap(rat.FromInt64(5), 5) {
+		t.Error("Δ_R = T_O should be sustainable")
+	}
+	if SustainableOverrunGap(rat.FromInt64(6), 5) {
+		t.Error("Δ_R > T_O should not be sustainable")
+	}
+	if SustainableOverrunGap(rat.PosInf, 1000) {
+		t.Error("infinite Δ_R should not be sustainable")
+	}
+}

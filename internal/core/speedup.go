@@ -1,0 +1,226 @@
+// Package core implements the paper's primary contribution: computing the
+// minimum temporary processor speedup that guarantees HI-mode EDF
+// schedulability of a dual-criticality task set (Theorem 2), bounding the
+// service resetting time after which the system can safely return to LO
+// mode and nominal speed (Theorem 4 / Corollary 5), the closed-form
+// trade-off bounds for the implicit-deadline special case (Lemmas 6 and
+// 7), and the supporting LO-mode EDF schedulability test and minimal
+// virtual-deadline search.
+//
+// All computations are exact over integers and rationals. The HI-mode
+// demand curves are continuous piecewise-linear functions (see package
+// dbf); both the speedup supremum and the resetting-time crossing are
+// located by walking their slope-change events in increasing order, which
+// terminates in pseudo-polynomial time by the linear upper bounds
+// DBF_HI(τ_i, Δ) ≤ U_i(HI)·Δ + C_i(HI) and
+// ADB_HI(τ_i, Δ) ≤ U_i(HI)·Δ + 2·C_i(HI).
+package core
+
+import (
+	"fmt"
+
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// Options tunes the event walks. The zero value selects defaults.
+type Options struct {
+	// MaxEvents caps the number of slope-change events examined before a
+	// walk gives up and reports an inexact (but safe) result.
+	// Defaults to 1_000_000.
+	MaxEvents int
+}
+
+func (o Options) maxEvents() int {
+	if o.MaxEvents <= 0 {
+		return 1_000_000
+	}
+	return o.MaxEvents
+}
+
+// SpeedupResult reports the outcome of the Theorem-2 computation.
+type SpeedupResult struct {
+	// Speedup is a speedup factor guaranteeing HI-mode schedulability.
+	// When Exact is true it is the exact minimum
+	// s_min = sup_{Δ≥0} Σ_i DBF_HI(τ_i, Δ)/Δ; otherwise it is a safe
+	// upper bound on s_min.
+	Speedup rat.Rat
+	// LowerBound is the largest demand/length ratio witnessed during the
+	// walk; the true s_min lies in [LowerBound, Speedup]. When Exact is
+	// true the two coincide.
+	LowerBound rat.Rat
+	// Exact reports whether Speedup is the exact supremum.
+	Exact bool
+	// WitnessDelta is an interval length attaining the supremum, or 0
+	// when the supremum is only approached in the Δ→∞ limit (where the
+	// ratio tends to the HI-mode utilization).
+	WitnessDelta task.Time
+	// Events is the number of slope-change events examined.
+	Events int
+}
+
+// MinSpeedup computes the minimum HI-mode processor speedup factor of
+// Theorem 2 with default options.
+func MinSpeedup(s task.Set) (SpeedupResult, error) {
+	return MinSpeedupOpts(s, Options{})
+}
+
+// MinSpeedupOpts computes the minimum HI-mode processor speedup factor
+//
+//	s_min = max_{Δ ≥ 0} ( Σ_i DBF_HI(τ_i, Δ) ) / Δ             (eq. (8))
+//
+// by walking the slope-change events of the summed piecewise-linear demand
+// curve. On any linear segment the ratio demand/Δ is monotone, so the
+// supremum over [0, Δ_last] is attained at an event point; and since
+// Σ_i DBF_HI(Δ) ≤ U_HI·Δ + ΣC_i(HI), no event beyond
+// ΣC_i(HI)/(best − U_HI) can improve a running maximum best > U_HI, which
+// bounds the walk. If the running maximum never exceeds the HI-mode
+// utilization U_HI (the ratio's Δ→∞ limit), the walk additionally stops
+// once Δ passes the hyperperiod of the HI-mode periods — by the exact
+// periodicity DBF_HI(Δ+T) = DBF_HI(Δ)+C(HI), the supremum is then
+// max(best, U_HI) exactly. Only if both stopping rules are out of reach
+// within MaxEvents is the result inexact, in which case Speedup is the
+// safe envelope max(best, U_HI + ΣC/Δ_last).
+func MinSpeedupOpts(s task.Set, o Options) (SpeedupResult, error) {
+	if err := s.Validate(); err != nil {
+		return SpeedupResult{}, err
+	}
+	// Directed bounds on the HI-mode utilization: the upper bound keeps
+	// the stopping rules sound, the lower bound keeps LowerBound honest.
+	// They coincide except for very large sets with coprime periods.
+	uLo, uHi := s.UtilBounds(task.HI)
+	totalC := sumActiveCHI(s)
+
+	// Demand in a zero-length interval forces infinite speedup (the
+	// paper's discussion under eq. (8)). Validation rules this out
+	// (D(LO) < D(HI) for HI tasks), but guard anyway.
+	if v := dbf.SetHIMode(s, 0); v > 0 {
+		return SpeedupResult{Speedup: rat.PosInf, LowerBound: rat.PosInf, Exact: true}, nil
+	}
+
+	hyper, hyperOK := hiHyperperiod(s)
+
+	best := rat.Zero
+	var witness task.Time
+	var pos task.Time
+	w := newHIWalker(s, dbf.KindDBF)
+	events := 0
+	for ; events < o.maxEvents(); events++ {
+		if !w.Next() {
+			// Every task is terminated: no HI-mode demand at all.
+			return SpeedupResult{Speedup: rat.Zero, LowerBound: rat.Zero, Exact: true, Events: events}, nil
+		}
+		pos = w.Pos()
+		v := w.Value()
+		ratio := rat.New(int64(v), int64(pos))
+		if ratio.Cmp(best) > 0 {
+			best = ratio
+			witness = pos
+		}
+		// Stopping rule 1: beyond the current Δ, every ratio is below
+		// U_HI + ΣC/Δ, so once best reaches that envelope no later
+		// event can improve it. (Equivalent to Δ ≥ ΣC/(best − U_HI),
+		// but stated without dividing by a potentially tiny
+		// difference, which keeps the int64 rationals in range.)
+		if best.Cmp(uHi.Add(rat.New(int64(totalC), int64(pos)))) >= 0 {
+			return SpeedupResult{
+				Speedup: best, LowerBound: best, Exact: true,
+				WitnessDelta: witness, Events: events + 1,
+			}, nil
+		}
+		// Stopping rule 2: one full hyperperiod walked; the supremum is
+		// max(best, U_HI) exactly.
+		if hyperOK && pos >= hyper {
+			if best.Cmp(uHi) >= 0 {
+				return SpeedupResult{
+					Speedup: best, LowerBound: best, Exact: true,
+					WitnessDelta: witness, Events: events + 1,
+				}, nil
+			}
+			if uLo.Eq(uHi) {
+				return SpeedupResult{
+					Speedup: uHi, LowerBound: uHi, Exact: true,
+					WitnessDelta: 0, Events: events + 1, // supremum only in the limit
+				}, nil
+			}
+			// U_HI itself is only known to 2^-20; report the bracket.
+			return SpeedupResult{
+				Speedup: uHi, LowerBound: rat.Max(best, uLo), Exact: false,
+				WitnessDelta: 0, Events: events + 1,
+			}, nil
+		}
+	}
+	// Inexact: report the safe envelope.
+	envelope := uHi.Add(rat.New(int64(totalC), int64(pos)))
+	return SpeedupResult{
+		Speedup:      rat.Max(best, envelope),
+		LowerBound:   rat.Max(best, uLo),
+		Exact:        false,
+		WitnessDelta: witness,
+		Events:       events,
+	}, nil
+}
+
+// sumActiveCHI sums C_i(HI) over tasks that are not terminated (terminated
+// tasks contribute zero HI-mode demand, so they do not enter the DBF
+// envelope bound).
+func sumActiveCHI(s task.Set) task.Time {
+	var total task.Time
+	for i := range s {
+		if !s[i].Terminated() {
+			total += s[i].WCET[task.HI]
+		}
+	}
+	return total
+}
+
+// hiHyperperiod returns the least common multiple of the HI-mode periods
+// of the non-terminated tasks, with ok=false on overflow or when it
+// exceeds a practical walking horizon.
+func hiHyperperiod(s task.Set) (task.Time, bool) {
+	const horizon = task.Time(1) << 40
+	l := task.Time(1)
+	for i := range s {
+		if s[i].Terminated() {
+			continue
+		}
+		p := s[i].Period[task.HI]
+		g := gcdTime(l, p)
+		l = l / g
+		if l > horizon/p {
+			return 0, false
+		}
+		l *= p
+	}
+	return l, true
+}
+
+func gcdTime(a, b task.Time) task.Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// SchedulableHI reports whether the set is HI-mode schedulable under EDF
+// when the processor runs at the given speed factor in HI mode, i.e.
+// whether Σ_i DBF_HI(τ_i, Δ) ≤ speed·Δ for all Δ ≥ 0. When the Theorem-2
+// walk is inexact and speed falls inside the bracket [LowerBound,
+// Speedup], the answer is conservatively false (and the error is nil: the
+// set may or may not be schedulable, and a safety-oriented test must
+// reject).
+func SchedulableHI(s task.Set, speed rat.Rat) (bool, error) {
+	res, err := MinSpeedup(s)
+	if err != nil {
+		return false, err
+	}
+	return speed.Cmp(res.Speedup) >= 0, nil
+}
+
+func validateSpeed(speed rat.Rat) error {
+	if speed.Sign() <= 0 || speed.IsInf() {
+		return fmt.Errorf("core: speed factor must be positive and finite, got %v", speed)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/task"
+)
+
+// hiWalker walks the slope-change events of the summed HI-mode demand
+// curve (DBF_HI or ADB_HI) of a task set in increasing order, maintaining
+// the exact summed value and right-slope incrementally.
+//
+// Between events every per-task curve is exactly linear (package dbf), so
+// extrapolating a non-event task's contribution by slope·dt is exact in
+// integer arithmetic; only the tasks whose event fired are re-evaluated.
+// Compared to re-evaluating all n tasks at each of the E events, the walk
+// drops from O(n·E) to O(E·log n) plus O(1) per fired task, which is what
+// makes the Fig. 6/7 experiment scales practical.
+type hiWalker struct {
+	set  task.Set
+	kind dbf.Kind
+
+	pos   task.Time // current position (an event point, or 0)
+	value task.Time // Σ_i curve_i(pos)
+	slope task.Time // Σ_i right-slope_i(pos)
+
+	// Per-task state at the last update.
+	taskVal   []task.Time
+	taskSlope []task.Time
+	taskPos   []task.Time
+
+	events eventHeap
+}
+
+// eventHeap is an allocation-free binary min-heap of
+// (nextEventTime, taskIndex) pairs. A hand-rolled heap (rather than
+// container/heap) avoids one interface allocation per pushed event, which
+// dominates the walk cost for typical set sizes.
+type eventHeap struct {
+	times []task.Time
+	tasks []int
+}
+
+func (h *eventHeap) Len() int { return len(h.times) }
+
+func (h *eventHeap) push(t task.Time, taskIdx int) {
+	h.times = append(h.times, t)
+	h.tasks = append(h.tasks, taskIdx)
+	i := len(h.times) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.times[parent] <= h.times[i] {
+			break
+		}
+		h.times[parent], h.times[i] = h.times[i], h.times[parent]
+		h.tasks[parent], h.tasks[i] = h.tasks[i], h.tasks[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum entry.
+func (h *eventHeap) pop() (task.Time, int) {
+	t, taskIdx := h.times[0], h.tasks[0]
+	n := len(h.times) - 1
+	h.times[0], h.tasks[0] = h.times[n], h.tasks[n]
+	h.times, h.tasks = h.times[:n], h.tasks[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.times[l] < h.times[smallest] {
+			smallest = l
+		}
+		if r < n && h.times[r] < h.times[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.times[i], h.times[smallest] = h.times[smallest], h.times[i]
+		h.tasks[i], h.tasks[smallest] = h.tasks[smallest], h.tasks[i]
+		i = smallest
+	}
+	return t, taskIdx
+}
+
+// newHIWalker positions the walker at Δ = 0.
+func newHIWalker(s task.Set, kind dbf.Kind) *hiWalker {
+	w := &hiWalker{
+		set:       s,
+		kind:      kind,
+		taskVal:   make([]task.Time, len(s)),
+		taskSlope: make([]task.Time, len(s)),
+		taskPos:   make([]task.Time, len(s)),
+	}
+	for i := range s {
+		w.taskVal[i] = w.eval(i, 0)
+		w.taskSlope[i] = dbf.RightSlope(&s[i], kind, 0)
+		w.value += w.taskVal[i]
+		w.slope += w.taskSlope[i]
+		if next, ok := dbf.NextEvent(&s[i], kind, 0); ok {
+			w.events.push(next, i)
+		}
+	}
+	return w
+}
+
+func (w *hiWalker) eval(i int, at task.Time) task.Time {
+	if w.kind == dbf.KindDBF {
+		return dbf.HIMode(&w.set[i], at)
+	}
+	return dbf.ADB(&w.set[i], at)
+}
+
+// Pos, Value and Slope describe the current event point: the summed curve
+// value AT pos (right-continuous) and the slope immediately to its right.
+func (w *hiWalker) Pos() task.Time   { return w.pos }
+func (w *hiWalker) Value() task.Time { return w.value }
+func (w *hiWalker) Slope() task.Time { return w.slope }
+
+// PeekNext reports the position of the next event without advancing.
+func (w *hiWalker) PeekNext() (task.Time, bool) {
+	if w.events.Len() == 0 {
+		return 0, false
+	}
+	return w.events.times[0], true
+}
+
+// Next advances to the next event point. ok is false when no task has
+// events (every task terminated — the curves are constant).
+func (w *hiWalker) Next() (ok bool) {
+	if w.events.Len() == 0 {
+		return false
+	}
+	next := w.events.times[0]
+	dt := next - w.pos
+	// Extrapolate all contributions linearly (exact between events)...
+	w.value += w.slope * dt
+	w.pos = next
+	// ...then correct the tasks whose event fired: re-evaluate exactly,
+	// absorbing both slope changes and upward jumps.
+	for w.events.Len() > 0 && w.events.times[0] == next {
+		_, i := w.events.pop()
+		predicted := w.taskVal[i] + w.taskSlope[i]*(next-w.taskPos[i])
+		exact := w.eval(i, next)
+		w.value += exact - predicted
+		w.slope -= w.taskSlope[i]
+		w.taskVal[i] = exact
+		w.taskPos[i] = next
+		w.taskSlope[i] = dbf.RightSlope(&w.set[i], w.kind, next)
+		w.slope += w.taskSlope[i]
+		if nn, hasNext := dbf.NextEvent(&w.set[i], w.kind, next); hasNext {
+			w.events.push(nn, i)
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// TestWalkerMatchesDirectEvaluation: the incremental walker's position,
+// value, and slope must equal the direct O(n)-per-event evaluation at
+// every event.
+func TestWalkerMatchesDirectEvaluation(t *testing.T) {
+	rnd := rand.New(rand.NewSource(301))
+	for iter := 0; iter < 200; iter++ {
+		s := randomSet(rnd, 1+rnd.Intn(5), 20)
+		for _, kind := range []dbf.Kind{dbf.KindDBF, dbf.KindADB} {
+			w := newHIWalker(s, kind)
+			pos := task.Time(0)
+			for step := 0; step < 200; step++ {
+				wantNext, wantOK := dbf.SetNextEvent(s, kind, pos)
+				gotNext, gotOK := w.PeekNext()
+				if wantOK != gotOK {
+					t.Fatalf("PeekNext ok mismatch at %d", pos)
+				}
+				if !wantOK {
+					break
+				}
+				if gotNext != wantNext {
+					t.Fatalf("next event %d, want %d (pos %d)", gotNext, wantNext, pos)
+				}
+				if !w.Next() {
+					t.Fatal("Next failed with pending events")
+				}
+				pos = wantNext
+				var wantVal task.Time
+				if kind == dbf.KindDBF {
+					wantVal = dbf.SetHIMode(s, pos)
+				} else {
+					wantVal = dbf.SetADB(s, pos)
+				}
+				if w.Value() != wantVal {
+					t.Fatalf("kind %d: value at %d = %d, want %d\n%s",
+						kind, pos, w.Value(), wantVal, s.Table())
+				}
+				if got, want := w.Slope(), dbf.SetRightSlope(s, kind, pos); got != want {
+					t.Fatalf("kind %d: slope at %d = %d, want %d", kind, pos, got, want)
+				}
+			}
+		}
+	}
+}
+
+// referenceMinSpeedup is the pre-walker implementation of Theorem 2:
+// direct re-evaluation of the full set at each event. Kept as a
+// differential-testing oracle for the incremental walker.
+func referenceMinSpeedup(s task.Set, o Options) (SpeedupResult, error) {
+	if err := s.Validate(); err != nil {
+		return SpeedupResult{}, err
+	}
+	uLo, uHi := s.UtilBounds(task.HI)
+	totalC := sumActiveCHI(s)
+	if v := dbf.SetHIMode(s, 0); v > 0 {
+		return SpeedupResult{Speedup: rat.PosInf, LowerBound: rat.PosInf, Exact: true}, nil
+	}
+	hyper, hyperOK := hiHyperperiod(s)
+	best := rat.Zero
+	var witness task.Time
+	pos := task.Time(0)
+	events := 0
+	for ; events < o.maxEvents(); events++ {
+		next, ok := dbf.SetNextEvent(s, dbf.KindDBF, pos)
+		if !ok {
+			return SpeedupResult{Speedup: rat.Zero, LowerBound: rat.Zero, Exact: true, Events: events}, nil
+		}
+		pos = next
+		v := dbf.SetHIMode(s, pos)
+		ratio := rat.New(int64(v), int64(pos))
+		if ratio.Cmp(best) > 0 {
+			best = ratio
+			witness = pos
+		}
+		if best.Cmp(uHi.Add(rat.New(int64(totalC), int64(pos)))) >= 0 {
+			return SpeedupResult{Speedup: best, LowerBound: best, Exact: true, WitnessDelta: witness, Events: events + 1}, nil
+		}
+		if hyperOK && pos >= hyper {
+			if best.Cmp(uHi) >= 0 {
+				return SpeedupResult{Speedup: best, LowerBound: best, Exact: true, WitnessDelta: witness, Events: events + 1}, nil
+			}
+			if uLo.Eq(uHi) {
+				return SpeedupResult{Speedup: uHi, LowerBound: uHi, Exact: true, Events: events + 1}, nil
+			}
+			return SpeedupResult{Speedup: uHi, LowerBound: rat.Max(best, uLo), Exact: false, Events: events + 1}, nil
+		}
+	}
+	envelope := uHi.Add(rat.New(int64(totalC), int64(pos)))
+	return SpeedupResult{
+		Speedup: rat.Max(best, envelope), LowerBound: rat.Max(best, uLo),
+		Exact: false, WitnessDelta: witness, Events: events,
+	}, nil
+}
+
+func TestMinSpeedupMatchesReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(302))
+	for iter := 0; iter < 400; iter++ {
+		s := randomSet(rnd, 1+rnd.Intn(5), 25)
+		got, err1 := MinSpeedup(s)
+		want, err2 := referenceMinSpeedup(s, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !got.Speedup.Eq(want.Speedup) || got.Exact != want.Exact ||
+			got.WitnessDelta != want.WitnessDelta || got.Events != want.Events {
+			t.Fatalf("walker result %+v != reference %+v for:\n%s", got, want, s.Table())
+		}
+	}
+}
+
+func TestWalkerOnTableI(t *testing.T) {
+	s := examplesets.TableI()
+	w := newHIWalker(s, dbf.KindDBF)
+	if w.Pos() != 0 || w.Value() != 0 {
+		t.Fatalf("initial state: pos %d value %d", w.Pos(), w.Value())
+	}
+	// First event: τ2's carry ramp starts immediately (gap 0), so the
+	// slope at 0 is 1 and the first event is the ramp end at C(LO) = 2.
+	if w.Slope() != 1 {
+		t.Fatalf("slope at 0 = %d, want 1", w.Slope())
+	}
+	next, ok := w.PeekNext()
+	if !ok || next != 2 {
+		t.Fatalf("first event at %d, want 2", next)
+	}
+}
+
+func BenchmarkWalkerVsDirect(b *testing.B) {
+	rnd := rand.New(rand.NewSource(303))
+	s := randomSet(rnd, 12, 40)
+	b.Run("walker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := newHIWalker(s, dbf.KindDBF)
+			for j := 0; j < 500; j++ {
+				if !w.Next() {
+					break
+				}
+				_ = w.Value()
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pos := task.Time(0)
+			for j := 0; j < 500; j++ {
+				next, ok := dbf.SetNextEvent(s, dbf.KindDBF, pos)
+				if !ok {
+					break
+				}
+				pos = next
+				_ = dbf.SetHIMode(s, pos)
+			}
+		}
+	})
+}

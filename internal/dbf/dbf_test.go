@@ -1,0 +1,325 @@
+package dbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// hiTask is the hand-analyzed reference task used throughout:
+// T = 10, D(HI) = 10, D(LO) = 5, C(LO) = 2, C(HI) = 4, so the DBF carry
+// window starts at phase 5 and the ADB window also starts at phase 5.
+func hiTask() task.Task { return task.NewHI("h", 10, 5, 10, 2, 4) }
+
+// loTask is an undegraded implicit-deadline LO task: T = D = 10, C = 3.
+func loTask() task.Task { return task.NewLO("l", 10, 10, 3) }
+
+func TestLOMode(t *testing.T) {
+	h := hiTask()
+	cases := []struct {
+		delta task.Time
+		want  task.Time
+	}{
+		{0, 0}, {4, 0}, {5, 2}, {9, 2}, {14, 2}, {15, 4}, {25, 6}, {100, 20},
+	}
+	for _, c := range cases {
+		if got := LOMode(&h, c.delta); got != c.want {
+			t.Errorf("LOMode(h, %d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+	l := loTask()
+	if got := LOMode(&l, 9); got != 0 {
+		t.Errorf("LOMode(l, 9) = %d, want 0", got)
+	}
+	if got := LOMode(&l, 10); got != 3 {
+		t.Errorf("LOMode(l, 10) = %d, want 3", got)
+	}
+}
+
+func TestHIModeHandValues(t *testing.T) {
+	h := hiTask()
+	cases := []struct {
+		delta task.Time
+		want  task.Time
+	}{
+		{0, 0}, {4, 0}, {5, 2}, {6, 3}, {7, 4}, {8, 4}, {9, 4},
+		{10, 4}, {14, 4}, {15, 6}, {17, 8}, {20, 8}, {25, 10},
+	}
+	for _, c := range cases {
+		if got := HIMode(&h, c.delta); got != c.want {
+			t.Errorf("HIMode(h, %d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+
+	l := loTask()
+	lcases := []struct {
+		delta task.Time
+		want  task.Time
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3}, {5, 3}, {9, 3}, {10, 3}, {12, 5}, {13, 6}, {20, 6},
+	}
+	for _, c := range lcases {
+		if got := HIMode(&l, c.delta); got != c.want {
+			t.Errorf("HIMode(l, %d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+}
+
+func TestADBHandValues(t *testing.T) {
+	h := hiTask()
+	cases := []struct {
+		delta task.Time
+		want  task.Time
+	}{
+		{0, 4}, {4, 4}, {5, 6}, {6, 7}, {7, 8}, {9, 8}, {10, 8}, {15, 10}, {17, 12}, {20, 12},
+	}
+	for _, c := range cases {
+		if got := ADB(&h, c.delta); got != c.want {
+			t.Errorf("ADB(h, %d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+
+	l := loTask()
+	lcases := []struct {
+		delta task.Time
+		want  task.Time
+	}{
+		{0, 3}, {1, 4}, {2, 5}, {3, 6}, {9, 6}, {10, 6}, {12, 8}, {13, 9}, {20, 9},
+	}
+	for _, c := range lcases {
+		if got := ADB(&l, c.delta); got != c.want {
+			t.Errorf("ADB(l, %d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+}
+
+func TestTerminatedTaskDemand(t *testing.T) {
+	s := task.Set{loTask()}.TerminateLO()
+	dropped := &s[0]
+	for _, d := range []task.Time{0, 1, 7, 100, 1e6} {
+		if got := HIMode(dropped, d); got != 0 {
+			t.Errorf("HIMode(terminated, %d) = %d, want 0", d, got)
+		}
+		if got := ADB(dropped, d); got != 3 {
+			t.Errorf("ADB(terminated, %d) = %d, want C(HI) = 3", d, got)
+		}
+	}
+	if _, ok := NextEvent(dropped, KindDBF, 0); ok {
+		t.Error("terminated task must have no events")
+	}
+	if got := RightSlope(dropped, KindADB, 5); got != 0 {
+		t.Error("terminated task must have zero slope")
+	}
+}
+
+// randomTask builds a random valid task of either criticality with small
+// integer parameters, optionally degraded in HI mode.
+func randomTask(rnd *rand.Rand, name string) task.Task {
+	period := task.Time(rnd.Int63n(50) + 2)
+	cLO := task.Time(rnd.Int63n(int64(period))/4 + 1)
+	if rnd.Intn(2) == 0 {
+		// HI task: D(HI) in [C..T], D(LO) in [C(LO)..D(HI)-1].
+		cHI := cLO + task.Time(rnd.Int63n(int64(period-cLO)+1))
+		dHI := cHI + task.Time(rnd.Int63n(int64(period-cHI)+1))
+		if dHI < cLO+1 {
+			dHI = cLO + 1
+		}
+		dLO := cLO + task.Time(rnd.Int63n(int64(dHI-cLO)))
+		if dLO >= dHI {
+			dLO = dHI - 1
+		}
+		return task.NewHI(name, period, dLO, dHI, cLO, cHI)
+	}
+	dLO := cLO + task.Time(rnd.Int63n(int64(period-cLO)+1))
+	tk := task.NewLO(name, period, dLO, cLO)
+	if rnd.Intn(2) == 0 { // degrade
+		tk.Period[task.HI] = period + task.Time(rnd.Int63n(30))
+		tk.Deadline[task.HI] = dLO + task.Time(rnd.Int63n(int64(tk.Period[task.HI]-dLO)+1))
+	}
+	return tk
+}
+
+func TestHIModePeriodicity(t *testing.T) {
+	// DBF_HI(Δ + T(HI)) = DBF_HI(Δ) + C(HI), and similarly for ADB:
+	// the carry term has period T and the job term gains one C(HI).
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		tk := randomTask(rnd, "r")
+		if err := tk.Validate(); err != nil {
+			t.Fatalf("generator bug: %v (%s)", err, tk.String())
+		}
+		period := tk.Period[task.HI]
+		c := tk.WCET[task.HI]
+		for d := task.Time(0); d < 3*period; d++ {
+			if got, want := HIMode(&tk, d+period), HIMode(&tk, d)+c; got != want {
+				t.Fatalf("%s: HIMode(%d+T) = %d, want %d", tk.String(), d, got, want)
+			}
+			if got, want := ADB(&tk, d+period), ADB(&tk, d)+c; got != want {
+				t.Fatalf("%s: ADB(%d+T) = %d, want %d", tk.String(), d, got, want)
+			}
+		}
+	}
+}
+
+func TestMonotoneAndBounds(t *testing.T) {
+	rnd := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		tk := randomTask(rnd, "r")
+		if tk.Terminated() {
+			continue
+		}
+		period := tk.Period[task.HI]
+		cHI := tk.WCET[task.HI]
+		var prevD, prevA task.Time
+		for d := task.Time(0); d < 4*period; d++ {
+			dv, av := HIMode(&tk, d), ADB(&tk, d)
+			if dv < prevD {
+				t.Fatalf("%s: DBF_HI decreases at %d", tk.String(), d)
+			}
+			if av < prevA {
+				t.Fatalf("%s: ADB decreases at %d", tk.String(), d)
+			}
+			if av < dv {
+				t.Fatalf("%s: ADB(%d) = %d < DBF_HI = %d", tk.String(), d, av, dv)
+			}
+			// Linear upper bounds used by the analysis termination
+			// arguments: DBF ≤ UΔ + C and ADB ≤ UΔ + 2C.
+			ud := rat.New(int64(cHI), int64(period)).MulInt(int64(d))
+			if rat.FromInt64(int64(dv)).Cmp(ud.Add(rat.FromInt64(int64(cHI)))) > 0 {
+				t.Fatalf("%s: DBF_HI(%d) = %d exceeds UΔ + C", tk.String(), d, dv)
+			}
+			if rat.FromInt64(int64(av)).Cmp(ud.Add(rat.FromInt64(2*int64(cHI)))) > 0 {
+				t.Fatalf("%s: ADB(%d) = %d exceeds UΔ + 2C", tk.String(), d, av)
+			}
+			prevD, prevA = dv, av
+		}
+	}
+}
+
+func TestRationalAgreesWithInteger(t *testing.T) {
+	rnd := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		tk := randomTask(rnd, "r")
+		horizon := task.Time(3 * tk.Period[task.LO])
+		if tk.Terminated() {
+			horizon = 50
+		} else {
+			horizon = 3 * tk.Period[task.HI]
+		}
+		for d := task.Time(0); d < horizon; d++ {
+			if got := HIModeAt(&tk, rat.FromInt64(int64(d))); !got.Eq(rat.FromInt64(int64(HIMode(&tk, d)))) {
+				t.Fatalf("%s: HIModeAt(%d) = %v != %d", tk.String(), d, got, HIMode(&tk, d))
+			}
+			if got := ADBAt(&tk, rat.FromInt64(int64(d))); !got.Eq(rat.FromInt64(int64(ADB(&tk, d)))) {
+				t.Fatalf("%s: ADBAt(%d) = %v != %d", tk.String(), d, got, ADB(&tk, d))
+			}
+		}
+	}
+}
+
+// TestPiecewiseLinearBetweenEvents verifies the central structural claim
+// the analysis relies on: between consecutive events the curves are exactly
+// linear with slope RightSlope, and any discontinuity at an event is an
+// upward jump.
+func TestPiecewiseLinearBetweenEvents(t *testing.T) {
+	rnd := rand.New(rand.NewSource(10))
+	for i := 0; i < 200; i++ {
+		tk := randomTask(rnd, "r")
+		if tk.Terminated() {
+			continue
+		}
+		for _, kind := range []Kind{KindDBF, KindADB} {
+			eval := func(d rat.Rat) rat.Rat {
+				if kind == KindDBF {
+					return HIModeAt(&tk, d)
+				}
+				return ADBAt(&tk, d)
+			}
+			evalInt := func(d task.Time) task.Time {
+				if kind == KindDBF {
+					return HIMode(&tk, d)
+				}
+				return ADB(&tk, d)
+			}
+			pos := task.Time(0)
+			horizon := 3 * tk.Period[task.HI]
+			for pos < horizon {
+				next, ok := NextEvent(&tk, kind, pos)
+				if !ok {
+					t.Fatal("non-terminated task without events")
+				}
+				if next <= pos {
+					t.Fatalf("%s: NextEvent(%d) = %d not increasing", tk.String(), pos, next)
+				}
+				slope := RightSlope(&tk, kind, pos)
+				v0 := evalInt(pos)
+				// Check linearity at the midpoint and at the left
+				// limit of the next event.
+				mid := rat.New(int64(pos)+int64(next), 2)
+				wantMid := rat.FromInt64(int64(v0)).Add(mid.Sub(rat.FromInt64(int64(pos))).MulInt(int64(slope)))
+				if got := eval(mid); !got.Eq(wantMid) {
+					t.Fatalf("%s kind=%d: value at midpoint %v = %v, want %v (pos=%d slope=%d)",
+						tk.String(), kind, mid, got, wantMid, pos, slope)
+				}
+				leftLimit := v0 + slope*(next-pos)
+				atNext := evalInt(next)
+				if atNext < leftLimit {
+					t.Fatalf("%s kind=%d: downward jump at %d: left limit %d, value %d",
+						tk.String(), kind, next, leftLimit, atNext)
+				}
+				pos = next
+			}
+		}
+	}
+}
+
+func TestSetAggregates(t *testing.T) {
+	h, l := hiTask(), loTask()
+	s := task.Set{h, l}
+	if got, want := SetHIMode(s, 7), HIMode(&h, 7)+HIMode(&l, 7); got != want {
+		t.Errorf("SetHIMode = %d, want %d", got, want)
+	}
+	if got, want := SetADB(s, 7), ADB(&h, 7)+ADB(&l, 7); got != want {
+		t.Errorf("SetADB = %d, want %d", got, want)
+	}
+	if got, want := SetLOMode(s, 25), LOMode(&h, 25)+LOMode(&l, 25); got != want {
+		t.Errorf("SetLOMode = %d, want %d", got, want)
+	}
+	if got, want := SetRightSlope(s, KindDBF, 6), RightSlope(&h, KindDBF, 6)+RightSlope(&l, KindDBF, 6); got != want {
+		t.Errorf("SetRightSlope = %d, want %d", got, want)
+	}
+	next, ok := SetNextEvent(s, KindDBF, 0)
+	if !ok || next <= 0 {
+		t.Fatalf("SetNextEvent = %d, %v", next, ok)
+	}
+	hNext, _ := NextEvent(&h, KindDBF, 0)
+	lNext, _ := NextEvent(&l, KindDBF, 0)
+	want := hNext
+	if lNext < want {
+		want = lNext
+	}
+	if next != want {
+		t.Errorf("SetNextEvent = %d, want %d", next, want)
+	}
+}
+
+func TestNegativeDeltaPanics(t *testing.T) {
+	h := hiTask()
+	for _, f := range []func(){
+		func() { HIMode(&h, -1) },
+		func() { ADB(&h, -1) },
+		func() { HIModeAt(&h, rat.FromInt64(-1)) },
+		func() { ADBAt(&h, rat.FromInt64(-1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("negative Δ did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,191 @@
+package edfvd
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+func implicitSet(rnd *rand.Rand, n int, maxPeriod int64) task.Set {
+	s := make(task.Set, 0, n)
+	for i := 0; i < n; i++ {
+		period := task.Time(rnd.Int63n(maxPeriod-9) + 10)
+		cLO := task.Time(rnd.Int63n(int64(period)/4+1) + 1)
+		name := string(rune('a' + i))
+		if rnd.Intn(2) == 0 {
+			cHI := cLO + task.Time(rnd.Int63n(int64(period-cLO)/2+1))
+			s = append(s, task.NewImplicitHI(name, period, cLO, cHI))
+		} else {
+			s = append(s, task.NewImplicitLO(name, period, cLO))
+		}
+	}
+	return s
+}
+
+func TestAnalyzePlainEDF(t *testing.T) {
+	s := task.Set{
+		task.NewImplicitHI("h", 10, 2, 4),
+		task.NewImplicitLO("l", 10, 3),
+	}
+	res, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable || !res.PlainEDF || !res.X.Eq(rat.One) {
+		t.Errorf("want plain-EDF schedulable, got %+v", res)
+	}
+}
+
+func TestAnalyzeNeedsVirtualDeadlines(t *testing.T) {
+	// U_LO(LO) = 0.4, U_HI(LO) = 0.3, U_HI(HI) = 0.7:
+	// plain EDF fails (1.1 > 1); x = 0.3/0.6 = 1/2;
+	// HI check: 0.5·0.4 + 0.7 = 0.9 ≤ 1 → schedulable.
+	s := task.Set{
+		task.NewImplicitHI("h", 10, 3, 7),
+		task.NewImplicitLO("l", 10, 4),
+	}
+	res, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable || res.PlainEDF {
+		t.Fatalf("want VD-schedulable, got %+v", res)
+	}
+	if want := rat.New(1, 2); !res.X.Eq(want) {
+		t.Errorf("x = %v, want %v", res.X, want)
+	}
+}
+
+func TestAnalyzeUnschedulable(t *testing.T) {
+	// U_LO(LO) = 0.5, U_HI(LO) = 0.4, U_HI(HI) = 0.9:
+	// x = 0.4/0.5 = 0.8; 0.8·0.5 + 0.9 = 1.3 > 1 → reject.
+	s := task.Set{
+		task.NewImplicitHI("h", 10, 4, 9),
+		task.NewImplicitLO("l", 10, 5),
+	}
+	res, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Errorf("want unschedulable, got %+v", res)
+	}
+
+	// LO tasks alone saturate the processor.
+	sat := task.Set{
+		task.NewImplicitHI("h", 10, 1, 2),
+		task.NewImplicitLO("l", 10, 10),
+	}
+	res, err = Analyze(sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Errorf("saturated set accepted: %+v", res)
+	}
+}
+
+func TestAnalyzeRejectsNonImplicit(t *testing.T) {
+	s := task.Set{task.NewHI("h", 10, 4, 8, 2, 3)} // D(HI) = 8 < T = 10
+	if _, err := Analyze(s); err == nil {
+		t.Error("constrained-deadline set accepted")
+	}
+	l := task.Set{task.NewLO("l", 10, 5, 2)}
+	if _, err := Analyze(l); err == nil {
+		t.Error("constrained-deadline LO set accepted")
+	}
+}
+
+// TestSpeedupBoundCorollary exercises the 4/3-speedup corollary: any set
+// with max(U_LO(LO)+U_HI(LO), U_LO(LO)+U_HI(HI)) ≤ 3/4 must pass the
+// EDF-VD test.
+func TestSpeedupBoundCorollary(t *testing.T) {
+	rnd := rand.New(rand.NewSource(61))
+	threeQ := rat.New(3, 4)
+	checked := 0
+	for i := 0; i < 3000; i++ {
+		s := implicitSet(rnd, 1+rnd.Intn(5), 40)
+		uLoLo := s.UtilCrit(task.LO, task.LO)
+		uHiLo := s.UtilCrit(task.HI, task.LO)
+		uHiHi := s.UtilCrit(task.HI, task.HI)
+		if uLoLo.Add(uHiLo).Cmp(threeQ) > 0 || uLoLo.Add(uHiHi).Cmp(threeQ) > 0 {
+			continue
+		}
+		checked++
+		res, err := Analyze(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			t.Fatalf("4/3 corollary violated for:\n%s(U: %v %v %v)", s.Table(), uLoLo, uHiLo, uHiHi)
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("corpus too small: only %d sets under the 3/4 bound", checked)
+	}
+}
+
+// TestTransformAgreesWithExactAnalysis: whenever EDF-VD accepts with some
+// margin, the materialized configuration must also pass the exact
+// demand-based LO-mode test (a utilization-sufficient EDF condition always
+// implies the processor demand criterion; the margin absorbs the integer
+// flooring of virtual deadlines). No HI-mode assertion is made here:
+// EDF-VD's utilization argument and the Lemma-1 carry-over demand analysis
+// are incomparable sufficient tests — e.g. a one-tick virtual-deadline gap
+// is fine for EDF-VD's amortized argument but makes the carry-over demand
+// bound explode — so agreement is checked behaviorally by the simulator
+// tests instead.
+func TestTransformAgreesWithExactAnalysis(t *testing.T) {
+	rnd := rand.New(rand.NewSource(62))
+	margin := rat.New(95, 100)
+	verified := 0
+	for i := 0; i < 1500; i++ {
+		s := implicitSet(rnd, 1+rnd.Intn(4), 60)
+		res, err := Analyze(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			if _, err := Transform(s, res); err == nil {
+				t.Fatal("Transform accepted unschedulable result")
+			}
+			continue
+		}
+		// Margin: demand-exact flooring artifacts only matter near the
+		// boundary.
+		lhs := res.X.Mul(res.ULoLo).Add(res.UHiHi)
+		if res.PlainEDF {
+			lhs = res.ULoLo.Add(res.UHiHi)
+		}
+		if lhs.Cmp(margin) > 0 {
+			continue
+		}
+		conf, err := Transform(s, res)
+		if err != nil {
+			t.Fatalf("Transform failed: %v for\n%s", err, s.Table())
+		}
+		if err := conf.Validate(); err != nil {
+			t.Fatalf("Transform produced invalid set: %v", err)
+		}
+		okLO, err := core.SchedulableLO(conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okLO {
+			t.Fatalf("EDF-VD accepted but exact LO test fails for:\n%s→\n%s", s.Table(), conf.Table())
+		}
+		// The exact HI-mode analysis must at least terminate cleanly on
+		// the transformed set (its verdict may be more pessimistic than
+		// EDF-VD's — see the comment above).
+		if _, err := core.MinSpeedup(conf); err != nil {
+			t.Fatal(err)
+		}
+		verified++
+	}
+	if verified < 100 {
+		t.Fatalf("only %d sets cross-verified", verified)
+	}
+}

@@ -1,0 +1,38 @@
+// Package examplesets provides the running example task set of the paper
+// (Table I) in both its variants.
+//
+// The scanned copy of the paper renders Table I's numeric cells
+// illegibly, so the parameters below are a reconstruction, found by
+// exhaustive search over small integer parameters, that reproduces every
+// number the text reports about the example exactly:
+//
+//   - Example 1: s_min = 4/3 without service degradation, and with the
+//     degraded parameters D₂(HI) = 15, T₂(HI) = 20 the required speedup
+//     drops below 1 (here 6/7 ≈ 0.857), so "the system can actually slow
+//     down in HI mode".
+//   - Example 2: the service resetting time is Δ_R = 6 at s = 2
+//     (and 9 at the minimum speedup s = 4/3).
+package examplesets
+
+import "mcspeedup/internal/task"
+
+// TableI returns the two-task running example without service
+// degradation: the LO task keeps its original parameters in HI mode.
+//
+//	τ₁ HI: C(LO)=2 C(HI)=4 D(LO)=6 D(HI)=9  T(LO)=T(HI)=10
+//	τ₂ LO: C=2            D(LO)=D(HI)=10    T(LO)=T(HI)=10
+func TableI() task.Set {
+	return task.Set{
+		task.NewHI("tau1", 10, 6, 9, 2, 4),
+		task.NewLO("tau2", 10, 10, 2),
+	}
+}
+
+// TableIDegraded returns the Example-1 variant in which τ₂'s HI-mode
+// service is degraded to D₂(HI) = 15, T₂(HI) = 20.
+func TableIDegraded() task.Set {
+	s := TableI()
+	s[1].Deadline[task.HI] = 15
+	s[1].Period[task.HI] = 20
+	return s
+}

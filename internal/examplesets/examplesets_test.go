@@ -1,0 +1,26 @@
+package examplesets
+
+import (
+	"testing"
+
+	"mcspeedup/internal/task"
+)
+
+func TestTableIVariantsValidate(t *testing.T) {
+	base := TableI()
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deg := TableIDegraded()
+	if err := deg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if deg[1].Deadline[task.HI] != 15 || deg[1].Period[task.HI] != 20 {
+		t.Errorf("degraded parameters: %s", deg[1].String())
+	}
+	// The constructors return fresh copies.
+	base[0].Name = "mutated"
+	if TableI()[0].Name != "tau1" {
+		t.Error("TableI returns aliased state")
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/gen"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/stats"
+	"mcspeedup/internal/task"
+	"mcspeedup/internal/textplot"
+)
+
+// AblationConfig scales the policy-ablation study.
+type AblationConfig struct {
+	SetsPerPoint int
+	UBounds      []float64
+	Seed         int64
+	// Speed is the HI-mode speed the speedup-based policies may use
+	// (default 2, the turbo ceiling the paper cites).
+	Speed rat.Rat
+}
+
+func (c AblationConfig) withDefaults() AblationConfig {
+	if c.SetsPerPoint <= 0 {
+		c.SetsPerPoint = 50
+	}
+	if len(c.UBounds) == 0 {
+		c.UBounds = []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	if c.Seed == 0 {
+		c.Seed = 2015
+	}
+	if c.Speed.Sign() <= 0 {
+		c.Speed = rat.Two
+	}
+	return c
+}
+
+// Policy identifies one way of reacting to overrun in the ablation.
+type Policy int
+
+// The four reactions the paper's introduction contrasts.
+const (
+	// PolicyTerminate drops all LO tasks at the switch (classical
+	// EDF-VD-style reaction; eq. (3)), nominal speed.
+	PolicyTerminate Policy = iota
+	// PolicyDegrade degrades LO service by y = 2 (eq. (14)), nominal
+	// speed — the reference [6] reaction.
+	PolicyDegrade
+	// PolicySpeedup keeps full LO service and overclocks to Speed —
+	// the paper's headline mechanism in isolation.
+	PolicySpeedup
+	// PolicyCombined degrades by y = 2 and overclocks to Speed — the
+	// configuration the paper's experiments use.
+	PolicyCombined
+	numPolicies
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyTerminate:
+		return "terminate"
+	case PolicyDegrade:
+		return "degrade(y=2)"
+	case PolicySpeedup:
+		return "speedup"
+	case PolicyCombined:
+		return "speedup+degrade"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AblationResult compares the four policies over a shared corpus:
+// which fraction of random task sets each renders schedulable, and the
+// median service-disruption time (Δ_R at the policy's speed) among the
+// sets it accepts.
+type AblationResult struct {
+	Config   AblationConfig
+	UBounds  []float64
+	Policies []string
+	// SchedFrac[p][u] is the schedulable fraction of policy p at
+	// utilization point u; MedianResetMS[p][u] the median Δ_R (ms) over
+	// its accepted sets (NaN when it accepted none).
+	SchedFrac     [][]float64
+	MedianResetMS [][]float64
+}
+
+// Ablation runs the study: every generated base set is evaluated under
+// all four policies (same corpus, so the comparison is paired). A policy
+// "accepts" a set when the configuration is LO-mode schedulable for some
+// x and HI-mode schedulable at the policy's speed.
+func Ablation(cfg AblationConfig) (AblationResult, error) {
+	cfg = cfg.withDefaults()
+	res := AblationResult{Config: cfg, UBounds: cfg.UBounds}
+	for p := Policy(0); p < numPolicies; p++ {
+		res.Policies = append(res.Policies, p.String())
+	}
+	res.SchedFrac = make([][]float64, numPolicies)
+	res.MedianResetMS = make([][]float64, numPolicies)
+
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	params := gen.Defaults()
+
+	configure := func(base task.Set, p Policy) (task.Set, rat.Rat, error) {
+		speed := rat.One
+		set := base
+		var err error
+		switch p {
+		case PolicyTerminate:
+			set = base.TerminateLO()
+		case PolicyDegrade:
+			set, err = base.DegradeLO(rat.Two)
+		case PolicySpeedup:
+			speed = cfg.Speed
+		case PolicyCombined:
+			speed = cfg.Speed
+			set, err = base.DegradeLO(rat.Two)
+		}
+		return set, speed, err
+	}
+
+	for _, uBound := range cfg.UBounds {
+		accepted := make([]int, numPolicies)
+		resets := make([][]float64, numPolicies)
+		for n := 0; n < cfg.SetsPerPoint; n++ {
+			base := params.MustSet(rnd, uBound)
+			for p := Policy(0); p < numPolicies; p++ {
+				set, speed, err := configure(base, p)
+				if err != nil {
+					return res, err
+				}
+				_, prepared, err := core.MinimalX(set)
+				if err != nil {
+					continue // LO-mode infeasible under this policy
+				}
+				sp, err := core.MinSpeedup(prepared)
+				if err != nil {
+					return res, err
+				}
+				if sp.Speedup.Cmp(speed) > 0 {
+					continue
+				}
+				accepted[p]++
+				// Disruption: how long until LO service is back to
+				// normal. Use the policy's speed; for nominal-speed
+				// policies this is still the Corollary-5 idle bound.
+				rr, err := core.ResetTime(prepared, speed)
+				if err != nil {
+					return res, err
+				}
+				if !rr.Reset.IsInf() {
+					resets[p] = append(resets[p], rr.Reset.Float64()/gen.TicksPerMS)
+				}
+			}
+		}
+		for p := Policy(0); p < numPolicies; p++ {
+			res.SchedFrac[p] = append(res.SchedFrac[p],
+				float64(accepted[p])/float64(cfg.SetsPerPoint))
+			med := math.NaN()
+			if len(resets[p]) > 0 {
+				med = stats.Quantile(resets[p], 0.5)
+			}
+			res.MedianResetMS[p] = append(res.MedianResetMS[p], med)
+		}
+	}
+	return res, nil
+}
+
+// Render emits the comparison as a table plus two line charts.
+func (r AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Policy ablation — schedulable fraction (top) and median Δ_R [ms] (bottom)\n")
+	headers := append([]string{"U_bound"}, r.Policies...)
+	var rows [][]string
+	for u := range r.UBounds {
+		row := []string{fmt.Sprintf("%.2f", r.UBounds[u])}
+		for p := range r.Policies {
+			row = append(row, fmt.Sprintf("%.0f%%", 100*r.SchedFrac[p][u]))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(textplot.Table(headers, rows))
+	b.WriteByte('\n')
+
+	rows = rows[:0]
+	for u := range r.UBounds {
+		row := []string{fmt.Sprintf("%.2f", r.UBounds[u])}
+		for p := range r.Policies {
+			v := r.MedianResetMS[p][u]
+			if math.IsNaN(v) {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f", v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(textplot.Table(headers, rows))
+	b.WriteByte('\n')
+
+	var series []textplot.Series
+	for p := range r.Policies {
+		series = append(series, textplot.Series{Name: r.Policies[p], Ys: r.SchedFrac[p]})
+	}
+	b.WriteString(textplot.Lines("schedulable fraction vs. utilization", r.UBounds, series, 56, 12))
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAblationShapesHold(t *testing.T) {
+	r, err := Ablation(AblationConfig{
+		SetsPerPoint: 20,
+		UBounds:      []float64{0.5, 0.8},
+		Seed:         13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Policies) != 4 {
+		t.Fatalf("policies: %v", r.Policies)
+	}
+	idx := map[string]int{}
+	for i, p := range r.Policies {
+		idx[p] = i
+	}
+	term := r.SchedFrac[idx["terminate"]]
+	deg := r.SchedFrac[idx["degrade(y=2)"]]
+	speedOnly := r.SchedFrac[idx["speedup"]]
+	combined := r.SchedFrac[idx["speedup+degrade"]]
+
+	for u := range r.UBounds {
+		// The combined policy dominates degradation-only (same service
+		// model, more speed).
+		if combined[u]+1e-9 < deg[u] {
+			t.Errorf("U=%v: combined %.2f below degrade %.2f", r.UBounds[u], combined[u], deg[u])
+		}
+		// Termination at nominal speed dominates pure degradation at
+		// nominal speed (strictly less HI-mode demand).
+		if term[u]+1e-9 < deg[u] {
+			t.Errorf("U=%v: terminate %.2f below degrade %.2f", r.UBounds[u], term[u], deg[u])
+		}
+		// Speedup-only suffers from undegraded LO carry-over ramps
+		// (s_min ≈ #LO tasks), so it should trail the combined policy.
+		if speedOnly[u] > combined[u]+1e-9 {
+			t.Errorf("U=%v: speedup-only %.2f above combined %.2f", r.UBounds[u], speedOnly[u], combined[u])
+		}
+		// All fractions are valid probabilities.
+		for p := range r.Policies {
+			f := r.SchedFrac[p][u]
+			if f < 0 || f > 1 {
+				t.Fatalf("fraction %v out of range", f)
+			}
+			if m := r.MedianResetMS[p][u]; !math.IsNaN(m) && m < 0 {
+				t.Fatalf("negative median reset %v", m)
+			}
+		}
+	}
+
+	out := r.Render()
+	for _, want := range []string{"Policy ablation", "terminate", "speedup+degrade", "U_bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyTerminate.String() != "terminate" || Policy(9).String() != "Policy(9)" {
+		t.Error("Policy.String broken")
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestDeterministicRender: every randomized driver must produce
+// byte-identical output for a fixed seed — the property EXPERIMENTS.md
+// relies on when quoting outputs.
+func TestDeterministicRender(t *testing.T) {
+	runs := map[string]func() (string, error){
+		"fig6": func() (string, error) {
+			r, err := Fig6(Fig6Config{SetsPerPoint: 6, UBounds: []float64{0.5, 0.8}, Seed: 41})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig7": func() (string, error) {
+			r, err := Fig7(Fig7Config{SetsPerPoint: 4, Grid: []float64{0.3, 0.8}, Seed: 41})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"ablation": func() (string, error) {
+			r, err := Ablation(AblationConfig{SetsPerPoint: 6, UBounds: []float64{0.6}, Seed: 41})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	}
+	for name, run := range runs {
+		a, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a != b {
+			t.Errorf("%s: output differs between identical runs", name)
+		}
+		if a == "" {
+			t.Errorf("%s: empty render", name)
+		}
+	}
+}

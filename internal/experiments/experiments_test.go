@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mcspeedup/internal/rat"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SMin.Eq(rat.New(4, 3)) {
+		t.Errorf("s_min = %v, want 4/3", r.SMin)
+	}
+	if r.SMinDegraded.Cmp(rat.One) >= 0 {
+		t.Errorf("degraded s_min = %v, want < 1", r.SMinDegraded)
+	}
+	if !r.ResetAt2.Eq(rat.FromInt64(6)) {
+		t.Errorf("Δ_R(2) = %v, want 6", r.ResetAt2)
+	}
+	if r.ResetDegradedAt2.Cmp(r.ResetAt2) >= 0 {
+		t.Errorf("degradation did not shorten recovery: %v vs %v", r.ResetDegradedAt2, r.ResetAt2)
+	}
+	out := r.Render()
+	for _, want := range []string{"Table I", "4/3", "Example 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig1ShapesHold(t *testing.T) {
+	r, err := Fig1(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Xs) != 31 {
+		t.Fatalf("samples = %d", len(r.Xs))
+	}
+	// Demand never exceeds its supply line, and touches it somewhere.
+	touchA := false
+	for i := range r.Xs {
+		if r.DemandA[i] > r.SupplyA[i]+1e-9 {
+			t.Fatalf("demand above s_min supply at Δ=%v", r.Xs[i])
+		}
+		if i > 0 && math.Abs(r.DemandA[i]-r.SupplyA[i]) < 1e-9 {
+			touchA = true
+		}
+	}
+	if !touchA {
+		t.Error("supply line never touched — s_min not tight on the sampled grid")
+	}
+	if !strings.Contains(r.Render(), "Fig. 1a") {
+		t.Error("render missing panel a")
+	}
+}
+
+func TestFig3ShapesHold(t *testing.T) {
+	r, err := Fig3(30, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResetAt2.Eq(rat.FromInt64(6)) || !r.ResetAtSMin.Eq(rat.FromInt64(9)) {
+		t.Errorf("Δ_R = %v/%v, want 9 at s_min and 6 at 2", r.ResetAtSMin, r.ResetAt2)
+	}
+	// Panel (b): Δ_R non-increasing in s once finite, degraded ≤ plain.
+	prev := math.Inf(1)
+	for i, v := range r.ResetPlain {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v > prev+1e-9 {
+			t.Fatalf("Δ_R increased with s at index %d", i)
+		}
+		prev = v
+		if d := r.ResetDegraded[i]; !math.IsNaN(d) && d > v+1e-9 {
+			t.Fatalf("degraded Δ_R above plain at index %d (%v > %v)", i, d, v)
+		}
+	}
+	if !strings.Contains(r.Render(), "Fig. 3b") {
+		t.Error("render missing panel b")
+	}
+}
+
+func TestFig4ShapesHold(t *testing.T) {
+	r, err := Fig4(9, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a) bound non-decreasing in x for every y; larger y pointwise lower.
+	for yi := range r.SBound {
+		prev := 0.0
+		for xi, v := range r.SBound[yi] {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < prev-1e-9 {
+				t.Fatalf("bound decreasing in x at y=%s x=%v", r.YLabels[yi], r.XValues[xi])
+			}
+			prev = v
+			if yi > 0 {
+				if hi := r.SBound[yi-1][xi]; !math.IsNaN(hi) && v > hi+1e-9 {
+					t.Fatalf("larger y raised the bound at x=%v", r.XValues[xi])
+				}
+			}
+		}
+	}
+	// (b) larger artificial s_min ⇒ larger reset bound where finite.
+	for si := 1; si < len(r.ResetBounds); si++ {
+		for k := range r.Speeds {
+			lo, hi := r.ResetBounds[si-1][k], r.ResetBounds[si][k]
+			if !math.IsNaN(lo) && !math.IsNaN(hi) && hi < lo-1e-9 {
+				t.Fatalf("reset bound not monotone in s_min at s=%v", r.Speeds[k])
+			}
+		}
+	}
+	if !strings.Contains(r.Render(), "Fig. 4a") {
+		t.Error("render missing panel a")
+	}
+}
+
+func TestFig5ShapesHold(t *testing.T) {
+	r, err := Fig5(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s_min decreases along y (more degradation) for every x.
+	for yi := 1; yi < len(r.YGrid); yi++ {
+		for xi := range r.XGrid {
+			if r.SMin[yi][xi] > r.SMin[yi-1][xi]+1e-9 {
+				t.Fatalf("s_min increased with y at x=%v", r.XGrid[xi])
+			}
+		}
+	}
+	// Reset time decreases along s for every γ and increases with γ.
+	for gi := range r.GammaGrid {
+		for si := 1; si < len(r.SpeedGrid); si++ {
+			a, b := r.ResetMS[gi][si-1], r.ResetMS[gi][si]
+			if !math.IsNaN(a) && !math.IsNaN(b) && b > a+1e-9 {
+				t.Fatalf("Δ_R increased with s at γ=%v", r.GammaGrid[gi])
+			}
+		}
+	}
+	// Headline: worst recovery at s=2 below 3 s.
+	if r.HeadlineRecoveryMS <= 0 || r.HeadlineRecoveryMS >= 3000 {
+		t.Errorf("worst recovery at s=2 = %.1f ms, want (0, 3000)", r.HeadlineRecoveryMS)
+	}
+	if !strings.Contains(r.Render(), "Fig. 5b") {
+		t.Error("render missing panel b")
+	}
+}
+
+func TestFig6ShapesHold(t *testing.T) {
+	r, err := Fig6(Fig6Config{SetsPerPoint: 12, UBounds: []float64{0.5, 0.7, 0.9}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SMinDist) != 3 {
+		t.Fatalf("points = %d", len(r.SMinDist))
+	}
+	// Median s_min grows with utilization (y = 2 series).
+	medLow := nanIfEmptyMedian(r.SMinDist[0])
+	medHigh := nanIfEmptyMedian(r.SMinDist[2])
+	if !(medHigh > medLow) {
+		t.Errorf("median s_min not increasing: %.3f → %.3f", medLow, medHigh)
+	}
+	// More degradation lowers the median s_min at the top utilization.
+	y15 := r.MedianSMin[0][2]
+	y3 := r.MedianSMin[2][2]
+	if !math.IsNaN(y15) && !math.IsNaN(y3) && y3 > y15+1e-9 {
+		t.Errorf("y=3 median above y=3/2 median (%v > %v)", y3, y15)
+	}
+	// Faster HI mode shortens recovery: s=3 medians below s=2 (same y).
+	for u := range r.UBounds {
+		s2, s3 := r.MedianReset[0][u], r.MedianReset[1][u]
+		if !math.IsNaN(s2) && !math.IsNaN(s3) && s3 > s2+1e-9 {
+			t.Errorf("U=%v: median Δ_R at s=3 above s=2", r.UBounds[u])
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Fig. 6a", "Fig. 6b", "Fig. 6c", "Fig. 6d"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig7ShapesHold(t *testing.T) {
+	// The interesting frontier sits where U_LO + U_HI/γ approaches 1 and
+	// s_min straddles 1 — around (0.85, 0.85) with γ = 10 — so the grid
+	// must include it.
+	r, err := Fig7(Fig7Config{
+		SetsPerPoint: 15,
+		Grid:         []float64{0.5, 0.85},
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowCorner := r.WithSpeedup[0][0]
+	if lowCorner < 0.99 {
+		t.Errorf("low-utilization corner only %.2f schedulable with speedup", lowCorner)
+	}
+	// Speedup region dominates the no-speedup region pointwise.
+	for li := range r.Grid {
+		for hi := range r.Grid {
+			if r.WithSpeedup[li][hi]+1e-9 < r.NoSpeedup[li][hi] {
+				t.Fatalf("speedup region smaller at (%d,%d)", li, hi)
+			}
+		}
+	}
+	// And strictly helps somewhere.
+	gain := false
+	for li := range r.Grid {
+		for hi := range r.Grid {
+			if r.WithSpeedup[li][hi] > r.NoSpeedup[li][hi]+1e-9 {
+				gain = true
+			}
+		}
+	}
+	if !gain {
+		t.Error("temporary speedup never helped — suspicious")
+	}
+	if !strings.Contains(r.Render(), "Fig. 7") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig2WindowIdentity(t *testing.T) {
+	r := Fig2()
+	// The rendered window must satisfy eq. (9) on the chosen Δ.
+	period := r.Task.Period[1]
+	dLO := r.Task.Deadline[0]
+	want := r.Delta%period - (period - dLO)
+	if r.W != want {
+		t.Fatalf("w' = %d, want %d", r.W, want)
+	}
+	out := r.Render()
+	for _, wantStr := range []string{"Fig. 2", "w'(τ, Δ)", "check: ADB_HI"} {
+		if !strings.Contains(out, wantStr) {
+			t.Errorf("render missing %q", wantStr)
+		}
+	}
+}

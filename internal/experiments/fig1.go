@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+	"mcspeedup/internal/textplot"
+)
+
+// Fig1Result reproduces Fig. 1: the summed HI-mode demand bound function
+// of the Table-I set against the minimum supply line s_min·Δ, for (a) the
+// undegraded and (b) the degraded variant.
+type Fig1Result struct {
+	Horizon task.Time
+	Xs      []float64
+	// DemandA/SupplyA: no service degradation; DemandB/SupplyB: with
+	// degradation (D₂(HI)=15, T₂(HI)=20).
+	DemandA, SupplyA []float64
+	DemandB, SupplyB []float64
+	SMinA, SMinB     rat.Rat
+}
+
+// Fig1 samples both demand curves over [0, horizon].
+func Fig1(horizon task.Time) (Fig1Result, error) {
+	if horizon <= 0 {
+		horizon = 30
+	}
+	res := Fig1Result{Horizon: horizon}
+
+	variants := []task.Set{examplesets.TableI(), examplesets.TableIDegraded()}
+	smins := make([]rat.Rat, 2)
+	for i, s := range variants {
+		sp, err := core.MinSpeedup(s)
+		if err != nil {
+			return res, err
+		}
+		smins[i] = sp.Speedup
+	}
+	res.SMinA, res.SMinB = smins[0], smins[1]
+
+	for d := task.Time(0); d <= horizon; d++ {
+		x := float64(d)
+		res.Xs = append(res.Xs, x)
+		res.DemandA = append(res.DemandA, float64(dbf.SetHIMode(variants[0], d)))
+		res.SupplyA = append(res.SupplyA, res.SMinA.Float64()*x)
+		res.DemandB = append(res.DemandB, float64(dbf.SetHIMode(variants[1], d)))
+		res.SupplyB = append(res.SupplyB, res.SMinB.Float64()*x)
+	}
+	return res, nil
+}
+
+// Render emits both panels as line charts.
+func (r Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString(textplot.Lines(
+		fmt.Sprintf("Fig. 1a — HI-mode demand vs. minimum supply (no degradation, s_min = %v)", r.SMinA),
+		r.Xs,
+		[]textplot.Series{
+			{Name: "Σ DBF_HI(Δ)", Ys: r.DemandA},
+			{Name: "s_min·Δ", Ys: r.SupplyA},
+		}, 64, 16))
+	b.WriteByte('\n')
+	b.WriteString(textplot.Lines(
+		fmt.Sprintf("Fig. 1b — HI-mode demand vs. minimum supply (degraded, s_min = %v)", r.SMinB),
+		r.Xs,
+		[]textplot.Series{
+			{Name: "Σ DBF_HI(Δ)", Ys: r.DemandB},
+			{Name: "s_min·Δ", Ys: r.SupplyB},
+		}, 64, 16))
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+	"mcspeedup/internal/textplot"
+)
+
+// Fig3Result reproduces Fig. 3: (a) the worst-case arrived demand bound
+// of the Table-I set against supply lines at two speeds (visualizing the
+// resetting-time crossings of Example 2), and (b) the parametric trend of
+// Δ_R against the HI-mode speedup s, with and without degradation.
+type Fig3Result struct {
+	// Panel (a): arrived demand over [0, horizon] and supply at the two
+	// Example-2 speeds.
+	Horizon               task.Time
+	Xs                    []float64
+	ADB                   []float64
+	SupplySMin, Supply2   []float64
+	ResetAtSMin, ResetAt2 rat.Rat
+	SMin                  rat.Rat
+	// Panel (b): Δ_R as a function of s for both variants. NaN marks
+	// infinite resetting times (s at or below the HI-mode utilization).
+	Speeds                    []float64
+	ResetPlain, ResetDegraded []float64
+}
+
+// Fig3 computes both panels. speedSteps controls the s-axis resolution of
+// panel (b); speeds sweep (U_HI, 3].
+func Fig3(horizon task.Time, speedSteps int) (Fig3Result, error) {
+	if horizon <= 0 {
+		horizon = 30
+	}
+	if speedSteps <= 1 {
+		speedSteps = 30
+	}
+	res := Fig3Result{Horizon: horizon}
+	base := examplesets.TableI()
+	deg := examplesets.TableIDegraded()
+
+	sp, err := core.MinSpeedup(base)
+	if err != nil {
+		return res, err
+	}
+	res.SMin = sp.Speedup
+
+	rAtS, err := core.ResetTime(base, res.SMin)
+	if err != nil {
+		return res, err
+	}
+	res.ResetAtSMin = rAtS.Reset
+	rAt2, err := core.ResetTime(base, rat.Two)
+	if err != nil {
+		return res, err
+	}
+	res.ResetAt2 = rAt2.Reset
+
+	for d := task.Time(0); d <= horizon; d++ {
+		x := float64(d)
+		res.Xs = append(res.Xs, x)
+		res.ADB = append(res.ADB, float64(dbf.SetADB(base, d)))
+		res.SupplySMin = append(res.SupplySMin, res.SMin.Float64()*x)
+		res.Supply2 = append(res.Supply2, 2*x)
+	}
+
+	// Panel (b): sweep s from just above U_HI (where Δ_R diverges) to 3.
+	uHI := base.Util(task.HI).Float64()
+	for i := 0; i < speedSteps; i++ {
+		s := uHI + 0.05 + (3.0-uHI-0.05)*float64(i)/float64(speedSteps-1)
+		speed := rat.FromFloat(s, 1<<20)
+		res.Speeds = append(res.Speeds, s)
+		for v, set := range []task.Set{base, deg} {
+			rr, err := core.ResetTime(set, speed)
+			if err != nil {
+				return res, err
+			}
+			val := math.NaN()
+			if !rr.Reset.IsInf() {
+				val = rr.Reset.Float64()
+			}
+			if v == 0 {
+				res.ResetPlain = append(res.ResetPlain, val)
+			} else {
+				res.ResetDegraded = append(res.ResetDegraded, val)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render emits both panels.
+func (r Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString(textplot.Lines(
+		fmt.Sprintf("Fig. 3a — arrived demand vs. supply (Δ_R: %v at s=%v, %v at s=2)",
+			r.ResetAtSMin, r.SMin, r.ResetAt2),
+		r.Xs,
+		[]textplot.Series{
+			{Name: "Σ ADB_HI(Δ)", Ys: r.ADB},
+			{Name: "s_min·Δ", Ys: r.SupplySMin},
+			{Name: "2·Δ", Ys: r.Supply2},
+		}, 64, 16))
+	b.WriteByte('\n')
+	b.WriteString(textplot.Lines(
+		"Fig. 3b — service resetting time vs. HI-mode speedup",
+		r.Speeds,
+		[]textplot.Series{
+			{Name: "Δ_R no degradation", Ys: r.ResetPlain},
+			{Name: "Δ_R degraded", Ys: r.ResetDegraded},
+		}, 64, 16))
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+	"mcspeedup/internal/textplot"
+)
+
+// Fig4Result reproduces Fig. 4, the closed-form trade-offs of Section V
+// on an implicit-deadline version of the running example:
+// (a) the Lemma-6 speedup bound as a function of the overrun-preparation
+// factor x, one series per degradation factor y;
+// (b) the Lemma-7 resetting-time bound as a function of the HI-mode
+// speed s, one series per (artificially scaled) s_min.
+type Fig4Result struct {
+	// Panel (a).
+	XValues []float64
+	YLabels []string
+	SBound  [][]float64 // [yIdx][xIdx]
+	// Panel (b).
+	Speeds      []float64
+	SMinLabels  []string
+	ResetBounds [][]float64 // [sminIdx][speedIdx]; NaN where infinite
+}
+
+// fig4Base is the implicit-deadline variant of the running example used
+// for the Section-V special case.
+func fig4Base() task.Set {
+	return task.Set{
+		task.NewImplicitHI("t1", 40, 8, 16), // U(LO)=0.2, U(HI)=0.4
+		task.NewImplicitLO("t2", 40, 8),     // U=0.2
+	}
+}
+
+// Fig4 evaluates the closed forms over the trade-off grids.
+func Fig4(xSteps, speedSteps int) (Fig4Result, error) {
+	if xSteps <= 1 {
+		xSteps = 13
+	}
+	if speedSteps <= 1 {
+		speedSteps = 25
+	}
+	res := Fig4Result{}
+	base := fig4Base()
+	ys := []rat.Rat{rat.One, rat.New(3, 2), rat.Two, rat.FromInt64(3)}
+	for _, y := range ys {
+		res.YLabels = append(res.YLabels, "y="+y.String())
+	}
+	res.SBound = make([][]float64, len(ys))
+
+	for i := 0; i < xSteps; i++ {
+		// x sweeps (0.1, 0.9).
+		x := 0.1 + 0.8*float64(i)/float64(xSteps-1)
+		res.XValues = append(res.XValues, x)
+		xr := rat.FromFloat(x, 1<<16)
+		for yi, y := range ys {
+			shaped, err := base.ShortenHIDeadlines(xr)
+			if err != nil {
+				return res, err
+			}
+			shaped, err = shaped.DegradeLO(y)
+			if err != nil {
+				return res, err
+			}
+			bound := core.ClosedFormSpeedup(shaped)
+			v := math.NaN()
+			if !bound.IsInf() {
+				v = bound.Float64()
+			}
+			res.SBound[yi] = append(res.SBound[yi], v)
+		}
+	}
+
+	// Panel (b): Lemma 7 with s_min artificially scaled, as the paper's
+	// Example 4 does to emulate different HI-mode loads.
+	shaped, err := base.ShortenHIDeadlines(rat.New(1, 2))
+	if err != nil {
+		return res, err
+	}
+	shaped, err = shaped.DegradeLO(rat.Two)
+	if err != nil {
+		return res, err
+	}
+	sminBase := core.ClosedFormSpeedup(shaped)
+	totalC := rat.FromInt64(int64(shaped.TotalCHI()))
+	scales := []rat.Rat{rat.One, rat.New(5, 4), rat.New(3, 2)}
+	res.ResetBounds = make([][]float64, len(scales))
+	for si, sc := range scales {
+		res.SMinLabels = append(res.SMinLabels,
+			fmt.Sprintf("s_min=%.2f", sminBase.Mul(sc).Float64()))
+		_ = si
+	}
+	for i := 0; i < speedSteps; i++ {
+		s := 1.0 + 2.5*float64(i)/float64(speedSteps-1)
+		res.Speeds = append(res.Speeds, s)
+		speed := rat.FromFloat(s, 1<<16)
+		for si, sc := range scales {
+			smin := sminBase.Mul(sc)
+			v := math.NaN()
+			if speed.Cmp(smin) > 0 {
+				v = totalC.Div(speed.Sub(smin)).Float64()
+			}
+			res.ResetBounds[si] = append(res.ResetBounds[si], v)
+		}
+	}
+	return res, nil
+}
+
+// Render emits both panels.
+func (r Fig4Result) Render() string {
+	var b strings.Builder
+	var sA []textplot.Series
+	for i, lbl := range r.YLabels {
+		sA = append(sA, textplot.Series{Name: lbl, Ys: r.SBound[i]})
+	}
+	b.WriteString(textplot.Lines(
+		"Fig. 4a — Lemma-6 speedup bound vs. overrun preparation x (per degradation y)",
+		r.XValues, sA, 64, 16))
+	b.WriteByte('\n')
+	var sB []textplot.Series
+	for i, lbl := range r.SMinLabels {
+		sB = append(sB, textplot.Series{Name: lbl, Ys: r.ResetBounds[i]})
+	}
+	b.WriteString(textplot.Lines(
+		"Fig. 4b — Lemma-7 resetting-time bound vs. HI-mode speed s (per s_min)",
+		r.Speeds, sB, 64, 16))
+	return b.String()
+}

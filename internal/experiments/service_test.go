@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServiceQuality(t *testing.T) {
+	r, err := ServiceQuality(ServiceQualityConfig{Sets: 8, UBound: 0.55, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CorpusSize == 0 {
+		t.Fatal("empty corpus")
+	}
+	idx := map[string]int{}
+	for i, p := range r.Policies {
+		idx[p] = i
+	}
+	// The speedup-based full-service policy completes every released LO
+	// job (nothing is ever dropped or killed); termination completes the
+	// fewest.
+	full := r.LOCompleted[idx["speedup"]]
+	term := r.LOCompleted[idx["terminate"]]
+	if full < 0.999 {
+		t.Errorf("full-service completion %.3f, want ~1", full)
+	}
+	if term > full+1e-9 {
+		t.Errorf("termination completes more than full service (%.3f > %.3f)", term, full)
+	}
+	// Degradation sits between termination and full service.
+	deg := r.LOCompleted[idx["degrade(y=2)"]]
+	if deg < term-1e-9 || deg > full+1e-9 {
+		t.Errorf("degradation completion %.3f outside [%.3f, %.3f]", deg, term, full)
+	}
+	for p := range r.Policies {
+		if r.LOCompleted[p] < 0 || r.LOCompleted[p] > 1 {
+			t.Fatalf("completion fraction %v out of range", r.LOCompleted[p])
+		}
+		if r.MeanLOResponse[p] < 0 {
+			t.Fatalf("negative mean response")
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"LO-service quality", "terminate", "LO jobs completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each driver returns a structured result whose Render method
+// emits the fixed-width text that cmd/mcs-experiments prints and that
+// EXPERIMENTS.md quotes. Drivers are deterministic given their
+// configuration (seeded randomness, exact rational analysis).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+)
+
+// Table1Result reproduces Table I together with the Example-1 and
+// Example-2 numbers derived from it.
+type Table1Result struct {
+	// SMin is the exact minimum HI-mode speedup of the undegraded set
+	// (Example 1: 4/3).
+	SMin rat.Rat
+	// SMinDegraded is the exact minimum speedup with τ₂ degraded to
+	// D(HI)=15, T(HI)=20 (Example 1: < 1).
+	SMinDegraded rat.Rat
+	// ResetAt2 is Δ_R at s = 2 on the undegraded set (Example 2: 6).
+	ResetAt2 rat.Rat
+	// ResetAtSMin is Δ_R at s = s_min on the undegraded set.
+	ResetAtSMin rat.Rat
+	// ResetDegradedAt2 is Δ_R at s = 2 with degradation.
+	ResetDegradedAt2 rat.Rat
+	// TableText is the Table-I parameter listing.
+	TableText string
+}
+
+// Table1 computes the running example's numbers.
+func Table1() (Table1Result, error) {
+	base := examplesets.TableI()
+	deg := examplesets.TableIDegraded()
+
+	var out Table1Result
+	out.TableText = base.Table()
+
+	sp, err := core.MinSpeedup(base)
+	if err != nil {
+		return out, err
+	}
+	out.SMin = sp.Speedup
+
+	spDeg, err := core.MinSpeedup(deg)
+	if err != nil {
+		return out, err
+	}
+	out.SMinDegraded = spDeg.Speedup
+
+	r2, err := core.ResetTime(base, rat.Two)
+	if err != nil {
+		return out, err
+	}
+	out.ResetAt2 = r2.Reset
+
+	rs, err := core.ResetTime(base, out.SMin)
+	if err != nil {
+		return out, err
+	}
+	out.ResetAtSMin = rs.Reset
+
+	rd, err := core.ResetTime(deg, rat.Two)
+	if err != nil {
+		return out, err
+	}
+	out.ResetDegradedAt2 = rd.Reset
+	return out, nil
+}
+
+// Render emits the table and derived quantities.
+func (r Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table I — example task set (reconstruction; see DESIGN.md)\n")
+	b.WriteString(r.TableText)
+	fmt.Fprintf(&b, "\nExample 1: s_min            = %v (%.4f)   [paper: 4/3]\n", r.SMin, r.SMin.Float64())
+	fmt.Fprintf(&b, "           s_min degraded   = %v (%.4f)   [paper: < 1, system may slow down]\n",
+		r.SMinDegraded, r.SMinDegraded.Float64())
+	fmt.Fprintf(&b, "Example 2: Δ_R at s=2       = %v            [paper: 6]\n", r.ResetAt2)
+	fmt.Fprintf(&b, "           Δ_R at s=s_min   = %v\n", r.ResetAtSMin)
+	fmt.Fprintf(&b, "           Δ_R degraded s=2 = %v            [paper: further reduced]\n", r.ResetDegradedAt2)
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package fms
+
+import (
+	"testing"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+func TestStructureMatchesPaper(t *testing.T) {
+	s, err := Tasks(DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.ByCrit(task.HI)); got != 7 {
+		t.Errorf("HI (level B) tasks = %d, want 7", got)
+	}
+	if got := len(s.ByCrit(task.LO)); got != 4 {
+		t.Errorf("LO (level C) tasks = %d, want 4", got)
+	}
+	minP, maxP := task.Unbounded, task.Time(0)
+	for i := range s {
+		p := s[i].Period[task.LO]
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if minP != 100*TicksPerMS || maxP != 5000*TicksPerMS {
+		t.Errorf("period span [%d, %d] ticks, want [100 ms, 5 s]", minP, maxP)
+	}
+}
+
+// TestHeadlineRecovery asserts the paper's Section VI.A observation:
+// "FMS takes in the worst-case less than 3 s to recover with a speedup
+// of 2". Configuration: minimal x for LO-mode schedulability, no service
+// degradation, γ = 2.
+func TestHeadlineRecovery(t *testing.T) {
+	s, err := Tasks(DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prepared, err := core.MinimalX(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ResetTime(prepared, rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threeSeconds := rat.FromInt64(3000 * TicksPerMS)
+	if res.Reset.Cmp(threeSeconds) >= 0 {
+		t.Fatalf("Δ_R(s=2) = %v ticks (%.1f ms), want < 3 s",
+			res.Reset, res.Reset.Float64()/TicksPerMS)
+	}
+	if res.Reset.Sign() <= 0 {
+		t.Fatal("Δ_R must be positive")
+	}
+}
+
+// TestUndegradedSpeedupEqualsLOCount pins a structural fact of the model
+// that the paper's degradation trade-off exists to avoid: with no service
+// degradation, each undegraded LO task can contribute a carry-over job
+// due almost immediately after the switch (its demand curve has a
+// unit-slope ramp at the origin), so the four level-C tasks alone force
+// s_min = 4 regardless of how much the HI deadlines are shortened.
+func TestUndegradedSpeedupEqualsLOCount(t *testing.T) {
+	s, err := Tasks(DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prepared, err := core.MinimalX(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.MinSpeedup(prepared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("FMS speedup walk inexact")
+	}
+	if want := rat.FromInt64(4); !res.Speedup.Eq(want) {
+		t.Fatalf("undegraded s_min = %v, want %v (one slope unit per undegraded LO task)",
+			res.Speedup, want)
+	}
+}
+
+// TestSpeedupWithinTurboRange: with the paper's standard configuration —
+// minimal overrun preparation plus moderate service degradation (y = 2) —
+// the required speedup stays within what commodity DVFS offers (the paper
+// cites a 2x Intel Turbo Boost ceiling).
+func TestSpeedupWithinTurboRange(t *testing.T) {
+	s, err := Tasks(DefaultGamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := s.DegradeLO(rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prepared, err := core.MinimalX(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.MinSpeedup(prepared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("FMS speedup walk inexact")
+	}
+	if res.Speedup.Cmp(rat.Two) > 0 {
+		t.Fatalf("s_min = %v (%.3f) exceeds the 2x turbo ceiling", res.Speedup, res.Speedup.Float64())
+	}
+	if res.Speedup.Sign() <= 0 {
+		t.Fatal("s_min must be positive")
+	}
+}
+
+func TestGammaSweepMonotone(t *testing.T) {
+	// Required speedup grows with γ (more overrun load to absorb).
+	prev := rat.Zero
+	for g := int64(10); g <= 40; g += 5 {
+		s, err := Tasks(rat.New(g, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, prepared, err := core.MinimalX(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.MinSpeedup(prepared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// MinimalX may choose different x per γ, so allow tiny dips but
+		// require overall growth.
+		if g == 40 && res.Speedup.Cmp(prev) < 0 {
+			t.Errorf("speedup at γ=4 below γ=3.5 value")
+		}
+		prev = res.Speedup
+	}
+}
+
+func TestBadGammaRejected(t *testing.T) {
+	if _, err := Tasks(rat.New(1, 2)); err == nil {
+		t.Error("γ < 1 accepted")
+	}
+}
+
+func TestLOModeSchedulableAsShipped(t *testing.T) {
+	s, err := Tasks(rat.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := core.SchedulableLO(s)
+	if err != nil || !ok {
+		t.Fatalf("FMS base set not LO-mode schedulable: %v %v", ok, err)
+	}
+}

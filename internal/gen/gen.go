@@ -1,0 +1,253 @@
+// Package gen synthesizes random dual-criticality task sets following the
+// generation protocol of Baruah et al. (reference [4] of the paper), with
+// the parameter ranges the paper states in its Fig. 6 and Fig. 7 captions:
+// minimum inter-arrival times drawn from [2 ms, 2 s], per-task
+// LO-criticality utilizations from [0.01, 0.2], and WCET uncertainty
+// factors γ = C(HI)/C(LO) from a configurable range ([1, 3] for Fig. 6,
+// 10 for Fig. 7). Tasks have implicit deadlines (Section V); the paper's
+// experiments then apply the x (overrun preparation) and y (service
+// degradation) transforms from eqs. (13)–(14).
+//
+// The generator "starts with an empty task set and continuously adds new
+// random tasks to this set until certain system utilization U_bound is
+// met" [4]: the growth target is [4]'s average system utilization
+// U_avg = (U_LO(LO) + U_HI(HI))/2; a candidate task that would overshoot
+// U_bound is re-drawn, and generation succeeds when U_avg lands in
+// [U_bound − tol, U_bound].
+//
+// Times are integer ticks with 1 tick = 100 µs, so [2 ms, 2 s] spans
+// [20, 20000] ticks and rounding error in C = U·T is at most 0.5 %.
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+
+	"mcspeedup/internal/task"
+)
+
+// TicksPerMS is the number of ticks per millisecond (1 tick = 100 µs).
+const TicksPerMS = 10
+
+// Params configures the random task generator.
+type Params struct {
+	// PeriodMin and PeriodMax bound the minimum inter-arrival times
+	// (ticks). Periods are drawn log-uniformly so each decade is equally
+	// represented, as is customary for [4]-style generators.
+	PeriodMin, PeriodMax task.Time
+	// UtilMin and UtilMax bound the per-task LO-criticality utilization.
+	UtilMin, UtilMax float64
+	// GammaMin and GammaMax bound the per-HI-task WCET uncertainty
+	// factor γ = C(HI)/C(LO).
+	GammaMin, GammaMax float64
+	// ProbHI is the probability that a generated task is HI-criticality.
+	ProbHI float64
+	// Tol is the acceptance half-window under U_bound (default 0.02).
+	Tol float64
+	// MaxAttempts bounds redraws per added task (default 64).
+	MaxAttempts int
+}
+
+// Defaults returns the Fig. 6 caption parameters: periods 2 ms–2 s,
+// U(LO) ∈ [0.01, 0.2], γ ∈ [1, 3], an even HI/LO split.
+func Defaults() Params {
+	return Params{
+		PeriodMin: 2 * TicksPerMS,
+		PeriodMax: 2000 * TicksPerMS,
+		UtilMin:   0.01,
+		UtilMax:   0.2,
+		GammaMin:  1,
+		GammaMax:  3,
+		ProbHI:    0.5,
+	}
+}
+
+func (p Params) tol() float64 {
+	if p.Tol <= 0 {
+		return 0.02
+	}
+	return p.Tol
+}
+
+func (p Params) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 256
+	}
+	return p.MaxAttempts
+}
+
+// drawTask synthesizes one random task (without a name).
+func (p Params) drawTask(rnd *rand.Rand, crit task.Crit) task.Task {
+	logMin, logMax := math.Log(float64(p.PeriodMin)), math.Log(float64(p.PeriodMax))
+	period := task.Time(math.Round(math.Exp(logMin + rnd.Float64()*(logMax-logMin))))
+	if period < p.PeriodMin {
+		period = p.PeriodMin
+	}
+	if period > p.PeriodMax {
+		period = p.PeriodMax
+	}
+	u := p.UtilMin + rnd.Float64()*(p.UtilMax-p.UtilMin)
+	cLO := task.Time(math.Round(u * float64(period)))
+	if cLO < 1 {
+		cLO = 1
+	}
+	if crit == task.LO {
+		return task.NewImplicitLO("", period, cLO)
+	}
+	gamma := p.GammaMin + rnd.Float64()*(p.GammaMax-p.GammaMin)
+	cHI := task.Time(math.Round(gamma * float64(cLO)))
+	if cHI < cLO {
+		cHI = cLO
+	}
+	if cHI > period {
+		cHI = period // implicit deadline caps C(HI)
+	}
+	return task.NewImplicitHI("", period, cLO, cHI)
+}
+
+// uAvg is the growth metric of [4]'s experiments: the average system
+// utilization (U_LO(LO) + U_HI(HI))/2 — LO tasks at their LO-criticality
+// WCETs, HI tasks at their HI-criticality WCETs.
+func uAvg(s task.Set) float64 {
+	return (s.UtilCrit(task.LO, task.LO).Float64() +
+		s.UtilCrit(task.HI, task.HI).Float64()) / 2
+}
+
+// Set grows a random task set until its average utilization reaches
+// uBound (within tolerance). ok is false when the target could not be hit
+// within the redraw budget — callers should redraw with fresh randomness.
+// The result always contains at least one HI and one LO task so the
+// mixed-criticality transforms are meaningful.
+func (p Params) Set(rnd *rand.Rand, uBound float64) (task.Set, bool) {
+	var s task.Set
+	name := 0
+	add := func(tk task.Task) {
+		tk.Name = taskName(name)
+		name++
+		s = append(s, tk)
+	}
+	// Seed with one task of each criticality.
+	add(p.drawTask(rnd, task.HI))
+	add(p.drawTask(rnd, task.LO))
+	for attempts := 0; uAvg(s) < uBound-p.tol(); {
+		crit := task.LO
+		if rnd.Float64() < p.ProbHI {
+			crit = task.HI
+		}
+		cand := p.drawTask(rnd, crit)
+		grown := append(s.Clone(), cand)
+		if uAvg(grown) > uBound {
+			attempts++
+			if attempts > p.maxAttempts() {
+				return nil, false
+			}
+			continue
+		}
+		cand.Name = taskName(name)
+		name++
+		s = append(s, cand)
+	}
+	if uAvg(s) > uBound {
+		return nil, false
+	}
+	if err := s.Validate(); err != nil {
+		return nil, false
+	}
+	return s, true
+}
+
+// MustSet retries Set with fresh randomness until it succeeds.
+func (p Params) MustSet(rnd *rand.Rand, uBound float64) task.Set {
+	for {
+		if s, ok := p.Set(rnd, uBound); ok {
+			return s
+		}
+	}
+}
+
+// SetWithTargets grows a set to hit the Fig. 7 targets independently:
+// U_HI = Σ_{χ=HI} C(HI)/T within ±tol of uHI, and U_LO = Σ_{χ=LO}
+// C(LO)/T within ±tol of uLO (the U_χ notation of the figure). The last
+// task of each criticality uses the longest period in range so its
+// utilization can be tuned to land inside the window.
+func (p Params) SetWithTargets(rnd *rand.Rand, uHI, uLO, tol float64) (task.Set, bool) {
+	var s task.Set
+	name := 0
+	add := func(tk task.Task) {
+		tk.Name = taskName(name)
+		name++
+		s = append(s, tk)
+	}
+	grow := func(crit task.Crit, current func() float64, target float64, maxStep float64) bool {
+		attempts := 0
+		for current() < target-tol {
+			remaining := target - current()
+			if remaining <= maxStep {
+				// Tailor a closing task on the longest period, where
+				// the utilization granularity 1/PeriodMax is finest.
+				period := p.PeriodMax
+				if crit == task.HI {
+					cHI := task.Time(math.Round(remaining * float64(period)))
+					if cHI < 1 {
+						cHI = 1
+					}
+					gamma := p.GammaMin + rnd.Float64()*(p.GammaMax-p.GammaMin)
+					cLO := task.Time(math.Round(float64(cHI) / gamma))
+					if cLO < 1 {
+						cLO = 1
+					}
+					if cLO > cHI {
+						cLO = cHI
+					}
+					add(task.NewImplicitHI("", period, cLO, cHI))
+				} else {
+					cLO := task.Time(math.Round(remaining * float64(period)))
+					if cLO < 1 {
+						cLO = 1
+					}
+					add(task.NewImplicitLO("", period, cLO))
+				}
+				continue
+			}
+			cand := p.drawTask(rnd, crit)
+			grown := append(s.Clone(), cand)
+			var u float64
+			if crit == task.HI {
+				u = grown.UtilCrit(task.HI, task.HI).Float64()
+			} else {
+				u = grown.UtilCrit(task.LO, task.LO).Float64()
+			}
+			if u > target+tol {
+				attempts++
+				if attempts > p.maxAttempts() {
+					return false
+				}
+				continue
+			}
+			add(cand)
+		}
+		return current() <= target+tol
+	}
+	maxStepHI := p.UtilMax * p.GammaMax
+	if maxStepHI > 1 {
+		maxStepHI = 1 // C(HI) is capped at the implicit deadline
+	}
+	okHI := grow(task.HI, func() float64 { return s.UtilCrit(task.HI, task.HI).Float64() }, uHI, maxStepHI)
+	okLO := grow(task.LO, func() float64 { return s.UtilCrit(task.LO, task.LO).Float64() }, uLO, p.UtilMax)
+	if !okHI || !okLO || len(s) == 0 {
+		return nil, false
+	}
+	if err := s.Validate(); err != nil {
+		return nil, false
+	}
+	return s, true
+}
+
+func taskName(i int) string {
+	// a, b, ..., z, t26, t27, ...
+	if i < 26 {
+		return string(rune('a' + i))
+	}
+	return "t" + strconv.Itoa(i)
+}

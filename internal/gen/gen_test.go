@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/task"
+)
+
+func TestSetHitsUtilizationTarget(t *testing.T) {
+	rnd := rand.New(rand.NewSource(71))
+	p := Defaults()
+	for _, uBound := range []float64{0.3, 0.5, 0.7, 0.9} {
+		for i := 0; i < 30; i++ {
+			s := p.MustSet(rnd, uBound)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("U=%.1f: %v", uBound, err)
+			}
+			got := uAvg(s)
+			if got > uBound || got < uBound-p.tol()-1e-9 {
+				t.Fatalf("U=%.1f: uAvg = %.4f outside [%.4f, %.4f]", uBound, got, uBound-p.tol(), uBound)
+			}
+			if len(s.ByCrit(task.HI)) == 0 || len(s.ByCrit(task.LO)) == 0 {
+				t.Fatalf("U=%.1f: missing a criticality level", uBound)
+			}
+		}
+	}
+}
+
+func TestGeneratedParameterRanges(t *testing.T) {
+	rnd := rand.New(rand.NewSource(72))
+	p := Defaults()
+	for i := 0; i < 50; i++ {
+		s := p.MustSet(rnd, 0.6)
+		for j := range s {
+			tk := &s[j]
+			if tk.Period[task.LO] < p.PeriodMin || tk.Period[task.LO] > p.PeriodMax {
+				t.Fatalf("period %d outside [%d, %d]", tk.Period[task.LO], p.PeriodMin, p.PeriodMax)
+			}
+			if tk.Deadline[task.HI] != tk.Period[task.HI] && tk.Crit == task.HI {
+				t.Fatalf("HI task not implicit-deadline: %s", tk.String())
+			}
+			u := tk.Util(task.LO).Float64()
+			// Rounding of C = U·T can push the realized utilization
+			// slightly outside the drawing range.
+			if u < p.UtilMin/2 || u > p.UtilMax*1.1 {
+				t.Fatalf("per-task U(LO) = %.4f outside sane range (%s)", u, tk.String())
+			}
+			if tk.Crit == task.HI {
+				g := tk.Gamma().Float64()
+				if g < 1 || g > p.GammaMax+0.5 {
+					t.Fatalf("γ = %.3f outside range (%s)", g, tk.String())
+				}
+			}
+		}
+	}
+}
+
+func TestSetWithTargets(t *testing.T) {
+	rnd := rand.New(rand.NewSource(73))
+	p := Defaults()
+	p.GammaMin, p.GammaMax = 10, 10 // Fig. 7 configuration
+	hits := 0
+	for i := 0; i < 40; i++ {
+		s, ok := p.SetWithTargets(rnd, 0.6, 0.4, 0.025)
+		if !ok {
+			continue
+		}
+		hits++
+		uHI := s.UtilCrit(task.HI, task.HI).Float64()
+		uLO := s.UtilCrit(task.LO, task.LO).Float64()
+		if uHI < 0.6-0.025-1e-9 || uHI > 0.6+0.025+1e-9 {
+			t.Fatalf("U_HI = %.4f not within 0.6±0.025", uHI)
+		}
+		if uLO < 0.4-0.025-1e-9 || uLO > 0.4+0.025+1e-9 {
+			t.Fatalf("U_LO = %.4f not within 0.4±0.025", uLO)
+		}
+	}
+	if hits < 20 {
+		t.Fatalf("only %d/40 target draws succeeded", hits)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Defaults()
+	a := p.MustSet(rand.New(rand.NewSource(99)), 0.5)
+	b := p.MustSet(rand.New(rand.NewSource(99)), 0.5)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic set sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic task %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGammaTenCapsAtPeriod(t *testing.T) {
+	rnd := rand.New(rand.NewSource(74))
+	p := Defaults()
+	p.GammaMin, p.GammaMax = 10, 10
+	s := p.MustSet(rnd, 0.5)
+	for i := range s {
+		if s[i].Crit == task.HI && s[i].WCET[task.HI] > s[i].Period[task.HI] {
+			t.Fatalf("C(HI) exceeds implicit deadline: %s", s[i].String())
+		}
+	}
+}
+
+func TestTaskNames(t *testing.T) {
+	if taskName(0) != "a" || taskName(25) != "z" || taskName(26) != "t26" {
+		t.Errorf("taskName sequence broken: %q %q %q", taskName(0), taskName(25), taskName(26))
+	}
+}

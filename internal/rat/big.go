@@ -1,0 +1,58 @@
+package rat
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Big returns r as a math/big.Rat. Panics on infinities.
+func (r Rat) Big() *big.Rat {
+	if r.IsInf() {
+		panic(fmt.Errorf("rat: Big of %v", r))
+	}
+	return big.NewRat(r.num, r.den)
+}
+
+// roundDenom caps the denominator of FromBig results: values whose
+// reduced denominator exceeds it are rounded to multiples of
+// 2^-20 ≈ 1e-6, far below any tolerance that matters to the analyses
+// (which use FromBig only for utilization *bounds*, never for exact
+// demand ratios). The cap also leaves ample headroom for the downstream
+// products the analysis walks form with event positions.
+const roundDenom = int64(1) << 20
+
+// FromBig converts v to a Rat. The conversion is exact whenever v's
+// reduced denominator is at most 2^20 (and the numerator fits int64);
+// otherwise the value is directed-rounded to a multiple of 1/2^20 —
+// upward when roundUp is true, downward otherwise — so callers can
+// maintain sound lower/upper bounds.
+func FromBig(v *big.Rat, roundUp bool) Rat {
+	if v.Num().IsInt64() && v.Denom().IsInt64() && v.Denom().Int64() <= roundDenom {
+		return New(v.Num().Int64(), v.Denom().Int64())
+	}
+	scaled := new(big.Rat).Mul(v, big.NewRat(roundDenom, 1))
+	num := new(big.Int).Quo(scaled.Num(), scaled.Denom()) // truncates toward zero
+	// Fix truncation into directed rounding.
+	exact := new(big.Int).Mul(num, scaled.Denom())
+	if exact.Cmp(scaled.Num()) != 0 {
+		if roundUp && v.Sign() > 0 {
+			num.Add(num, big.NewInt(1))
+		}
+		if !roundUp && v.Sign() < 0 {
+			num.Sub(num, big.NewInt(1))
+		}
+	}
+	if !num.IsInt64() {
+		// |v| ≥ 2^31: utilization-scale values never get here.
+		if v.Sign() > 0 {
+			panic(fmt.Errorf("rat: FromBig magnitude too large: %v", v))
+		}
+		panic(fmt.Errorf("rat: FromBig magnitude too large: %v", v))
+	}
+	n := num.Int64()
+	if n > math.MaxInt64/2 || n < math.MinInt64/2 {
+		panic(fmt.Errorf("rat: FromBig magnitude too large: %v", v))
+	}
+	return New(n, roundDenom)
+}

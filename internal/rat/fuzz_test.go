@@ -1,0 +1,47 @@
+package rat
+
+import "testing"
+
+// FuzzParse: the string parser must never panic, and every accepted value
+// must round-trip through String.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{"4/3", "-2/4", "7", "+Inf", "-Inf", "0", "1/0", "x", "", " 3 / 9 "} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("String %q of parsed %q does not re-parse: %v", r.String(), s, err)
+		}
+		if !back.Eq(r) {
+			t.Fatalf("round trip %q → %v → %v", s, r, back)
+		}
+	})
+}
+
+// FuzzFromFloat: conversion must never panic on finite inputs and must
+// stay within 1/maxDen of the input.
+func FuzzFromFloat(f *testing.F) {
+	f.Add(0.5)
+	f.Add(4.0 / 3.0)
+	f.Add(-123.456)
+	f.Add(0.0)
+	f.Add(1e15)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if x != x || x > 1e17 || x < -1e17 { // NaN and magnitudes near int64 limits are rejected inputs
+			return
+		}
+		r := FromFloat(x, 1<<20)
+		if d := r.Float64() - x; d > 2e-6 || d < -2e-6 {
+			// Relative tolerance for large magnitudes.
+			rel := d / x
+			if rel > 1e-6 || rel < -1e-6 {
+				t.Fatalf("FromFloat(%v) = %v, error %v", x, r, d)
+			}
+		}
+	})
+}

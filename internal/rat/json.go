@@ -1,0 +1,63 @@
+package rat
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MarshalJSON encodes the rational as its exact canonical string:
+// "num/den", a bare integer when den == 1, or "+Inf"/"-Inf" — the same
+// forms String produces and UnmarshalJSON accepts, so values round-trip
+// losslessly through JSON.
+func (r Rat) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnmarshalJSON decodes "num/den", integers (as JSON strings or numbers),
+// and "+Inf"/"-Inf".
+func (r *Rat) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		// Accept a bare JSON integer for convenience.
+		var n int64
+		if err2 := json.Unmarshal(b, &n); err2 == nil {
+			*r = FromInt64(n)
+			return nil
+		}
+		return fmt.Errorf("rat: bad JSON %s: %w", b, err)
+	}
+	v, err := Parse(s)
+	if err != nil {
+		return err
+	}
+	*r = v
+	return nil
+}
+
+// Parse converts the canonical string forms back into a Rat.
+func Parse(s string) (Rat, error) {
+	switch strings.TrimSpace(s) {
+	case "+Inf", "Inf", "inf":
+		return PosInf, nil
+	case "-Inf", "-inf":
+		return NegInf, nil
+	}
+	num, den := strings.TrimSpace(s), "1"
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, den = strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:])
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return Rat{}, fmt.Errorf("rat: bad numerator in %q: %w", s, err)
+	}
+	d, err := strconv.ParseInt(den, 10, 64)
+	if err != nil {
+		return Rat{}, fmt.Errorf("rat: bad denominator in %q: %w", s, err)
+	}
+	if d == 0 {
+		return Rat{}, fmt.Errorf("rat: zero denominator in %q", s)
+	}
+	return New(n, d), nil
+}

@@ -1,0 +1,75 @@
+package rat
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	cases := []Rat{New(4, 3), FromInt64(7), Zero, New(-5, 9), PosInf, NegInf}
+	for _, r := range cases {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Rat
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !back.Eq(r) {
+			t.Errorf("round trip %v → %s → %v", r, data, back)
+		}
+	}
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(91))
+	for i := 0; i < 1000; i++ {
+		r := smallRat(rnd)
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Rat
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !back.Eq(r) {
+			t.Fatalf("round trip %v → %s → %v", r, data, back)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	good := map[string]Rat{
+		"4/3":    New(4, 3),
+		" 4 / 3": New(4, 3),
+		"-2/4":   New(-1, 2),
+		"5":      FromInt64(5),
+		"+Inf":   PosInf,
+		"-Inf":   NegInf,
+		"0":      Zero,
+	}
+	for s, want := range good {
+		got, err := Parse(s)
+		if err != nil || !got.Eq(want) {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "x", "1/0", "1/", "/3", "1.5"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestUnmarshalBareNumber(t *testing.T) {
+	var r Rat
+	if err := json.Unmarshal([]byte(`42`), &r); err != nil || !r.Eq(FromInt64(42)) {
+		t.Errorf("bare number: %v, %v", r, err)
+	}
+	if err := json.Unmarshal([]byte(`{"a":1}`), &r); err == nil {
+		t.Error("object accepted as Rat")
+	}
+}

@@ -1,0 +1,311 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		num, den         int64
+		wantNum, wantDen int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 7, 0, 1},
+		{0, -7, 0, 1},
+		{6, 3, 2, 1},
+		{math.MaxInt64, math.MaxInt64, 1, 1},
+	}
+	for _, c := range cases {
+		got := New(c.num, c.den)
+		if got.Num() != c.wantNum || got.Den() != c.wantDen {
+			t.Errorf("New(%d,%d) = %v, want %d/%d", c.num, c.den, got, c.wantNum, c.wantDen)
+		}
+	}
+}
+
+func TestNewZeroDenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1,0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got := half.Add(third); !got.Eq(New(5, 6)) {
+		t.Errorf("1/2 + 1/3 = %v, want 5/6", got)
+	}
+	if got := half.Sub(third); !got.Eq(New(1, 6)) {
+		t.Errorf("1/2 - 1/3 = %v, want 1/6", got)
+	}
+	if got := half.Mul(third); !got.Eq(New(1, 6)) {
+		t.Errorf("1/2 * 1/3 = %v, want 1/6", got)
+	}
+	if got := half.Div(third); !got.Eq(New(3, 2)) {
+		t.Errorf("(1/2) / (1/3) = %v, want 3/2", got)
+	}
+	if got := New(4, 3).MulInt(3); !got.Eq(FromInt64(4)) {
+		t.Errorf("4/3 * 3 = %v, want 4", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{New(1, 2), New(1, 3), 1},
+		{New(1, 3), New(1, 2), -1},
+		{New(2, 4), New(1, 2), 0},
+		{New(-1, 2), New(1, 2), -1},
+		{Zero, New(-1, 5), 1},
+		{PosInf, FromInt64(1 << 60), 1},
+		{NegInf, FromInt64(math.MinInt64), -1},
+		{PosInf, PosInf, 0},
+		{NegInf, PosInf, -1},
+		// Values that overflow naive int64 cross-multiplication.
+		{New(math.MaxInt64, math.MaxInt64-1), New(math.MaxInt64-1, math.MaxInt64-2), -1},
+		{New(math.MaxInt64, 3), New(math.MaxInt64-1, 3), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInfArithmetic(t *testing.T) {
+	if got := PosInf.Add(FromInt64(5)); !got.Eq(PosInf) {
+		t.Errorf("+Inf + 5 = %v", got)
+	}
+	if got := PosInf.Inv(); !got.Eq(Zero) {
+		t.Errorf("1/+Inf = %v", got)
+	}
+	if got := Zero.Inv(); !got.Eq(PosInf) {
+		t.Errorf("1/0 = %v", got)
+	}
+	if got := FromInt64(3).Div(Zero); !got.Eq(PosInf) {
+		t.Errorf("3/0 = %v", got)
+	}
+	if got := FromInt64(-3).Div(Zero); !got.Eq(NegInf) {
+		t.Errorf("-3/0 = %v", got)
+	}
+	if !PosInf.IsInf() || !NegInf.IsInf() || One.IsInf() {
+		t.Error("IsInf misclassification")
+	}
+	if math.IsInf(PosInf.Float64(), 1) != true {
+		t.Errorf("PosInf.Float64() = %v", PosInf.Float64())
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		r           Rat
+		floor, ceil int64
+	}{
+		{New(7, 2), 3, 4},
+		{New(-7, 2), -4, -3},
+		{FromInt64(5), 5, 5},
+		{New(1, 3), 0, 1},
+		{New(-1, 3), -1, 0},
+		{Zero, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("Floor(%v) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.ceil {
+			t.Errorf("Ceil(%v) = %d, want %d", c.r, got, c.ceil)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		r    Rat
+		want string
+	}{
+		{New(4, 3), "4/3"},
+		{FromInt64(7), "7"},
+		{Zero, "0"},
+		{PosInf, "+Inf"},
+		{NegInf, "-Inf"},
+		{New(-1, 2), "-1/2"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String(%v/%v) = %q, want %q", c.r.num, c.r.den, got, c.want)
+		}
+	}
+}
+
+func TestFromFloat(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want Rat
+	}{
+		{0.5, New(1, 2)},
+		{1.5, New(3, 2)},
+		{2, FromInt64(2)},
+		{4.0 / 3.0, New(4, 3)},
+		{-0.25, New(-1, 4)},
+		{0, Zero},
+		{math.Inf(1), PosInf},
+	}
+	for _, c := range cases {
+		got := FromFloat(c.f, 1<<20)
+		if !got.Eq(c.want) {
+			t.Errorf("FromFloat(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+	// Arbitrary floats round-trip to within 1/maxDen.
+	for i := 0; i < 100; i++ {
+		f := rand.Float64()*100 - 50
+		got := FromFloat(f, 1<<30)
+		if d := math.Abs(got.Float64() - f); d > 1e-8 {
+			t.Errorf("FromFloat(%v) = %v (err %v)", f, got, d)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := New(1, 3), New(1, 2)
+	if got := Max(a, b); !got.Eq(b) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Min(a, b); !got.Eq(a) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(PosInf, b); !got.Eq(PosInf) {
+		t.Errorf("Max(+Inf, .) = %v", got)
+	}
+}
+
+// --- property tests against math/big.Rat ---
+
+func toBig(r Rat) *big.Rat {
+	if r.IsInf() {
+		panic("toBig of infinity")
+	}
+	return big.NewRat(r.Num(), r.Den())
+}
+
+// smallRat produces rationals whose arithmetic cannot overflow int64 so we
+// can cross-check results against math/big exactly.
+func smallRat(rnd *rand.Rand) Rat {
+	num := rnd.Int63n(2_000_001) - 1_000_000
+	den := rnd.Int63n(1_000_000) + 1
+	return New(num, den)
+}
+
+func TestQuickAgainstBig(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, b := smallRat(rnd), smallRat(rnd)
+		if got, want := toBig(a.Add(b)), new(big.Rat).Add(toBig(a), toBig(b)); got.Cmp(want) != 0 {
+			t.Fatalf("Add(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := toBig(a.Sub(b)), new(big.Rat).Sub(toBig(a), toBig(b)); got.Cmp(want) != 0 {
+			t.Fatalf("Sub(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := toBig(a.Mul(b)), new(big.Rat).Mul(toBig(a), toBig(b)); got.Cmp(want) != 0 {
+			t.Fatalf("Mul(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if !b.IsZero() {
+			if got, want := toBig(a.Div(b)), new(big.Rat).Quo(toBig(a), toBig(b)); got.Cmp(want) != 0 {
+				t.Fatalf("Div(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+		if got, want := a.Cmp(b), toBig(a).Cmp(toBig(b)); got != want {
+			t.Fatalf("Cmp(%v,%v) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestQuickCmpLargeOperands(t *testing.T) {
+	// Cmp must stay exact even when operands are near the int64 limits,
+	// where naive cross-multiplication overflows.
+	rnd := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a := New(rnd.Int63()-rnd.Int63(), rnd.Int63n(math.MaxInt64-1)+1)
+		b := New(rnd.Int63()-rnd.Int63(), rnd.Int63n(math.MaxInt64-1)+1)
+		if got, want := a.Cmp(b), toBig(a).Cmp(toBig(b)); got != want {
+			t.Fatalf("Cmp(%v,%v) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestQuickProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(3))}
+
+	commutAdd := func(an, bn int64, ad, bd uint32) bool {
+		a := New(an%1e6, int64(ad%1e6)+1)
+		b := New(bn%1e6, int64(bd%1e6)+1)
+		return a.Add(b).Eq(b.Add(a))
+	}
+	if err := quick.Check(commutAdd, cfg); err != nil {
+		t.Error(err)
+	}
+
+	addSubRoundtrip := func(an, bn int64, ad, bd uint32) bool {
+		a := New(an%1e6, int64(ad%1e6)+1)
+		b := New(bn%1e6, int64(bd%1e6)+1)
+		return a.Add(b).Sub(b).Eq(a)
+	}
+	if err := quick.Check(addSubRoundtrip, cfg); err != nil {
+		t.Error(err)
+	}
+
+	mulDivRoundtrip := func(an, bn int64, ad, bd uint32) bool {
+		a := New(an%1e6, int64(ad%1e6)+1)
+		b := New(bn%1e6+1, int64(bd%1e6)+1) // non-zero
+		if b.IsZero() {
+			return true
+		}
+		return a.Mul(b).Div(b).Eq(a)
+	}
+	if err := quick.Check(mulDivRoundtrip, cfg); err != nil {
+		t.Error(err)
+	}
+
+	negInvolution := func(an int64, ad uint32) bool {
+		a := New(an%1e9, int64(ad%1e9)+1)
+		return a.Neg().Neg().Eq(a)
+	}
+	if err := quick.Check(negInvolution, cfg); err != nil {
+		t.Error(err)
+	}
+
+	floorCeil := func(an int64, ad uint32) bool {
+		a := New(an%1e9, int64(ad%1e6)+1)
+		f, c := a.Floor(), a.Ceil()
+		if FromInt64(f).Cmp(a) > 0 || FromInt64(c).Cmp(a) < 0 {
+			return false
+		}
+		return c-f <= 1
+	}
+	if err := quick.Check(floorCeil, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	big1 := New(math.MaxInt64, 1)
+	big1.Add(big1)
+}

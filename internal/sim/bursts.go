@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math/rand"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// BurstOverruns builds a workload realizing the overrun pattern of the
+// paper's Section-IV remark: tasks release sporadically (periodic plus
+// jitter), and overruns arrive in isolated bursts separated by at least
+// gap time units — the first HI-criticality release at or after each
+// burst instant executes for its full C(HI). With gap ≥ Δ_R the remark
+// predicts that the system overclocks with frequency at most 1/gap.
+func BurstOverruns(rnd *rand.Rand, s task.Set, horizon, gap task.Time) Workload {
+	if gap <= 0 {
+		gap = 1
+	}
+	var w Workload
+	for i := range s {
+		tk := &s[i]
+		at := task.Time(rnd.Int63n(int64(tk.Period[task.LO])/2 + 1))
+		for at < horizon {
+			demand := tk.WCET[task.LO]
+			w = append(w, Arrival{Task: i, At: at, Demand: demand})
+			at += tk.Period[task.LO] + task.Time(rnd.Int63n(int64(tk.Period[task.LO])/2+1))
+		}
+	}
+	sortWorkload(w)
+
+	// Promote to an overrun the first HI release at or after each burst
+	// instant 0, gap, 2·gap, ....
+	next := task.Time(0)
+	for k := range w {
+		if w[k].At < next {
+			continue
+		}
+		tk := &s[w[k].Task]
+		if tk.Crit != task.HI || tk.WCET[task.HI] == tk.WCET[task.LO] {
+			continue
+		}
+		w[k].Demand = tk.WCET[task.HI]
+		next = w[k].At + gap
+	}
+	return w
+}
+
+// HITime returns the total wall-clock time the run spent in HI mode
+// (the sum of the ended episodes' durations; an unended episode
+// contributes +Inf).
+func (r *Result) HITime() rat.Rat {
+	total := rat.Zero
+	for _, e := range r.Episodes {
+		total = total.Add(e.Duration())
+	}
+	return total
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+func TestBurstOverrunsStructure(t *testing.T) {
+	s := examplesets.TableI()
+	rnd := rand.New(rand.NewSource(71))
+	gap := task.Time(100)
+	w := BurstOverruns(rnd, s, 1000, gap)
+	if err := w.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	// Overruns (demand > C(LO) on HI tasks) are separated by ≥ gap.
+	last := task.Time(-gap)
+	overruns := 0
+	for _, a := range w {
+		tk := &s[a.Task]
+		if tk.Crit == task.HI && a.Demand > tk.WCET[task.LO] {
+			overruns++
+			if a.At-last < gap {
+				t.Fatalf("overruns at %d and %d closer than gap %d", last, a.At, gap)
+			}
+			last = a.At
+		}
+	}
+	if overruns < 5 {
+		t.Fatalf("only %d overruns over 10 gaps", overruns)
+	}
+}
+
+// TestSectionIVRemark quantifies the paper's Section-IV sustainability
+// remark: with overrun bursts separated by at least T_O ≥ Δ_R, the
+// processor overclocks with duty cycle at most Δ_R/T_O (up to the one
+// incomplete trailing window).
+func TestSectionIVRemark(t *testing.T) {
+	rnd := rand.New(rand.NewSource(73))
+	verified := 0
+	for iter := 0; iter < 2000 && verified < 120; iter++ {
+		s, sp, ok := randomAnalyzableSet(rnd)
+		if !ok {
+			continue
+		}
+		speed := rat.Max(sp.Speedup, s.Util(task.HI).Add(rat.New(1, 2)))
+		rr, err := core.ResetTime(s, speed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Reset.IsInf() {
+			continue
+		}
+		gap := task.Time(rr.Reset.Ceil()) + 1 + task.Time(rnd.Int63n(50))
+		if !core.SustainableOverrunGap(rr.Reset, gap) {
+			t.Fatalf("gap %d < Δ_R %v despite construction", gap, rr.Reset)
+		}
+		horizon := 20 * gap
+		w := BurstOverruns(rnd, s, horizon, gap)
+		res, err := Run(s, w, Config{Speedup: speed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Misses) != 0 {
+			t.Fatalf("misses under burst pattern at speed ≥ s_min:\n%s", s.Table())
+		}
+		// Episode starts are separated by at least... each burst causes
+		// at most one episode (a single overrun per burst and recovery
+		// before the next), so the count is bounded by the bursts.
+		maxBursts := int(horizon/gap) + 1
+		if len(res.Episodes) > maxBursts {
+			t.Fatalf("%d episodes from ≤ %d bursts:\n%s", len(res.Episodes), maxBursts, s.Table())
+		}
+		// Duty cycle ≤ Δ_R/gap over the run (every episode ≤ Δ_R, at
+		// most one per gap window).
+		hi := res.HITime()
+		bound := rr.Reset.MulInt(int64(maxBursts))
+		if hi.Cmp(bound) > 0 {
+			t.Fatalf("HI time %v exceeds %d·Δ_R = %v:\n%s", hi, maxBursts, bound, s.Table())
+		}
+		verified++
+	}
+	if verified < 60 {
+		t.Fatalf("only %d configurations verified", verified)
+	}
+}
+
+func TestJobRecordsAndResponseStats(t *testing.T) {
+	s := examplesets.TableI()
+	w := Workload{
+		{Task: 0, At: 0, Demand: 4}, // overruns; switch at 2, done 3
+		{Task: 1, At: 0, Demand: 2}, // done at 4 (speed 2)
+		{Task: 0, At: 10, Demand: 2},
+	}
+	res := mustRun(t, s, w, Config{Speedup: rat.Two, CollectJobs: true})
+	if len(res.Jobs) != 3 {
+		t.Fatalf("job records: %d, want 3", len(res.Jobs))
+	}
+	// Ordered by completion: τ1@0 (3), τ2@0 (4), τ1@10 (12).
+	if res.Jobs[0].Task != 0 || !res.Jobs[0].Completion.Eq(rat.FromInt64(3)) {
+		t.Fatalf("first record %+v", res.Jobs[0])
+	}
+	if res.Jobs[1].Task != 1 || !res.Jobs[1].Completion.Eq(rat.FromInt64(4)) {
+		t.Fatalf("second record %+v", res.Jobs[1])
+	}
+	if got := res.Jobs[0].ResponseTime(); !got.Eq(rat.FromInt64(3)) {
+		t.Fatalf("response time %v", got)
+	}
+
+	stats := ResponseStats(s, res)
+	if stats[0].Jobs != 2 || stats[1].Jobs != 1 {
+		t.Fatalf("per-task job counts: %+v", stats)
+	}
+	if !stats[0].MaxResponse.Eq(rat.FromInt64(3)) {
+		t.Fatalf("τ1 max response %v", stats[0].MaxResponse)
+	}
+	// τ1's overrunning job completed at 3 against deadline 9 → 1/3.
+	if stats[0].MaxNormalized < 0.33 || stats[0].MaxNormalized > 0.34 {
+		t.Fatalf("τ1 normalized %v", stats[0].MaxNormalized)
+	}
+	if stats[0].Missed != 0 || stats[1].Missed != 0 {
+		t.Fatal("spurious misses")
+	}
+
+	tab := ResponseTable(s, res)
+	for _, want := range []string{"tau1", "tau2", "maxResp"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("response table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestHITimeUnended(t *testing.T) {
+	r := &Result{Episodes: []Episode{{Ended: false}}}
+	if !r.HITime().IsInf() {
+		t.Error("unended episode must yield infinite HI time")
+	}
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"encoding/json"
+
+	"mcspeedup/internal/task"
+)
+
+// export is the JSON shape of a simulation result: names resolved, exact
+// rationals as canonical strings (see rat.Rat.MarshalJSON).
+type export struct {
+	Tasks     []string     `json:"tasks"`
+	Completed int          `json:"completed"`
+	Dropped   int          `json:"dropped"`
+	Killed    int          `json:"killed"`
+	EndTime   string       `json:"endTime"`
+	Misses    []exportMiss `json:"misses"`
+	Episodes  []exportEp   `json:"episodes"`
+	Jobs      []exportJob  `json:"jobs,omitempty"`
+	Segments  []exportSeg  `json:"segments,omitempty"`
+}
+
+type exportMiss struct {
+	Task       string    `json:"task"`
+	Arrival    task.Time `json:"arrival"`
+	Deadline   string    `json:"deadline"`
+	DetectedAt string    `json:"detectedAt"`
+}
+
+type exportEp struct {
+	Start         string `json:"start"`
+	End           string `json:"end,omitempty"`
+	Ended         bool   `json:"ended"`
+	BudgetTripped bool   `json:"budgetTripped,omitempty"`
+}
+
+type exportJob struct {
+	Task       string    `json:"task"`
+	Seq        int       `json:"seq"`
+	Arrival    task.Time `json:"arrival"`
+	Completion string    `json:"completion"`
+	Deadline   string    `json:"deadline"`
+	Missed     bool      `json:"missed,omitempty"`
+}
+
+type exportSeg struct {
+	Task   string `json:"task"`
+	JobSeq int    `json:"jobSeq"`
+	Start  string `json:"start"`
+	End    string `json:"end"`
+	Mode   string `json:"mode"`
+	Speed  string `json:"speed"`
+}
+
+// ExportJSON serializes the run — misses, episodes, and (when collected)
+// per-job records and trace segments — as indented JSON with task names
+// resolved and all instants as exact rational strings.
+func ExportJSON(s task.Set, res *Result) ([]byte, error) {
+	e := export{
+		Completed: res.Completed,
+		Dropped:   res.Dropped,
+		Killed:    res.Killed,
+		EndTime:   res.EndTime.String(),
+		Misses:    []exportMiss{},
+		Episodes:  []exportEp{},
+	}
+	for i := range s {
+		e.Tasks = append(e.Tasks, s[i].Name)
+	}
+	for _, m := range res.Misses {
+		e.Misses = append(e.Misses, exportMiss{
+			Task:       s[m.Task].Name,
+			Arrival:    m.Arrival,
+			Deadline:   m.Deadline.String(),
+			DetectedAt: m.DetectedAt.String(),
+		})
+	}
+	for _, ep := range res.Episodes {
+		x := exportEp{Start: ep.Start.String(), Ended: ep.Ended, BudgetTripped: ep.BudgetTripped}
+		if ep.Ended {
+			x.End = ep.End.String()
+		}
+		e.Episodes = append(e.Episodes, x)
+	}
+	for _, j := range res.Jobs {
+		e.Jobs = append(e.Jobs, exportJob{
+			Task:       s[j.Task].Name,
+			Seq:        j.Seq,
+			Arrival:    j.Arrival,
+			Completion: j.Completion.String(),
+			Deadline:   j.Deadline.String(),
+			Missed:     j.Missed,
+		})
+	}
+	for _, seg := range res.Trace {
+		e.Segments = append(e.Segments, exportSeg{
+			Task:   s[seg.Task].Name,
+			JobSeq: seg.JobSeq,
+			Start:  seg.Start.String(),
+			End:    seg.End.String(),
+			Mode:   seg.Mode.String(),
+			Speed:  seg.Speed.String(),
+		})
+	}
+	return json.MarshalIndent(e, "", "  ")
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+)
+
+func TestExportJSON(t *testing.T) {
+	s := examplesets.TableI()
+	w := Workload{
+		{Task: 0, At: 0, Demand: 4},
+		{Task: 1, At: 0, Demand: 2},
+	}
+	res := mustRun(t, s, w, Config{
+		Speedup: rat.Two, CollectTrace: true, CollectJobs: true,
+	})
+	data, err := ExportJSON(s, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Tasks     []string `json:"tasks"`
+		Completed int      `json:"completed"`
+		EndTime   string   `json:"endTime"`
+		Episodes  []struct {
+			Start string `json:"start"`
+			End   string `json:"end"`
+			Ended bool   `json:"ended"`
+		} `json:"episodes"`
+		Jobs []struct {
+			Task       string `json:"task"`
+			Completion string `json:"completion"`
+		} `json:"jobs"`
+		Segments []struct {
+			Mode  string `json:"mode"`
+			Speed string `json:"speed"`
+		} `json:"segments"`
+		Misses []any `json:"misses"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("export not valid JSON: %v\n%s", err, data)
+	}
+	if len(decoded.Tasks) != 2 || decoded.Tasks[0] != "tau1" {
+		t.Errorf("tasks: %v", decoded.Tasks)
+	}
+	if decoded.Completed != 2 || len(decoded.Misses) != 0 {
+		t.Errorf("counters: %+v", decoded)
+	}
+	if len(decoded.Episodes) != 1 || decoded.Episodes[0].Start != "2" ||
+		decoded.Episodes[0].End != "4" || !decoded.Episodes[0].Ended {
+		t.Errorf("episodes: %+v", decoded.Episodes)
+	}
+	if len(decoded.Jobs) != 2 || decoded.Jobs[0].Task != "tau1" || decoded.Jobs[0].Completion != "3" {
+		t.Errorf("jobs: %+v", decoded.Jobs)
+	}
+	foundHI := false
+	for _, seg := range decoded.Segments {
+		if seg.Mode == "HI" && seg.Speed != "2" {
+			t.Errorf("HI segment with speed %s", seg.Speed)
+		}
+		if seg.Mode == "HI" {
+			foundHI = true
+		}
+	}
+	if !foundHI {
+		t.Error("no HI-mode segment exported")
+	}
+	// Exact rationals survive as canonical strings.
+	res2 := mustRun(t, s, Workload{{Task: 0, At: 0, Demand: 4}},
+		Config{Speedup: rat.New(4, 3), CollectJobs: true})
+	data2, err := ExportJSON(s, res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"7/2"`; !contains(string(data2), want) {
+		t.Errorf("fractional completion not exported exactly:\n%s", data2)
+	}
+}

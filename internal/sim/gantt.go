@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"mcspeedup/internal/task"
+)
+
+// Gantt renders the recorded trace as a fixed-width ASCII chart, one row
+// per task, sampling the timeline into width columns. Cells show '#' where
+// the task ran in LO mode, '^' where it ran in HI mode (sped up), and '.'
+// where it was idle. The run must have been configured with CollectTrace.
+func Gantt(s task.Set, res *Result, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	if len(res.Trace) == 0 {
+		return "(empty trace)\n"
+	}
+	end := res.EndTime.Float64()
+	if end <= 0 {
+		return "(empty trace)\n"
+	}
+	cell := end / float64(width)
+
+	rows := make([][]byte, len(s))
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, seg := range res.Trace {
+		from := int(seg.Start.Float64() / cell)
+		to := int(seg.End.Float64() / cell)
+		if to >= width {
+			to = width - 1
+		}
+		mark := byte('#')
+		if seg.Mode == task.HI {
+			mark = '^'
+		}
+		for c := from; c <= to; c++ {
+			rows[seg.Task][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %.2f  ('#' LO-mode, '^' HI-mode, '.' idle)\n", end)
+	for i := range s {
+		fmt.Fprintf(&b, "%-8s |%s|\n", s[i].Name, rows[i])
+	}
+	if len(res.Episodes) > 0 {
+		const maxListed = 12
+		b.WriteString("episodes:")
+		for i, e := range res.Episodes {
+			if i == maxListed {
+				fmt.Fprintf(&b, " (+%d more)", len(res.Episodes)-maxListed)
+				break
+			}
+			if e.Ended {
+				fmt.Fprintf(&b, " [%.2f, %.2f]", e.Start.Float64(), e.End.Float64())
+			} else {
+				fmt.Fprintf(&b, " [%.2f, ...)", e.Start.Float64())
+			}
+			if e.BudgetTripped {
+				b.WriteString("!budget")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// JobRecord describes one completed job (recorded when
+// Config.CollectJobs is set).
+type JobRecord struct {
+	Task       int
+	Seq        int // per-task release sequence number
+	Arrival    task.Time
+	Completion rat.Rat
+	Deadline   rat.Rat // absolute deadline in force at completion
+	Missed     bool
+}
+
+// ResponseTime returns the job's response time (completion − arrival).
+func (j JobRecord) ResponseTime() rat.Rat {
+	return j.Completion.Sub(rat.FromInt64(int64(j.Arrival)))
+}
+
+// TaskResponse summarizes the observed response times of one task.
+type TaskResponse struct {
+	Task         int
+	Jobs         int
+	Missed       int
+	MaxResponse  rat.Rat
+	MeanResponse float64
+	// MaxNormalized is the largest response time divided by the job's
+	// relative deadline in force — ≤ 1 means every job met its deadline
+	// with the reported margin.
+	MaxNormalized float64
+}
+
+// ResponseStats aggregates the per-job records by task. The slice is
+// indexed by task; tasks that completed no jobs have Jobs == 0.
+func ResponseStats(s task.Set, res *Result) []TaskResponse {
+	out := make([]TaskResponse, len(s))
+	for i := range out {
+		out[i] = TaskResponse{Task: i, MaxResponse: rat.Zero}
+	}
+	for _, j := range res.Jobs {
+		tr := &out[j.Task]
+		tr.Jobs++
+		if j.Missed {
+			tr.Missed++
+		}
+		rt := j.ResponseTime()
+		tr.MaxResponse = rat.Max(tr.MaxResponse, rt)
+		tr.MeanResponse += rt.Float64()
+		rel := j.Deadline.Sub(rat.FromInt64(int64(j.Arrival)))
+		if rel.Sign() > 0 && !rel.IsInf() {
+			if norm := rt.Float64() / rel.Float64(); norm > tr.MaxNormalized {
+				tr.MaxNormalized = norm
+			}
+		}
+	}
+	for i := range out {
+		if out[i].Jobs > 0 {
+			out[i].MeanResponse /= float64(out[i].Jobs)
+		}
+	}
+	return out
+}
+
+// ResponseTable renders the per-task response statistics.
+func ResponseTable(s task.Set, res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %6s %12s %12s %10s\n",
+		"task", "jobs", "miss", "maxResp", "meanResp", "maxResp/D")
+	stats := ResponseStats(s, res)
+	for i, tr := range stats {
+		if tr.Jobs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %6d %6d %12s %12.2f %10.3f\n",
+			s[i].Name, tr.Jobs, tr.Missed, tr.MaxResponse.String(), tr.MeanResponse, tr.MaxNormalized)
+	}
+	return b.String()
+}
+
+// sortJobs orders the records by completion time (stable for rendering).
+func sortJobs(jobs []JobRecord) {
+	sort.SliceStable(jobs, func(i, k int) bool {
+		return jobs[i].Completion.Cmp(jobs[k].Completion) < 0
+	})
+}

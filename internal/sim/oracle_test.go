@@ -1,0 +1,260 @@
+package sim
+
+// A discrete-time reference scheduler ("oracle") that replays the same
+// runtime protocol as the event-driven simulator in fixed micro-steps of
+// 1/6 time unit. For integer task parameters and integer speed factors in
+// {1, 2, 3}, every interesting instant (arrival, completion, C(LO)
+// crossing, deadline, idle) falls on a step boundary, so the two
+// implementations must agree *exactly* — completions, misses, episodes.
+// Any divergence exposes a bug in one of the two scheduling cores.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// canonicalMisses sorts a copy by (DetectedAt, Task, Arrival).
+func canonicalMisses(in []Miss) []Miss {
+	out := append([]Miss(nil), in...)
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].DetectedAt.Cmp(out[j].DetectedAt); c != 0 {
+			return c < 0
+		}
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Arrival < out[j].Arrival
+	})
+	return out
+}
+
+const microStepsPerTick = 6
+
+type oracleJob struct {
+	taskIdx  int
+	arrival  task.Time
+	deadline rat.Rat // absolute; PosInf for parked
+	// work in micro-units (1 tick of demand = microStepsPerTick units
+	// at unit speed).
+	remaining int64
+	demand    task.Time
+	missed    bool
+	parked    bool
+	triggered bool
+}
+
+type oracleResult struct {
+	misses    []Miss
+	episodes  []Episode
+	completed int
+	dropped   int
+	killed    int
+}
+
+// runOracle replays the protocol step by step. speed must be a small
+// positive integer.
+func runOracle(s task.Set, w Workload, speed int64, park bool) oracleResult {
+	var (
+		res          oracleResult
+		pending      []*oracleJob
+		mode         = task.LO
+		lastAdmitted = map[int]task.Time{}
+		episodeStart rat.Rat
+	)
+	step := int64(0) // current time = step/microStepsPerTick
+	idx := 0
+	now := func() rat.Rat { return rat.New(step, microStepsPerTick) }
+
+	admit := func(a Arrival) {
+		tk := &s[a.Task]
+		if tk.Crit == task.LO && mode == task.HI {
+			if tk.Terminated() {
+				res.dropped++
+				return
+			}
+			if last, ok := lastAdmitted[a.Task]; ok && a.At-last < tk.Period[task.HI] {
+				res.dropped++
+				return
+			}
+		}
+		lastAdmitted[a.Task] = a.At
+		pending = append(pending, &oracleJob{
+			taskIdx:   a.Task,
+			arrival:   a.At,
+			deadline:  rat.FromInt64(int64(a.At) + int64(tk.Deadline[mode])),
+			remaining: int64(a.Demand) * microStepsPerTick,
+			demand:    a.Demand,
+		})
+	}
+
+	switchHI := func() {
+		mode = task.HI
+		episodeStart = now()
+		var keep []*oracleJob
+		for _, j := range pending {
+			tk := &s[j.taskIdx]
+			switch {
+			case tk.Crit == task.HI:
+				j.deadline = rat.FromInt64(int64(j.arrival) + int64(tk.Deadline[task.HI]))
+			case tk.Terminated():
+				if park {
+					j.parked = true
+					j.deadline = rat.PosInf
+				} else {
+					res.killed++
+					continue
+				}
+			default:
+				j.deadline = rat.FromInt64(int64(j.arrival) + int64(tk.Deadline[task.HI]))
+			}
+			keep = append(keep, j)
+		}
+		pending = keep
+	}
+
+	detect := func() {
+		for _, j := range pending {
+			if !j.missed && !j.parked && now().Cmp(j.deadline) >= 0 {
+				res.misses = append(res.misses, Miss{
+					Task: j.taskIdx, Arrival: j.arrival, Deadline: j.deadline, DetectedAt: j.deadline,
+				})
+				j.missed = true
+			}
+		}
+	}
+
+	for {
+		// Admit arrivals at the current instant (integer times only).
+		for idx < len(w) && rat.FromInt64(int64(w[idx].At)).Cmp(now()) <= 0 {
+			admit(w[idx])
+			idx++
+		}
+		detect()
+		if len(pending) == 0 {
+			if mode == task.HI {
+				res.episodes = append(res.episodes, Episode{
+					Start: episodeStart, End: now(), Ended: true,
+				})
+				mode = task.LO
+			}
+			if idx == len(w) {
+				return res
+			}
+			step = int64(w[idx].At) * microStepsPerTick
+			continue
+		}
+		// EDF pick with the simulator's tie-break.
+		var cur *oracleJob
+		for _, j := range pending {
+			if cur == nil ||
+				j.deadline.Cmp(cur.deadline) < 0 ||
+				(j.deadline.Eq(cur.deadline) && (j.arrival < cur.arrival ||
+					(j.arrival == cur.arrival && j.taskIdx < cur.taskIdx))) {
+				cur = j
+			}
+		}
+		// Execute one micro-step. In LO mode the speed is 1; a HI job
+		// crossing C(LO) mid-step cannot happen (integer C(LO), unit
+		// speed, boundary-aligned steps).
+		effSpeed := int64(1)
+		if mode == task.HI {
+			effSpeed = speed
+		}
+		cur.remaining -= effSpeed
+		step++
+		if cur.remaining <= 0 {
+			if cur.remaining < 0 {
+				panic("oracle: overshoot — step granularity broken")
+			}
+			res.completed++
+			if !cur.missed && !cur.parked && now().Cmp(cur.deadline) > 0 {
+				res.misses = append(res.misses, Miss{
+					Task: cur.taskIdx, Arrival: cur.arrival, Deadline: cur.deadline, DetectedAt: now(),
+				})
+			}
+			for i, j := range pending {
+				if j == cur {
+					pending[i] = pending[len(pending)-1]
+					pending = pending[:len(pending)-1]
+					break
+				}
+			}
+		} else if mode == task.LO {
+			tk := &s[cur.taskIdx]
+			if tk.Crit == task.HI && !cur.triggered && cur.demand > tk.WCET[task.LO] {
+				executed := int64(cur.demand)*microStepsPerTick - cur.remaining
+				if executed >= int64(tk.WCET[task.LO])*microStepsPerTick {
+					cur.triggered = true
+					switchHI()
+				}
+			}
+		}
+	}
+}
+
+func TestSimulatorAgreesWithDiscreteOracle(t *testing.T) {
+	rnd := rand.New(rand.NewSource(501))
+	verified := 0
+	for iter := 0; iter < 2500 && verified < 300; iter++ {
+		s, _, ok := randomAnalyzableSet(rnd)
+		if !ok {
+			continue
+		}
+		speed := int64(1 + rnd.Intn(3))
+		park := rnd.Intn(2) == 0
+		horizon := 8 * s.MaxPeriod()
+		var w Workload
+		if rnd.Intn(2) == 0 {
+			w = SynchronousPeriodic(s, horizon, AlwaysOverrun)
+		} else {
+			w = RandomSporadic(rnd, s, horizon, 0.5)
+		}
+		res, err := Run(s, w, Config{
+			Speedup:                 rat.FromInt64(speed),
+			ParkTerminatedCarryOver: park,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runOracle(s, w, speed, park)
+
+		if res.Completed != want.completed || res.Dropped != want.dropped || res.Killed != want.killed {
+			t.Fatalf("counters differ: sim %d/%d/%d, oracle %d/%d/%d\nset:\n%s",
+				res.Completed, res.Dropped, res.Killed,
+				want.completed, want.dropped, want.killed, s.Table())
+		}
+		if len(res.Misses) != len(want.misses) {
+			t.Fatalf("miss counts differ: sim %d (%+v), oracle %d (%+v)\nset:\n%s speed=%d park=%v",
+				len(res.Misses), res.Misses, len(want.misses), want.misses, s.Table(), speed, park)
+		}
+		// Compare as multisets: within one instant the detection order is
+		// not canonical on either side.
+		gotM := canonicalMisses(res.Misses)
+		wantM := canonicalMisses(want.misses)
+		for i := range gotM {
+			a, b := gotM[i], wantM[i]
+			if a.Task != b.Task || a.Arrival != b.Arrival || !a.Deadline.Eq(b.Deadline) {
+				t.Fatalf("miss %d differs: sim %+v, oracle %+v", i, a, b)
+			}
+		}
+		if len(res.Episodes) != len(want.episodes) {
+			t.Fatalf("episode counts differ: sim %d, oracle %d\nset:\n%s speed=%d",
+				len(res.Episodes), len(want.episodes), s.Table(), speed)
+		}
+		for i := range res.Episodes {
+			a, b := res.Episodes[i], want.episodes[i]
+			if !a.Start.Eq(b.Start) || !a.End.Eq(b.End) {
+				t.Fatalf("episode %d differs: sim [%v,%v], oracle [%v,%v]\nset:\n%s",
+					i, a.Start, a.End, b.Start, b.End, s.Table())
+			}
+		}
+		verified++
+	}
+	if verified < 150 {
+		t.Fatalf("only %d runs verified", verified)
+	}
+}

@@ -1,0 +1,496 @@
+// Package sim is a discrete-event simulator for preemptive EDF scheduling
+// of dual-criticality sporadic task sets on a uniprocessor with dynamic
+// speedup, implementing the runtime protocol of the paper:
+//
+//   - In LO mode the processor runs at unit speed and every job is
+//     scheduled by EDF against its LO-mode (virtual) deadline.
+//   - The instant a HI-criticality job's executed work reaches C(LO)
+//     without completing, the system switches to HI mode: the processor
+//     speed becomes the configured speedup factor, carry-over HI jobs
+//     revert to their real deadlines (arrival + D(HI)), carry-over jobs
+//     of degraded LO tasks have their deadlines extended to
+//     arrival + D(HI), and carry-over jobs of terminated LO tasks are
+//     killed (or parked at infinite deadline, see Config).
+//   - While in HI mode, arrivals of terminated LO tasks are dropped and
+//     arrivals of degraded LO tasks are admitted only if spaced at least
+//     T(HI) from the task's previously admitted arrival.
+//   - At the first processor-idle instant in HI mode the system resets:
+//     LO mode, unit speed (the Section-IV runtime rule).
+//   - Optionally, if a HI-mode episode exceeds a wall-clock budget
+//     (the Section-I Turbo-Boost-style constraint), all LO-criticality
+//     work is terminated and the speed returns to 1; the episode still
+//     ends at the next idle instant.
+//
+// Time is exact: arrivals and deadlines are integers, and execution at a
+// rational speed factor finishes at exactly representable rational
+// instants, so property tests can assert "no deadline missed" without
+// epsilon tolerances.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// Arrival is one job release in a workload: the job of task s[Task]
+// arrives at time At and executes for Demand time units (at unit speed).
+// For HI-criticality tasks Demand may exceed C(LO) — that is an overrun,
+// capped by C(HI). LO-criticality tasks never exceed C(LO) (Section II).
+type Arrival struct {
+	Task   int
+	At     task.Time
+	Demand task.Time
+}
+
+// Workload is a time-sorted list of arrivals.
+type Workload []Arrival
+
+// Validate checks the workload against the model's sporadic constraints:
+// demands within the per-criticality WCET caps, non-negative times, and
+// per-task inter-arrival separation of at least T(LO).
+func (w Workload) Validate(s task.Set) error {
+	last := make(map[int]task.Time, len(s))
+	seen := make(map[int]bool, len(s))
+	prev := task.Time(0)
+	for k, a := range w {
+		if a.Task < 0 || a.Task >= len(s) {
+			return fmt.Errorf("sim: arrival %d references task %d of %d", k, a.Task, len(s))
+		}
+		if a.At < 0 {
+			return fmt.Errorf("sim: arrival %d at negative time %d", k, a.At)
+		}
+		if a.At < prev {
+			return fmt.Errorf("sim: workload not sorted at index %d", k)
+		}
+		prev = a.At
+		tk := &s[a.Task]
+		if a.Demand <= 0 {
+			return fmt.Errorf("sim: arrival %d has non-positive demand", k)
+		}
+		if a.Demand > tk.WCET[task.HI] {
+			return fmt.Errorf("sim: arrival %d demand %d exceeds C(HI) = %d of task %s",
+				k, a.Demand, tk.WCET[task.HI], tk.Name)
+		}
+		if tk.Crit == task.LO && a.Demand > tk.WCET[task.LO] {
+			return fmt.Errorf("sim: arrival %d demand %d exceeds C(LO) of LO task %s",
+				k, a.Demand, tk.Name)
+		}
+		if seen[a.Task] && a.At-last[a.Task] < tk.Period[task.LO] {
+			return fmt.Errorf("sim: task %s arrivals at %d and %d violate T(LO) = %d",
+				tk.Name, last[a.Task], a.At, tk.Period[task.LO])
+		}
+		last[a.Task] = a.At
+		seen[a.Task] = true
+	}
+	return nil
+}
+
+// Config selects the runtime policy.
+type Config struct {
+	// Speedup is the HI-mode processor speed factor s. Must be positive.
+	// Use rat.One to simulate a system without dynamic speedup.
+	Speedup rat.Rat
+	// Budget, if positive, is the maximum wall-clock duration of one
+	// HI-mode episode before the fallback kicks in: all LO-criticality
+	// work is terminated and the speed returns to 1 (Section I).
+	Budget rat.Rat
+	// ParkTerminatedCarryOver keeps carry-over jobs of terminated LO
+	// tasks in the system at infinite deadline (they drain at lowest
+	// priority and delay the reset) instead of killing them at the mode
+	// switch. The analytical ADB bound is conservative for both choices.
+	ParkTerminatedCarryOver bool
+	// StopOnMiss aborts the run at the first deadline miss.
+	StopOnMiss bool
+	// CollectJobs records a JobRecord for every completed job (see
+	// ResponseStats).
+	CollectJobs bool
+	// CollectTrace records execution segments for Gantt rendering.
+	CollectTrace bool
+}
+
+// Miss records one deadline miss.
+type Miss struct {
+	Task     int
+	Arrival  task.Time
+	Deadline rat.Rat
+	// DetectedAt is the simulation instant the miss was detected
+	// (the deadline passing, or a tardy completion).
+	DetectedAt rat.Rat
+}
+
+// Episode records one contiguous HI-mode episode.
+type Episode struct {
+	Start rat.Rat // mode-switch instant
+	End   rat.Rat // reset (idle) instant; equals Start..∞ only if the run ended in HI mode
+	// BudgetTripped reports that the episode exceeded Config.Budget and
+	// fell back to LO-task termination at nominal speed.
+	BudgetTripped bool
+	// Ended reports whether the episode actually ended within the run.
+	Ended bool
+}
+
+// Duration returns End − Start for ended episodes and +Inf otherwise.
+func (e Episode) Duration() rat.Rat {
+	if !e.Ended {
+		return rat.PosInf
+	}
+	return e.End.Sub(e.Start)
+}
+
+// Segment is one maximal interval of the trace during which a single job
+// ran at constant speed.
+type Segment struct {
+	Start, End rat.Rat
+	Task       int
+	JobSeq     int // per-task job sequence number
+	Mode       task.Crit
+	Speed      rat.Rat
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Misses    []Miss
+	Episodes  []Episode
+	Completed int // jobs that ran to completion
+	Dropped   int // LO jobs rejected by termination or degraded admission
+	Killed    int // carry-over LO jobs killed at a mode switch
+	Trace     []Segment
+	// Jobs holds per-completion records when Config.CollectJobs is set,
+	// ordered by completion time.
+	Jobs []JobRecord
+	// EndTime is the instant the last work finished.
+	EndTime rat.Rat
+}
+
+// MaxEpisode returns the longest HI-mode episode duration (zero if none).
+func (r *Result) MaxEpisode() rat.Rat {
+	m := rat.Zero
+	for _, e := range r.Episodes {
+		m = rat.Max(m, e.Duration())
+	}
+	return m
+}
+
+// job is a live job instance.
+type job struct {
+	taskIdx   int
+	seq       int
+	arrival   task.Time
+	deadline  rat.Rat // absolute; PosInf for parked jobs
+	demand    task.Time
+	executed  rat.Rat
+	missed    bool
+	parked    bool // terminated carry-over kept at infinite deadline
+	overrunOK bool // mode switch already triggered by this job
+}
+
+func (j *job) remaining() rat.Rat {
+	return rat.FromInt64(int64(j.demand)).Sub(j.executed)
+}
+
+// Run simulates the workload on the task set under the given policy and
+// returns the collected metrics. The run continues past the last arrival
+// until all admitted work has drained, so every admitted job either
+// completes or is killed.
+func Run(s task.Set, w Workload, cfg Config) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(s); err != nil {
+		return nil, err
+	}
+	if cfg.Speedup.Sign() <= 0 || cfg.Speedup.IsInf() {
+		return nil, fmt.Errorf("sim: speedup %v must be positive and finite", cfg.Speedup)
+	}
+	st := &state{
+		tasks: s, cfg: cfg,
+		res:          &Result{EndTime: rat.Zero},
+		mode:         task.LO,
+		speed:        rat.One,
+		now:          rat.Zero,
+		lastAdmitted: make(map[int]task.Time),
+		seqs:         make(map[int]int),
+	}
+	st.run(w)
+	sort.Slice(st.res.Misses, func(i, k int) bool {
+		return st.res.Misses[i].DetectedAt.Cmp(st.res.Misses[k].DetectedAt) < 0
+	})
+	sortJobs(st.res.Jobs)
+	return st.res, nil
+}
+
+type state struct {
+	tasks task.Set
+	cfg   Config
+	res   *Result
+
+	now     rat.Rat
+	mode    task.Crit
+	speed   rat.Rat
+	pending []*job
+
+	// terminatedNow is set when the budget fallback has killed LO tasks
+	// for the remainder of the current episode.
+	terminatedNow bool
+	episodeStart  rat.Rat
+	budgetExpiry  rat.Rat // PosInf when inactive
+
+	lastAdmitted map[int]task.Time
+	seqs         map[int]int
+}
+
+func (st *state) run(w Workload) {
+	st.budgetExpiry = rat.PosInf
+	idx := 0
+	for {
+		// Admit all arrivals at or before now.
+		for idx < len(w) && rat.FromInt64(int64(w[idx].At)).Cmp(st.now) <= 0 {
+			st.admit(w[idx])
+			idx++
+		}
+		if st.cfg.StopOnMiss && len(st.res.Misses) > 0 {
+			if st.mode == task.HI {
+				st.res.Episodes = append(st.res.Episodes, Episode{
+					Start: st.episodeStart, BudgetTripped: st.terminatedNow,
+				})
+			}
+			return
+		}
+		cur := st.edfPick()
+		if cur == nil {
+			// Processor idle.
+			if st.mode == task.HI {
+				st.reset()
+			}
+			if idx == len(w) {
+				return
+			}
+			st.now = rat.FromInt64(int64(w[idx].At))
+			continue
+		}
+
+		// Next boundary.
+		bound := st.now.Add(cur.remaining().Div(st.speed)) // completion
+		if st.mode == task.LO {
+			if tk := &st.tasks[cur.taskIdx]; tk.Crit == task.HI && cur.demand > tk.WCET[task.LO] && !cur.overrunOK {
+				trigger := st.now.Add(rat.FromInt64(int64(tk.WCET[task.LO])).Sub(cur.executed).Div(st.speed))
+				bound = rat.Min(bound, trigger)
+			}
+		}
+		if idx < len(w) {
+			bound = rat.Min(bound, rat.FromInt64(int64(w[idx].At)))
+		}
+		bound = rat.Min(bound, st.budgetExpiry)
+		// Deadlines are boundaries so misses are detected the instant
+		// they occur, not at the tardy completion.
+		for _, j := range st.pending {
+			if !j.missed && !j.parked && j.deadline.Cmp(st.now) > 0 {
+				bound = rat.Min(bound, j.deadline)
+			}
+		}
+
+		// Execute cur on [now, bound].
+		dt := bound.Sub(st.now)
+		if dt.Sign() > 0 {
+			cur.executed = cur.executed.Add(dt.Mul(st.speed))
+			st.trace(cur, st.now, bound)
+		}
+		st.now = bound
+
+		// Boundary effects, in causal order.
+		if cur.remaining().IsZero() {
+			st.complete(cur)
+		} else if st.mode == task.LO {
+			tk := &st.tasks[cur.taskIdx]
+			if tk.Crit == task.HI && !cur.overrunOK &&
+				cur.executed.Cmp(rat.FromInt64(int64(tk.WCET[task.LO]))) >= 0 &&
+				cur.demand > tk.WCET[task.LO] {
+				cur.overrunOK = true
+				st.switchToHI()
+			}
+		}
+		if st.mode == task.HI && !st.budgetExpiry.IsInf() && st.now.Cmp(st.budgetExpiry) >= 0 {
+			st.tripBudget()
+		}
+		st.detectMisses()
+	}
+}
+
+// admit applies the arrival-time policy for the current mode.
+func (st *state) admit(a Arrival) {
+	tk := &st.tasks[a.Task]
+	mode := st.mode
+	if tk.Crit == task.LO && (mode == task.HI || st.terminatedNow) {
+		if tk.Terminated() || st.terminatedNow {
+			st.res.Dropped++
+			return
+		}
+		// Degraded service: enforce the enlarged minimum inter-arrival
+		// time T(HI) against the last admitted arrival.
+		if last, ok := st.lastAdmitted[a.Task]; ok && a.At-last < tk.Period[task.HI] {
+			st.res.Dropped++
+			return
+		}
+	}
+	st.lastAdmitted[a.Task] = a.At
+	st.seqs[a.Task]++
+	st.pending = append(st.pending, &job{
+		taskIdx:  a.Task,
+		seq:      st.seqs[a.Task],
+		arrival:  a.At,
+		deadline: rat.FromInt64(int64(a.At) + int64(tk.Deadline[mode])),
+		demand:   a.Demand,
+		executed: rat.Zero,
+	})
+}
+
+// edfPick returns the pending job with the earliest deadline (ties by
+// arrival, then task index), or nil when idle.
+func (st *state) edfPick() *job {
+	var best *job
+	for _, j := range st.pending {
+		if best == nil || less(j, best) {
+			best = j
+		}
+	}
+	return best
+}
+
+func less(a, b *job) bool {
+	if c := a.deadline.Cmp(b.deadline); c != 0 {
+		return c < 0
+	}
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	return a.taskIdx < b.taskIdx
+}
+
+func (st *state) complete(j *job) {
+	st.res.Completed++
+	if !j.missed && !j.parked && st.now.Cmp(j.deadline) > 0 {
+		j.missed = true
+		st.res.Misses = append(st.res.Misses, Miss{
+			Task: j.taskIdx, Arrival: j.arrival, Deadline: j.deadline, DetectedAt: st.now,
+		})
+	}
+	if st.cfg.CollectJobs {
+		st.res.Jobs = append(st.res.Jobs, JobRecord{
+			Task: j.taskIdx, Seq: j.seq, Arrival: j.arrival,
+			Completion: st.now, Deadline: j.deadline, Missed: j.missed,
+		})
+	}
+	st.removeJob(j)
+}
+
+func (st *state) removeJob(j *job) {
+	for i, p := range st.pending {
+		if p == j {
+			st.pending[i] = st.pending[len(st.pending)-1]
+			st.pending = st.pending[:len(st.pending)-1]
+			return
+		}
+	}
+}
+
+// detectMisses flags pending jobs whose deadline has been reached with
+// work remaining (every pending job has remaining work by construction).
+func (st *state) detectMisses() {
+	for _, j := range st.pending {
+		if !j.missed && !j.parked && st.now.Cmp(j.deadline) >= 0 {
+			j.missed = true
+			st.res.Misses = append(st.res.Misses, Miss{
+				Task: j.taskIdx, Arrival: j.arrival, Deadline: j.deadline, DetectedAt: j.deadline,
+			})
+		}
+	}
+}
+
+// switchToHI performs the mode-switch protocol.
+func (st *state) switchToHI() {
+	st.mode = task.HI
+	st.speed = st.cfg.Speedup
+	st.episodeStart = st.now
+	if st.cfg.Budget.Sign() > 0 {
+		st.budgetExpiry = st.now.Add(st.cfg.Budget)
+	}
+	// Re-deadline carry-over jobs.
+	var keep []*job
+	for _, j := range st.pending {
+		tk := &st.tasks[j.taskIdx]
+		switch {
+		case tk.Crit == task.HI:
+			j.deadline = rat.FromInt64(int64(j.arrival) + int64(tk.Deadline[task.HI]))
+		case tk.Terminated():
+			if st.cfg.ParkTerminatedCarryOver {
+				j.parked = true
+				j.deadline = rat.PosInf
+			} else {
+				st.res.Killed++
+				continue
+			}
+		default: // degraded
+			j.deadline = rat.FromInt64(int64(j.arrival) + int64(tk.Deadline[task.HI]))
+		}
+		keep = append(keep, j)
+	}
+	st.pending = keep
+}
+
+// tripBudget applies the Section-I fallback: terminate LO-criticality
+// work and restore nominal speed; the episode continues until idle.
+func (st *state) tripBudget() {
+	st.budgetExpiry = rat.PosInf
+	st.terminatedNow = true
+	st.speed = rat.One
+	var keep []*job
+	for _, j := range st.pending {
+		if st.tasks[j.taskIdx].Crit == task.LO {
+			st.res.Killed++
+			continue
+		}
+		keep = append(keep, j)
+	}
+	st.pending = keep
+}
+
+// reset returns the system to LO mode at an idle instant.
+func (st *state) reset() {
+	st.res.Episodes = append(st.res.Episodes, Episode{
+		Start:         st.episodeStart,
+		End:           st.now,
+		BudgetTripped: st.terminatedNow,
+		Ended:         true,
+	})
+	st.mode = task.LO
+	st.speed = rat.One
+	st.terminatedNow = false
+	st.budgetExpiry = rat.PosInf
+	if st.res.EndTime.Cmp(st.now) < 0 {
+		st.res.EndTime = st.now
+	}
+}
+
+func (st *state) trace(j *job, from, to rat.Rat) {
+	if st.res.EndTime.Cmp(to) < 0 {
+		st.res.EndTime = to
+	}
+	if !st.cfg.CollectTrace {
+		return
+	}
+	n := len(st.res.Trace)
+	if n > 0 {
+		lastSeg := &st.res.Trace[n-1]
+		if lastSeg.Task == j.taskIdx && lastSeg.JobSeq == j.seq &&
+			lastSeg.End.Eq(from) && lastSeg.Speed.Eq(st.speed) && lastSeg.Mode == st.mode {
+			lastSeg.End = to
+			return
+		}
+	}
+	st.res.Trace = append(st.res.Trace, Segment{
+		Start: from, End: to, Task: j.taskIdx, JobSeq: j.seq, Mode: st.mode, Speed: st.speed,
+	})
+}

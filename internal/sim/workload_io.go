@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mcspeedup/internal/task"
+)
+
+// MarshalJSON-friendly wire form of an Arrival (field names spelled out
+// for hand-edited scenario files).
+type arrivalJSON struct {
+	Task   int       `json:"task"`
+	At     task.Time `json:"at"`
+	Demand task.Time `json:"demand"`
+}
+
+// MarshalWorkload serializes a workload as indented JSON.
+func MarshalWorkload(w Workload) ([]byte, error) {
+	out := make([]arrivalJSON, len(w))
+	for i, a := range w {
+		out[i] = arrivalJSON(a)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ParseWorkload decodes a workload and validates it against the set.
+func ParseWorkload(data []byte, s task.Set) (Workload, error) {
+	var in []arrivalJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("sim: workload JSON: %w", err)
+	}
+	w := make(Workload, len(in))
+	for i, a := range in {
+		w[i] = Arrival(a)
+	}
+	sortWorkload(w)
+	if err := w.Validate(s); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

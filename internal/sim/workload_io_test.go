@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/examplesets"
+)
+
+func TestWorkloadJSONRoundTrip(t *testing.T) {
+	s := examplesets.TableI()
+	w := RandomSporadic(rand.New(rand.NewSource(7)), s, 200, 0.4)
+	data, err := MarshalWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseWorkload(data, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(w) {
+		t.Fatalf("round trip length %d != %d", len(back), len(w))
+	}
+	for i := range w {
+		if back[i] != w[i] {
+			t.Fatalf("arrival %d: %+v != %+v", i, back[i], w[i])
+		}
+	}
+}
+
+func TestParseWorkloadRejects(t *testing.T) {
+	s := examplesets.TableI()
+	cases := []string{
+		`{`,                               // syntax
+		`[{"task":9,"at":0,"demand":1}]`,  // bad index
+		`[{"task":0,"at":0,"demand":99}]`, // demand > C(HI)
+		`[{"task":1,"at":0,"demand":2},{"task":1,"at":3,"demand":2}]`, // < T(LO)
+	}
+	for i, c := range cases {
+		if _, err := ParseWorkload([]byte(c), s); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Unsorted input is tolerated (re-sorted before validation).
+	ok := `[{"task":1,"at":10,"demand":2},{"task":0,"at":0,"demand":2}]`
+	w, err := ParseWorkload([]byte(ok), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0].At != 0 || w[1].At != 10 {
+		t.Fatalf("not re-sorted: %+v", w)
+	}
+}

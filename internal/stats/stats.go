@@ -1,0 +1,98 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment drivers need: quantiles, means, and Tukey box-and-whisker
+// summaries matching the box-whisker plots of the paper's Fig. 6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the values using linear
+// interpolation between order statistics (type-7, the common default).
+// It panics on an empty slice or out-of-range q.
+func Quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		panic(fmt.Errorf("stats: Quantile of empty slice"))
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Errorf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean. It panics on an empty slice.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		panic(fmt.Errorf("stats: Mean of empty slice"))
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Summary is a Tukey five-number summary plus mean and 1.5·IQR whiskers.
+type Summary struct {
+	N                    int
+	Min, Max             float64
+	Mean                 float64
+	P25, Median, P75     float64
+	WhiskerLo, WhiskerHi float64 // furthest points within 1.5·IQR of the box
+	Outliers             []float64
+}
+
+// Summarize computes the box-whisker summary of the values. It panics on
+// an empty slice.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		panic(fmt.Errorf("stats: Summarize of empty slice"))
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+		P25:    Quantile(sorted, 0.25),
+		Median: Quantile(sorted, 0.5),
+		P75:    Quantile(sorted, 0.75),
+	}
+	iqr := s.P75 - s.P25
+	loFence := s.P25 - 1.5*iqr
+	hiFence := s.P75 + 1.5*iqr
+	s.WhiskerLo, s.WhiskerHi = s.Max, s.Min
+	for _, v := range sorted {
+		if v >= loFence && v < s.WhiskerLo {
+			s.WhiskerLo = v
+		}
+		if v <= hiFence && v > s.WhiskerHi {
+			s.WhiskerHi = v
+		}
+		if v < loFence || v > hiFence {
+			s.Outliers = append(s.Outliers, v)
+		}
+	}
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g mean=%.4g (%d outliers)",
+		s.N, s.Min, s.P25, s.Median, s.P75, s.Max, s.Mean, len(s.Outliers))
+}

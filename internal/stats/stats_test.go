@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestQuantileBasics(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(vals, c.q); !almostEq(got, c.want) {
+			t.Errorf("Quantile(%.3f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+		func() { Mean(nil) },
+		func() { Summarize(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEq(got, 2.5) {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// 1..11 plus an outlier at 100.
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100}
+	s := Summarize(vals)
+	if s.N != 12 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almostEq(s.Median, 6.5) {
+		t.Errorf("median = %v, want 6.5", s.Median)
+	}
+	if len(s.Outliers) != 1 || s.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", s.Outliers)
+	}
+	if s.WhiskerHi != 11 {
+		t.Errorf("upper whisker = %v, want 11", s.WhiskerHi)
+	}
+	if s.WhiskerLo != 1 {
+		t.Errorf("lower whisker = %v, want 1", s.WhiskerLo)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(81))}
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		s := Summarize(vals)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		ordered := s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 && s.P75 <= s.Max
+		whiskers := s.WhiskerLo >= s.Min && s.WhiskerHi <= s.Max && s.WhiskerLo <= s.WhiskerHi
+		bounds := s.Min == sorted[0] && s.Max == sorted[len(sorted)-1]
+		return ordered && whiskers && bounds && len(s.Outliers) < len(vals)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package task
+
+import "testing"
+
+// FuzzParseJSON: the parser must never panic and must only return sets
+// that re-validate and round-trip.
+func FuzzParseJSON(f *testing.F) {
+	seed, err := (Set{NewHI("h", 10, 5, 10, 2, 4), NewLO("l", 10, 10, 3)}).MarshalIndent()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"name":"x","crit":"LO","period":[5,5],"deadline":[5,5],"wcet":[1,1]}]`))
+	f.Add([]byte(`[{"name":"x","crit":"LO","period":[5,"inf"],"deadline":[5,"inf"],"wcet":[1,1]}]`))
+	f.Add([]byte(`[{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ParseJSON returned invalid set: %v", err)
+		}
+		out, err := s.MarshalIndent()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := ParseJSON(out)
+		if err != nil || len(back) != len(s) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

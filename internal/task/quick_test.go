@@ -1,0 +1,134 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcspeedup/internal/rat"
+)
+
+// genValid maps arbitrary fuzz inputs onto a valid task, exercising the
+// constructors across the whole parameter space.
+func genValid(seedPeriod uint16, a, b, c uint16, hi bool) Task {
+	period := Time(seedPeriod%997) + 3
+	cLO := Time(a)%(period/2+1) + 1
+	if hi {
+		cHI := cLO + Time(b)%(period-cLO+1)
+		dHI := cHI + Time(c)%(period-cHI+1)
+		if dHI <= cLO {
+			dHI = cLO + 1
+		}
+		dLO := cLO + (Time(a^b) % (dHI - cLO))
+		if dLO >= dHI {
+			dLO = dHI - 1
+		}
+		return NewHI("t", period, dLO, dHI, cLO, cHI)
+	}
+	dLO := cLO + Time(b)%(period-cLO+1)
+	return NewLO("t", period, dLO, cLO)
+}
+
+// TestQuickGeneratedTasksValidate: the mapped constructors always produce
+// tasks accepted by Validate.
+func TestQuickGeneratedTasksValidate(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 3000, Rand: rand.New(rand.NewSource(201))}
+	prop := func(p, a, b, c uint16, hi bool) bool {
+		tk := genValid(p, a, b, c, hi)
+		return tk.Validate() == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTransformsPreserveValidity: the eq. (3)/(13)/(14) transforms
+// keep valid sets valid for every in-range factor.
+func TestQuickTransformsPreserveValidity(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1500, Rand: rand.New(rand.NewSource(202))}
+	prop := func(p1, a1, b1, c1, p2, a2, b2, c2 uint16, xNum, yNum uint8) bool {
+		s := Set{genValid(p1, a1, b1, c1, true), genValid(p2, a2, b2, c2, false)}
+		s[1].Name = "u"
+		if s.Validate() != nil {
+			return false
+		}
+		if s.TerminateLO().Validate() != nil {
+			return false
+		}
+		x := rat.New(int64(xNum%98)+1, 100) // (0, 1)
+		if out, err := s.ShortenHIDeadlines(x); err == nil {
+			if out.Validate() != nil {
+				return false
+			}
+		}
+		y := rat.New(int64(yNum)+100, 100) // [1, 3.55]
+		out, err := s.DegradeLO(y)
+		if err != nil {
+			return false
+		}
+		return out.Validate() == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUtilizationMonotone: degrading LO service never increases the
+// HI-mode utilization; terminating zeroes the LO tasks' share.
+func TestQuickUtilizationMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1500, Rand: rand.New(rand.NewSource(203))}
+	prop := func(p1, a1, b1, c1, p2, a2, b2, c2 uint16, yNum uint8) bool {
+		s := Set{genValid(p1, a1, b1, c1, true), genValid(p2, a2, b2, c2, false)}
+		s[1].Name = "u"
+		if s.Validate() != nil {
+			return false
+		}
+		y := rat.New(int64(yNum)+101, 100) // (1, 3.56]
+		out, err := s.DegradeLO(y)
+		if err != nil {
+			return false
+		}
+		if out.Util(HI).Cmp(s.Util(HI)) > 0 {
+			return false
+		}
+		term := s.TerminateLO()
+		return term.UtilCrit(LO, HI).IsZero() &&
+			term.UtilCrit(HI, HI).Eq(s.UtilCrit(HI, HI))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJSONRoundTrip: every valid set survives JSON serialization
+// bit-exactly.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(204))}
+	prop := func(p1, a1, b1, c1, p2, a2, b2, c2 uint16, terminate bool) bool {
+		s := Set{genValid(p1, a1, b1, c1, true), genValid(p2, a2, b2, c2, false)}
+		s[1].Name = "u"
+		if terminate {
+			s = s.TerminateLO()
+		}
+		if s.Validate() != nil {
+			return false
+		}
+		data, err := s.MarshalIndent()
+		if err != nil {
+			return false
+		}
+		back, err := ParseJSON(data)
+		if err != nil || len(back) != len(s) {
+			return false
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"mcspeedup/internal/rat"
+)
+
+// Set is an ordered collection of dual-criticality tasks scheduled
+// together on one processor.
+type Set []Task
+
+// Validate validates every task and checks that names are unique.
+func (s Set) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("task: empty task set")
+	}
+	seen := make(map[string]bool, len(s))
+	for i := range s {
+		if err := s[i].Validate(); err != nil {
+			return err
+		}
+		if seen[s[i].Name] {
+			return fmt.Errorf("task: duplicate task name %q", s[i].Name)
+		}
+		seen[s[i].Name] = true
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// ByCrit returns the subset τ_χ of tasks at criticality level c,
+// preserving order. The returned slice shares task values (copies),
+// so mutating it does not affect s.
+func (s Set) ByCrit(c Crit) Set {
+	var out Set
+	for i := range s {
+		if s[i].Crit == c {
+			out = append(out, s[i])
+		}
+	}
+	return out
+}
+
+// utilBig sums C_i(m)/T_i(m) exactly in big.Rat over tasks matching the
+// filter.
+func (s Set) utilBig(m Crit, match func(*Task) bool) *big.Rat {
+	sum := new(big.Rat)
+	for i := range s {
+		if !match(&s[i]) || s[i].Period[m].IsUnbounded() {
+			continue
+		}
+		sum.Add(sum, big.NewRat(int64(s[i].WCET[m]), int64(s[i].Period[m])))
+	}
+	return sum
+}
+
+// Util returns the total utilization Σ_i C_i(m)/T_i(m) of all tasks in
+// mode m. Terminated tasks contribute zero in HI mode. The value is exact
+// whenever the reduced fraction fits int64/int64 (always the case for
+// small sets); for many tasks with coprime periods it is rounded *up* by
+// at most 2^-20, so it remains a sound upper bound — use UtilBounds when
+// both directions matter.
+func (s Set) Util(m Crit) rat.Rat {
+	return rat.FromBig(s.utilBig(m, func(*Task) bool { return true }), true)
+}
+
+// UtilBounds returns exact-or-directed-rounded lower and upper bounds on
+// Util(m); lo equals hi exactly when the sum is representable.
+func (s Set) UtilBounds(m Crit) (lo, hi rat.Rat) {
+	sum := s.utilBig(m, func(*Task) bool { return true })
+	return rat.FromBig(sum, false), rat.FromBig(sum, true)
+}
+
+// UtilCrit returns U_χ(m) = Σ_{χ_i = c} C_i(m)/T_i(m): the mode-m
+// utilization of the criticality-c subset, the U_χ notation of the
+// paper's Figs. 6–7. Like Util it is exact when representable and
+// otherwise rounded up by at most 2^-20.
+func (s Set) UtilCrit(c Crit, m Crit) rat.Rat {
+	return rat.FromBig(s.utilBig(m, func(t *Task) bool { return t.Crit == c }), true)
+}
+
+// TotalCHI returns Σ_i C_i(HI), the numerator of the closed-form
+// resetting-time bound (Lemma 7). Terminated LO tasks still contribute
+// their C(HI) = C(LO): their carry-over jobs must finish in HI mode.
+func (s Set) TotalCHI() Time {
+	var total Time
+	for i := range s {
+		total += s[i].WCET[HI]
+	}
+	return total
+}
+
+// MaxPeriod returns the largest finite period over both modes.
+func (s Set) MaxPeriod() Time {
+	var m Time
+	for i := range s {
+		for _, mode := range []Crit{LO, HI} {
+			if p := s[i].Period[mode]; !p.IsUnbounded() && p > m {
+				m = p
+			}
+		}
+	}
+	return m
+}
+
+// --- model transforms (eqs. (3), (13), (14)) ---
+
+// TerminateLO returns a copy in which every LO-criticality task is
+// terminated in HI mode (eq. (3)): T(HI) = D(HI) = ∞.
+func (s Set) TerminateLO() Set {
+	out := s.Clone()
+	for i := range out {
+		if out[i].Crit == LO {
+			out[i].Period[HI] = Unbounded
+			out[i].Deadline[HI] = Unbounded
+		}
+	}
+	return out
+}
+
+// ShortenHIDeadlines returns a copy in which every HI-criticality task's
+// LO-mode virtual deadline is set to max(C(LO), floor(x·D(HI))), the
+// uniform overrun-preparation factor of eq. (13). x must lie in (0, 1);
+// values of x that would make some virtual deadline smaller than C(LO)
+// are clamped per task (a shorter deadline would be trivially infeasible).
+func (s Set) ShortenHIDeadlines(x rat.Rat) (Set, error) {
+	if x.Sign() <= 0 || x.Cmp(rat.One) >= 0 {
+		return nil, fmt.Errorf("task: deadline-shortening factor x = %v outside (0,1)", x)
+	}
+	out := s.Clone()
+	for i := range out {
+		if out[i].Crit != HI {
+			continue
+		}
+		d := Time(x.MulInt(int64(out[i].Deadline[HI])).Floor())
+		if d < out[i].WCET[LO] {
+			d = out[i].WCET[LO]
+		}
+		if d >= out[i].Deadline[HI] {
+			d = out[i].Deadline[HI] - 1
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("task %s: x = %v leaves no room for a virtual deadline (D(HI) = %d)",
+				out[i].Name, x, out[i].Deadline[HI])
+		}
+		out[i].Deadline[LO] = d
+	}
+	return out, nil
+}
+
+// DegradeLO returns a copy in which every LO-criticality task's HI-mode
+// service is degraded by the uniform factor y ≥ 1 of eq. (14):
+// D(HI) = floor(y·D(LO)) and T(HI) = floor(y·T(LO)).
+func (s Set) DegradeLO(y rat.Rat) (Set, error) {
+	if y.Cmp(rat.One) < 0 {
+		return nil, fmt.Errorf("task: degradation factor y = %v < 1", y)
+	}
+	out := s.Clone()
+	for i := range out {
+		if out[i].Crit != LO {
+			continue
+		}
+		out[i].Deadline[HI] = Time(y.MulInt(int64(out[i].Deadline[LO])).Floor())
+		out[i].Period[HI] = Time(y.MulInt(int64(out[i].Period[LO])).Floor())
+		// Keep deadlines constrained after rounding.
+		if out[i].Deadline[HI] > out[i].Period[HI] {
+			out[i].Deadline[HI] = out[i].Period[HI]
+		}
+	}
+	return out, nil
+}
+
+// --- serialization ---
+
+// MarshalIndent renders the set as indented JSON.
+func (s Set) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseJSON decodes a task set from JSON and validates it.
+func ParseJSON(data []byte) (Set, error) {
+	var s Set
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("task: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Table renders the set as a fixed-width text table in the layout of the
+// paper's Table I.
+func (s Set) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-4s %8s %8s %8s %8s %8s %8s\n",
+		"task", "crit", "C(LO)", "C(HI)", "D(LO)", "D(HI)", "T(LO)", "T(HI)")
+	cell := func(t Time) string {
+		if t.IsUnbounded() {
+			return "inf"
+		}
+		return fmt.Sprintf("%d", int64(t))
+	}
+	for i := range s {
+		t := &s[i]
+		fmt.Fprintf(&b, "%-8s %-4s %8s %8s %8s %8s %8s %8s\n",
+			t.Name, t.Crit,
+			cell(t.WCET[LO]), cell(t.WCET[HI]),
+			cell(t.Deadline[LO]), cell(t.Deadline[HI]),
+			cell(t.Period[LO]), cell(t.Period[HI]))
+	}
+	return b.String()
+}

@@ -1,0 +1,325 @@
+// Package textplot renders the experiment outputs as fixed-width ASCII
+// charts: multi-series line plots (paper Figs. 1, 3, 4, 6b, 6d), shaded
+// heat maps standing in for contour plots (Figs. 5, 7), and box-whisker
+// rows (Figs. 6a, 6c). Everything returns a plain string so results can
+// be diffed, logged, and embedded in EXPERIMENTS.md verbatim.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mcspeedup/internal/stats"
+)
+
+// Series is one named line in a line plot.
+type Series struct {
+	Name string
+	Ys   []float64 // aligned with the shared Xs; NaN marks a gap
+}
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '@', '&', '%', '~'}
+
+// Lines renders aligned series over shared x values on a width×height
+// character grid with y-axis labels and a legend.
+func Lines(title string, xs []float64, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return title + "\n(no data)\n"
+	}
+	for _, s := range series {
+		if len(s.Ys) != len(xs) {
+			return fmt.Sprintf("%s\n(series %q has %d points, want %d)\n", title, s.Name, len(s.Ys), len(xs))
+		}
+	}
+
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+	}
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		return title + "\n(no finite data)\n"
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, y := range s.Ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			grid[row(y)][col(xs[i])] = mark
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.4g", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%10.4g", yMin)
+		default:
+			label = strings.Repeat(" ", 10)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, line)
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", 10), width/2, xMin, width-width/2, xMax)
+	b.WriteString("legend:")
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+var shades = []byte(" .:-=+*#%@")
+
+// Heatmap renders z[i][j] (row i ↔ ys[i], column j ↔ xs[j]) as a shaded
+// grid, darkest = largest. NaN and infinite cells render as '!'. A scale
+// legend maps shades back to values.
+func Heatmap(title, xLabel, yLabel string, xs, ys []float64, z [][]float64) string {
+	if len(z) == 0 || len(z) != len(ys) {
+		return title + "\n(no data)\n"
+	}
+	zMin, zMax := math.Inf(1), math.Inf(-1)
+	for _, rowVals := range z {
+		if len(rowVals) != len(xs) {
+			return title + "\n(ragged data)\n"
+		}
+		for _, v := range rowVals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			zMin, zMax = math.Min(zMin, v), math.Max(zMax, v)
+		}
+	}
+	if math.IsInf(zMin, 1) {
+		return title + "\n(no finite data)\n"
+	}
+	span := zMax - zMin
+	if span == 0 {
+		span = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n(rows: %s bottom→top, cols: %s left→right)\n", title, yLabel, xLabel)
+	// Render top row = largest y (like a conventional plot).
+	for i := len(ys) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "%8.3g |", ys[i])
+		for j := range xs {
+			v := z[i][j]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				b.WriteByte('!')
+				continue
+			}
+			idx := int((v - zMin) / span * float64(len(shades)-1))
+			b.WriteByte(shades[clamp(idx, 0, len(shades)-1)])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", len(xs)))
+	fmt.Fprintf(&b, "%8s  %-*.3g%*.3g\n", "", len(xs)/2, xs[0], len(xs)-len(xs)/2, xs[len(xs)-1])
+	fmt.Fprintf(&b, "scale: '%c' = %.4g .. '%c' = %.4g ('!' = non-finite)\n",
+		shades[0], zMin, shades[len(shades)-1], zMax)
+	return b.String()
+}
+
+// Banded renders z as contour bands: each cell shows the index of the
+// highest threshold in levels that the value reaches ('0' = below the
+// first level), which reads like the paper's contour plots — cells with
+// equal digits form the region between two iso-lines. levels must be
+// strictly increasing. Non-finite cells render as '!'.
+func Banded(title, xLabel, yLabel string, xs, ys []float64, z [][]float64, levels []float64) string {
+	if len(z) == 0 || len(z) != len(ys) || len(levels) == 0 {
+		return title + "\n(no data)\n"
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			return title + "\n(levels not increasing)\n"
+		}
+	}
+	band := func(v float64) byte {
+		idx := 0
+		for _, l := range levels {
+			if v >= l {
+				idx++
+			}
+		}
+		if idx < 10 {
+			return byte('0' + idx)
+		}
+		return byte('a' + idx - 10)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n(rows: %s bottom→top, cols: %s left→right)\n", title, yLabel, xLabel)
+	for i := len(ys) - 1; i >= 0; i-- {
+		if len(z[i]) != len(xs) {
+			return title + "\n(ragged data)\n"
+		}
+		fmt.Fprintf(&b, "%8.3g |", ys[i])
+		for j := range xs {
+			v := z[i][j]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				b.WriteByte('!')
+				continue
+			}
+			b.WriteByte(band(v))
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", len(xs)))
+	fmt.Fprintf(&b, "%8s  %-*.3g%*.3g\n", "", len(xs)/2, xs[0], len(xs)-len(xs)/2, xs[len(xs)-1])
+	b.WriteString("bands:")
+	fmt.Fprintf(&b, " 0 < %.4g", levels[0])
+	for i, l := range levels {
+		fmt.Fprintf(&b, "; %c ≥ %.4g", func() byte {
+			if i+1 < 10 {
+				return byte('0' + i + 1)
+			}
+			return byte('a' + i + 1 - 10)
+		}(), l)
+	}
+	b.WriteString(" ('!' non-finite)\n")
+	return b.String()
+}
+
+// BoxRow is one labeled box-whisker row.
+type BoxRow struct {
+	Label   string
+	Summary stats.Summary
+}
+
+// Boxes renders box-whisker rows on a shared horizontal axis:
+//
+//	label |  ---[==|==]-----  o o
+//
+// with '[' P25, '|' median, ']' P75, '-' whiskers, 'o' outliers.
+func Boxes(title string, rows []BoxRow, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if len(rows) == 0 {
+		return title + "\n(no data)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		lo = math.Min(lo, r.Summary.Min)
+		hi = math.Max(hi, r.Summary.Max)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	col := func(v float64) int {
+		return clamp(int(math.Round((v-lo)/(hi-lo)*float64(width-1))), 0, width-1)
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line := []byte(strings.Repeat(" ", width))
+		s := r.Summary
+		for c := col(s.WhiskerLo); c <= col(s.WhiskerHi); c++ {
+			line[c] = '-'
+		}
+		for c := col(s.P25); c <= col(s.P75); c++ {
+			line[c] = '='
+		}
+		line[col(s.P25)] = '['
+		line[col(s.P75)] = ']'
+		line[col(s.Median)] = '|'
+		for _, o := range s.Outliers {
+			line[col(o)] = 'o'
+		}
+		fmt.Fprintf(&b, "%10s |%s| n=%d med=%.4g\n", r.Label, line, s.N, s.Median)
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, lo, width-width/2, hi)
+	b.WriteString("box: [ p25, | median, ] p75; - whiskers (1.5 IQR); o outliers\n")
+	return b.String()
+}
+
+// Table renders a fixed-width table with a header row.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

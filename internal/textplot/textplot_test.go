@@ -1,0 +1,144 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mcspeedup/internal/stats"
+)
+
+func TestLinesBasic(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	out := Lines("demo", xs, []Series{
+		{Name: "linear", Ys: []float64{0, 1, 2, 3}},
+		{Name: "flat", Ys: []float64{1, 1, 1, 1}},
+	}, 40, 10)
+	for _, want := range []string{"demo", "legend:", "linear", "flat", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Lines output missing %q:\n%s", want, out)
+		}
+	}
+	// Every rendered line between header and legend has bounded width.
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 60 {
+			t.Errorf("line too wide (%d): %q", len(line), line)
+		}
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	if out := Lines("t", nil, nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty: %q", out)
+	}
+	out := Lines("t", []float64{1}, []Series{{Name: "a", Ys: []float64{2, 3}}}, 40, 10)
+	if !strings.Contains(out, "points") {
+		t.Errorf("misaligned: %q", out)
+	}
+	// All-NaN series.
+	out = Lines("t", []float64{1, 2}, []Series{{Name: "a", Ys: []float64{math.NaN(), math.NaN()}}}, 40, 10)
+	if !strings.Contains(out, "no finite data") {
+		t.Errorf("NaN-only: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out = Lines("t", []float64{1, 1}, []Series{{Name: "a", Ys: []float64{5, 5}}}, 40, 10)
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("constant: %q", out)
+	}
+	// Infinite values are treated as gaps.
+	out = Lines("t", []float64{1, 2}, []Series{{Name: "a", Ys: []float64{1, math.Inf(1)}}}, 40, 10)
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("inf: %q", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	xs := []float64{0, 0.5, 1}
+	ys := []float64{0, 1}
+	z := [][]float64{{0, 0.5, 1}, {1, math.NaN(), 0}}
+	out := Heatmap("map", "x", "y", xs, ys, z)
+	for _, want := range []string{"map", "scale:", "!", "@"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Heatmap missing %q:\n%s", want, out)
+		}
+	}
+	// Ragged input.
+	if out := Heatmap("m", "x", "y", xs, ys, [][]float64{{1}, {1, 2, 3}}); !strings.Contains(out, "ragged") {
+		t.Errorf("ragged: %q", out)
+	}
+	if out := Heatmap("m", "x", "y", xs, nil, nil); !strings.Contains(out, "no data") {
+		t.Errorf("empty: %q", out)
+	}
+	// Constant grid must not divide by zero.
+	if out := Heatmap("m", "x", "y", xs, ys, [][]float64{{2, 2, 2}, {2, 2, 2}}); !strings.Contains(out, "scale:") {
+		t.Errorf("constant: %q", out)
+	}
+}
+
+func TestBanded(t *testing.T) {
+	xs := []float64{0, 1}
+	ys := []float64{0, 1}
+	z := [][]float64{{0.5, 1.2}, {2.5, math.NaN()}}
+	out := Banded("bands", "x", "y", xs, ys, z, []float64{1, 2})
+	for _, want := range []string{"bands", "0", "1", "2", "!", "bands:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Banded missing %q:\n%s", want, out)
+		}
+	}
+	// Cell values map to the expected band digits: row y=0 is printed
+	// last; 0.5 → '0', 1.2 → '1', 2.5 → '2'.
+	lines := strings.Split(out, "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l)
+		}
+	}
+	if len(rows) != 2 || !strings.Contains(rows[0], "2!") || !strings.Contains(rows[1], "01") {
+		t.Errorf("band rows wrong:\n%s", out)
+	}
+	if out := Banded("b", "x", "y", xs, ys, z, []float64{2, 1}); !strings.Contains(out, "not increasing") {
+		t.Errorf("bad levels: %q", out)
+	}
+	if out := Banded("b", "x", "y", xs, nil, nil, []float64{1}); !strings.Contains(out, "no data") {
+		t.Errorf("empty: %q", out)
+	}
+	if out := Banded("b", "x", "y", xs, ys, [][]float64{{1}, {1, 2}}, []float64{1}); !strings.Contains(out, "ragged") {
+		t.Errorf("ragged: %q", out)
+	}
+}
+
+func TestBoxes(t *testing.T) {
+	rows := []BoxRow{
+		{Label: "0.5", Summary: stats.Summarize([]float64{1, 2, 3, 4, 5})},
+		{Label: "0.9", Summary: stats.Summarize([]float64{2, 4, 6, 8, 10, 40})},
+	}
+	out := Boxes("boxes", rows, 50)
+	for _, want := range []string{"boxes", "0.5", "0.9", "[", "]", "|", "o", "med="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Boxes missing %q:\n%s", want, out)
+		}
+	}
+	if out := Boxes("b", nil, 50); !strings.Contains(out, "no data") {
+		t.Errorf("empty: %q", out)
+	}
+	// Single constant row.
+	one := Boxes("b", []BoxRow{{Label: "x", Summary: stats.Summarize([]float64{3})}}, 50)
+	if !strings.Contains(one, "med=3") {
+		t.Errorf("constant: %q", one)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "long-header") || !strings.Contains(lines[1], "---") {
+		t.Errorf("table header malformed:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[3], "333") {
+		t.Errorf("table rows malformed:\n%s", out)
+	}
+}

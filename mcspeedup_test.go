@@ -1,0 +1,226 @@
+package mcspeedup_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mcspeedup"
+)
+
+// TestPublicAPIEndToEnd walks the whole public surface the way the README
+// quick start does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	set := mcspeedup.Set{
+		mcspeedup.NewHITask("ctrl", 10, 6, 9, 2, 4),
+		mcspeedup.NewLOTask("log", 10, 10, 2),
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	okLO, err := mcspeedup.SchedulableLO(set)
+	if err != nil || !okLO {
+		t.Fatalf("SchedulableLO = %v, %v", okLO, err)
+	}
+	sp, err := mcspeedup.MinSpeedup(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Speedup.Eq(mcspeedup.NewRat(4, 3)) {
+		t.Fatalf("s_min = %v", sp.Speedup)
+	}
+	if ok, _ := mcspeedup.SchedulableHI(set, sp.Speedup); !ok {
+		t.Fatal("SchedulableHI at s_min = false")
+	}
+	rt, err := mcspeedup.ResetTime(set, mcspeedup.RatTwo)
+	if err != nil || !rt.Reset.Eq(mcspeedup.NewRat(6, 1)) {
+		t.Fatalf("Δ_R = %v, %v", rt.Reset, err)
+	}
+	if b := mcspeedup.ClosedFormSpeedup(set); b.Cmp(sp.Speedup) < 0 {
+		t.Fatalf("closed form %v below exact", b)
+	}
+	if b := mcspeedup.ClosedFormReset(set, mcspeedup.RatTwo); b.Cmp(rt.Reset) < 0 {
+		t.Fatalf("closed reset %v below exact", b)
+	}
+	if !mcspeedup.SustainableOverrunGap(rt.Reset, 100) {
+		t.Fatal("gap of 100 not sustainable?")
+	}
+
+	// Transforms.
+	deg, err := set.DegradeLO(mcspeedup.RatTwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg[1].Period[mcspeedup.HI] != 20 {
+		t.Fatalf("degraded period %d", deg[1].Period[mcspeedup.HI])
+	}
+	term := set.TerminateLO()
+	if !term[1].Terminated() {
+		t.Fatal("TerminateLO did not terminate")
+	}
+	x, prepared, err := mcspeedup.MinimalX(set)
+	if err != nil || x.Sign() <= 0 {
+		t.Fatalf("MinimalX: %v, %v", x, err)
+	}
+	if ok, _ := mcspeedup.SchedulableLO(prepared); !ok {
+		t.Fatal("MinimalX result not schedulable")
+	}
+
+	// JSON round trip.
+	data, err := set.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := mcspeedup.ParseSetJSON(data)
+	if err != nil || len(back) != 2 {
+		t.Fatalf("ParseSetJSON: %v, %v", back, err)
+	}
+
+	// Simulation.
+	w := mcspeedup.SynchronousPeriodic(set, 40, mcspeedup.AlwaysOverrun)
+	res, err := mcspeedup.Simulate(set, w, mcspeedup.SimConfig{
+		Speedup: sp.Speedup, CollectTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Misses) != 0 {
+		t.Fatalf("misses at s_min: %+v", res.Misses)
+	}
+	if g := mcspeedup.Gantt(set, res, 60); !strings.Contains(g, "ctrl") {
+		t.Fatalf("gantt: %q", g)
+	}
+
+	// Generators and case studies.
+	g := mcspeedup.DefaultGenerator()
+	rs := g.MustSet(rand.New(rand.NewSource(1)), 0.5)
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fmsSet, err := mcspeedup.FMSTasks(mcspeedup.RatTwo)
+	if err != nil || len(fmsSet) != 11 {
+		t.Fatalf("FMSTasks: %d tasks, %v", len(fmsSet), err)
+	}
+	if len(mcspeedup.TableISet()) != 2 || len(mcspeedup.TableISetDegraded()) != 2 {
+		t.Fatal("Table I constructors broken")
+	}
+
+	// EDF-VD baseline.
+	impl := mcspeedup.Set{
+		mcspeedup.NewImplicitHITask("h", 10, 2, 4),
+		mcspeedup.NewImplicitLOTask("l", 10, 3),
+	}
+	vd, err := mcspeedup.EDFVDAnalyze(impl)
+	if err != nil || !vd.Schedulable {
+		t.Fatalf("EDFVDAnalyze: %+v, %v", vd, err)
+	}
+	conf, err := mcspeedup.EDFVDTransform(impl, vd)
+	if err != nil || len(conf) != 2 {
+		t.Fatalf("EDFVDTransform: %v, %v", conf, err)
+	}
+
+	// Rationals.
+	if mcspeedup.RatFromFloat(0.5).Cmp(mcspeedup.NewRat(1, 2)) != 0 {
+		t.Fatal("RatFromFloat broken")
+	}
+	if mcspeedup.RatZero.Sign() != 0 || mcspeedup.RatOne.Sign() != 1 || !mcspeedup.RatPosInf.IsInf() {
+		t.Fatal("rat constants broken")
+	}
+	_ = mcspeedup.Unbounded
+	_ = mcspeedup.TicksPerMS
+}
+
+// TestDesignSolversPublicAPI exercises the Section-V inverse solvers and
+// the newer simulation utilities through the facade.
+func TestDesignSolversPublicAPI(t *testing.T) {
+	set := mcspeedup.Set{
+		mcspeedup.NewHITask("h", 20, 10, 18, 2, 6),
+		mcspeedup.NewLOTask("l1", 10, 10, 2),
+		mcspeedup.NewLOTask("l2", 15, 15, 3),
+	}
+
+	sr, err := mcspeedup.MinSpeedForReset(set, 100)
+	if err != nil || sr.Speed.Sign() <= 0 {
+		t.Fatalf("MinSpeedForReset: %+v, %v", sr, err)
+	}
+	if sr.Attained {
+		rt, err := mcspeedup.ResetTime(set, sr.Speed)
+		if err != nil || rt.Reset.Cmp(mcspeedup.NewRat(100, 1)) > 0 {
+			t.Fatalf("attained speed misses budget: %v, %v", rt.Reset, err)
+		}
+	}
+
+	y, degraded, err := mcspeedup.MinimalY(set, mcspeedup.RatTwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mcspeedup.MinSpeedup(degraded)
+	if err != nil || sp.Speedup.Cmp(mcspeedup.RatTwo) > 0 {
+		t.Fatalf("MinimalY(y=%v) → s_min %v, %v", y, sp.Speedup, err)
+	}
+
+	xLo, xHi, err := mcspeedup.FeasibleXWindow(degraded, mcspeedup.RatTwo)
+	if err != nil || xLo.Cmp(xHi) > 0 {
+		t.Fatalf("FeasibleXWindow: [%v, %v], %v", xLo, xHi, err)
+	}
+
+	rnd := rand.New(rand.NewSource(5))
+	w := mcspeedup.BurstOverruns(rnd, set, 400, 100)
+	res, err := mcspeedup.Simulate(set, w, mcspeedup.SimConfig{
+		Speedup: mcspeedup.RatTwo, CollectJobs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := mcspeedup.ResponseStats(set, res)
+	if len(stats) != 3 {
+		t.Fatalf("ResponseStats: %d entries", len(stats))
+	}
+	if tbl := mcspeedup.ResponseTable(set, res); !strings.Contains(tbl, "h") {
+		t.Fatalf("ResponseTable: %q", tbl)
+	}
+
+	ab, err := mcspeedup.ExperimentAblation(mcspeedup.AblationConfig{
+		SetsPerPoint: 4, UBounds: []float64{0.6}, Seed: 9,
+	})
+	if err != nil || len(ab.Policies) != 4 {
+		t.Fatalf("ExperimentAblation: %v, %v", ab.Policies, err)
+	}
+	_ = mcspeedup.PolicyTerminate
+	_ = mcspeedup.PolicyDegrade
+	_ = mcspeedup.PolicySpeedup
+	if mcspeedup.PolicyCombined.String() == "" {
+		t.Fatal("Policy alias broken")
+	}
+}
+
+// TestExperimentWrappers runs tiny instances of every experiment driver
+// through the public API.
+func TestExperimentWrappers(t *testing.T) {
+	if _, err := mcspeedup.ExperimentTable1(); err != nil {
+		t.Error(err)
+	}
+	if _, err := mcspeedup.ExperimentFig1(20); err != nil {
+		t.Error(err)
+	}
+	if _, err := mcspeedup.ExperimentFig3(20, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := mcspeedup.ExperimentFig4(5, 5); err != nil {
+		t.Error(err)
+	}
+	if _, err := mcspeedup.ExperimentFig5(3); err != nil {
+		t.Error(err)
+	}
+	if _, err := mcspeedup.ExperimentFig6(mcspeedup.Fig6Config{
+		SetsPerPoint: 4, UBounds: []float64{0.5, 0.7}, Seed: 3,
+	}); err != nil {
+		t.Error(err)
+	}
+	if _, err := mcspeedup.ExperimentFig7(mcspeedup.Fig7Config{
+		SetsPerPoint: 3, Grid: []float64{0.3, 0.6}, Seed: 3,
+	}); err != nil {
+		t.Error(err)
+	}
+}
