@@ -7,6 +7,7 @@ package mcspeedup_test
 // scale runs are produced by cmd/mcs-experiments.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func BenchmarkFig1(b *testing.B) {
 
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := mcspeedup.ExperimentFig3(30, 20); err != nil {
+		if _, err := mcspeedup.ExperimentFig3(30, 20, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -39,7 +40,7 @@ func BenchmarkFig3(b *testing.B) {
 
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := mcspeedup.ExperimentFig4(9, 13); err != nil {
+		if _, err := mcspeedup.ExperimentFig4(9, 13, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,7 +48,7 @@ func BenchmarkFig4(b *testing.B) {
 
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := mcspeedup.ExperimentFig5(5); err != nil {
+		if _, err := mcspeedup.ExperimentFig5(5, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -181,6 +182,55 @@ func BenchmarkMinSpeedupFMS(b *testing.B) {
 
 func BenchmarkResetTimeSynthetic(b *testing.B) {
 	set := benchSet(b, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.ResetTime(set, mcspeedup.RatTwo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSet100 builds a deterministic 100-task set (60 HI + 40 LO,
+// harmonic periods so the hyperperiod stays small and the analyses
+// terminate exactly) degraded and prepared the same way the experiment
+// drivers prepare their corpora. Large n stresses the event heap and
+// per-event bookkeeping of the walker-based analyses.
+func benchSet100(b *testing.B) mcspeedup.Set {
+	b.Helper()
+	var set mcspeedup.Set
+	for i := 0; i < 60; i++ {
+		period := mcspeedup.Time(400 << (i % 3)) // 400, 800, 1600
+		set = append(set, mcspeedup.NewImplicitHITask(fmt.Sprintf("h%02d", i), period, 1, 2))
+	}
+	for i := 0; i < 40; i++ {
+		period := mcspeedup.Time(300 << (i % 3)) // 300, 600, 1200
+		set = append(set, mcspeedup.NewImplicitLOTask(fmt.Sprintf("l%02d", i), period, 1))
+	}
+	degraded, err := set.DegradeLO(mcspeedup.RatTwo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, prepared, err := mcspeedup.MinimalX(degraded)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prepared
+}
+
+func BenchmarkMinSpeedup100Tasks(b *testing.B) {
+	set := benchSet100(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.MinSpeedup(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResetTime100Tasks(b *testing.B) {
+	set := benchSet100(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mcspeedup.ResetTime(set, mcspeedup.RatTwo); err != nil {

@@ -6,13 +6,17 @@
 //
 //	mcs-experiments [flags]
 //
-//	-run string   comma-separated subset of
-//	              table1,fig1,fig2,fig3,fig4,fig5,fig6,fig7,ablation,service
-//	              (default "all")
-//	-json         emit results as JSON instead of rendered text
-//	-sets int     task sets per data point for fig6/fig7 (default 100/20)
-//	-grid int     grid resolution for fig5/fig7 (default 9)
-//	-seed int     RNG seed (default 2015)
+//	-run string        comma-separated subset of
+//	                   table1,fig1,fig2,fig3,fig4,fig5,fig6,fig7,ablation,service
+//	                   (default "all")
+//	-json              emit results as JSON instead of rendered text
+//	-sets int          task sets per data point for fig6/fig7 (default 100/20)
+//	-grid int          grid resolution for fig5/fig7 (default 9)
+//	-seed int          RNG seed (default 2015)
+//	-workers int       parallel sweep workers (0 = all cores); rendered
+//	                   output is byte-identical for every worker count
+//	-bench-json path   also write per-experiment wall-clock and corpus
+//	                   stats as JSON to path
 package main
 
 import (
@@ -20,20 +24,63 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"mcspeedup"
 )
+
+// benchEntry is one per-experiment record of the -bench-json report.
+type benchEntry struct {
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+	// Corpus is the number of analyzed task sets (0 for the analytic
+	// figures that have no random corpus).
+	Corpus int `json:"corpus,omitempty"`
+}
+
+// benchReport is the -bench-json file layout: enough context to compare
+// wall-clock trajectories across machines and worker counts.
+type benchReport struct {
+	GeneratedAt string       `json:"generatedAt"`
+	GoVersion   string       `json:"goVersion"`
+	NumCPU      int          `json:"numCPU"`
+	Workers     int          `json:"workers"`
+	Seed        int64        `json:"seed"`
+	Experiments []benchEntry `json:"experiments"`
+	TotalSecs   float64      `json:"totalSeconds"`
+}
+
+// corpusSize reports the number of random task sets an experiment
+// analyzed, when it has a corpus at all.
+func corpusSize(r any) int {
+	switch v := r.(type) {
+	case mcspeedup.Fig6Result:
+		return v.Config.SetsPerPoint*len(v.UBounds) + v.Infeasible
+	case mcspeedup.Fig7Result:
+		return v.Config.SetsPerPoint * len(v.Grid) * len(v.Grid)
+	case mcspeedup.AblationResult:
+		return v.Config.SetsPerPoint * len(v.UBounds)
+	case mcspeedup.ServiceQualityResult:
+		return v.CorpusSize
+	default:
+		return 0
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mcs-experiments: ")
 	var (
-		run    = flag.String("run", "all", "experiments to run (comma-separated)")
-		sets   = flag.Int("sets", 0, "task sets per data point (fig6/fig7/ablation)")
-		grid   = flag.Int("grid", 9, "grid resolution (fig5/fig7)")
-		seed   = flag.Int64("seed", 2015, "random seed")
-		asJSON = flag.Bool("json", false, "emit results as JSON")
+		run       = flag.String("run", "all", "experiments to run (comma-separated)")
+		sets      = flag.Int("sets", 0, "task sets per data point (fig6/fig7/ablation/service)")
+		grid      = flag.Int("grid", 9, "grid resolution (fig5/fig7)")
+		seed      = flag.Int64("seed", 2015, "random seed")
+		asJSON    = flag.Bool("json", false, "emit results as JSON")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = all cores)")
+		benchPath = flag.String("bench-json", "", "write per-experiment wall-clock stats as JSON to this path")
 	)
 	flag.Parse()
 
@@ -44,55 +91,75 @@ func main() {
 	all := want["all"]
 	selected := func(name string) bool { return all || want[name] }
 
+	report := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     *workers,
+		Seed:        *seed,
+	}
+
 	type renderer interface{ Render() string }
-	emit := func(name string, r renderer, err error) {
-		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+	runExperiment := func(key, title string, driver func() (renderer, error)) {
+		if !selected(key) {
+			return
 		}
+		start := time.Now()
+		r, err := driver()
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatalf("%s: %v", title, err)
+		}
+		report.Experiments = append(report.Experiments, benchEntry{
+			Experiment: key,
+			Seconds:    elapsed.Seconds(),
+			Corpus:     corpusSize(r),
+		})
+		report.TotalSecs += elapsed.Seconds()
 		if *asJSON {
-			data, err := json.MarshalIndent(map[string]any{"experiment": name, "result": r}, "", "  ")
+			data, err := json.MarshalIndent(map[string]any{"experiment": title, "result": r}, "", "  ")
 			if err != nil {
-				log.Fatalf("%s: %v", name, err)
+				log.Fatalf("%s: %v", title, err)
 			}
 			fmt.Println(string(data))
 			return
 		}
-		fmt.Printf("==== %s ====\n%s\n", name, r.Render())
+		fmt.Printf("==== %s ====\n%s\n", title, r.Render())
 	}
 
-	if selected("table1") {
+	runExperiment("table1", "Table I / Examples 1-2", func() (renderer, error) {
 		r, err := mcspeedup.ExperimentTable1()
-		emit("Table I / Examples 1-2", r, err)
-	}
-	if selected("fig1") {
+		return r, err
+	})
+	runExperiment("fig1", "Figure 1", func() (renderer, error) {
 		r, err := mcspeedup.ExperimentFig1(30)
-		emit("Figure 1", r, err)
-	}
-	if selected("fig2") {
-		emit("Figure 2", mcspeedup.ExperimentFig2(), nil)
-	}
-	if selected("fig3") {
-		r, err := mcspeedup.ExperimentFig3(30, 40)
-		emit("Figure 3", r, err)
-	}
-	if selected("fig4") {
-		r, err := mcspeedup.ExperimentFig4(17, 25)
-		emit("Figure 4", r, err)
-	}
-	if selected("fig5") {
-		r, err := mcspeedup.ExperimentFig5(*grid)
-		emit("Figure 5", r, err)
-	}
-	if selected("fig6") {
-		cfg := mcspeedup.Fig6Config{Seed: *seed}
+		return r, err
+	})
+	runExperiment("fig2", "Figure 2", func() (renderer, error) {
+		return mcspeedup.ExperimentFig2(), nil
+	})
+	runExperiment("fig3", "Figure 3", func() (renderer, error) {
+		r, err := mcspeedup.ExperimentFig3(30, 40, *workers)
+		return r, err
+	})
+	runExperiment("fig4", "Figure 4", func() (renderer, error) {
+		r, err := mcspeedup.ExperimentFig4(17, 25, *workers)
+		return r, err
+	})
+	runExperiment("fig5", "Figure 5", func() (renderer, error) {
+		r, err := mcspeedup.ExperimentFig5(*grid, *workers)
+		return r, err
+	})
+	runExperiment("fig6", "Figure 6", func() (renderer, error) {
+		cfg := mcspeedup.Fig6Config{Seed: *seed, Workers: *workers}
 		if *sets > 0 {
 			cfg.SetsPerPoint = *sets
 		}
 		r, err := mcspeedup.ExperimentFig6(cfg)
-		emit("Figure 6", r, err)
-	}
-	if selected("fig7") {
-		cfg := mcspeedup.Fig7Config{Seed: *seed}
+		return r, err
+	})
+	runExperiment("fig7", "Figure 7", func() (renderer, error) {
+		cfg := mcspeedup.Fig7Config{Seed: *seed, Workers: *workers}
 		if *sets > 0 {
 			cfg.SetsPerPoint = *sets
 		}
@@ -102,22 +169,32 @@ func main() {
 			}
 		}
 		r, err := mcspeedup.ExperimentFig7(cfg)
-		emit("Figure 7", r, err)
-	}
-	if selected("service") {
-		cfg := mcspeedup.ServiceQualityConfig{Seed: *seed}
+		return r, err
+	})
+	runExperiment("service", "LO-service quality", func() (renderer, error) {
+		cfg := mcspeedup.ServiceQualityConfig{Seed: *seed, Workers: *workers}
 		if *sets > 0 {
 			cfg.Sets = *sets
 		}
 		r, err := mcspeedup.ExperimentServiceQuality(cfg)
-		emit("LO-service quality", r, err)
-	}
-	if selected("ablation") {
-		cfg := mcspeedup.AblationConfig{Seed: *seed}
+		return r, err
+	})
+	runExperiment("ablation", "Policy ablation", func() (renderer, error) {
+		cfg := mcspeedup.AblationConfig{Seed: *seed, Workers: *workers}
 		if *sets > 0 {
 			cfg.SetsPerPoint = *sets
 		}
 		r, err := mcspeedup.ExperimentAblation(cfg)
-		emit("Policy ablation", r, err)
+		return r, err
+	})
+
+	if *benchPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
+		if err := os.WriteFile(*benchPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("bench-json: %v", err)
+		}
 	}
 }

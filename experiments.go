@@ -25,25 +25,29 @@ func ExperimentFig1(horizon Time) (Fig1Result, error) { return experiments.Fig1(
 type Fig3Result = experiments.Fig3Result
 
 // ExperimentFig3 computes the service-resetting-time study of Fig. 3.
-func ExperimentFig3(horizon Time, speedSteps int) (Fig3Result, error) {
-	return experiments.Fig3(horizon, speedSteps)
+// workers bounds the sweep parallelism (0 = all cores); results are
+// identical for every worker count.
+func ExperimentFig3(horizon Time, speedSteps, workers int) (Fig3Result, error) {
+	return experiments.Fig3(horizon, speedSteps, workers)
 }
 
 // Fig4Result holds the closed-form trade-off curves of Fig. 4.
 type Fig4Result = experiments.Fig4Result
 
 // ExperimentFig4 evaluates the Lemma-6/7 closed forms over the x/y and
-// s/s_min trade-off grids.
-func ExperimentFig4(xSteps, speedSteps int) (Fig4Result, error) {
-	return experiments.Fig4(xSteps, speedSteps)
+// s/s_min trade-off grids. workers bounds the sweep parallelism (0 =
+// all cores); results are identical for every worker count.
+func ExperimentFig4(xSteps, speedSteps, workers int) (Fig4Result, error) {
+	return experiments.Fig4(xSteps, speedSteps, workers)
 }
 
 // Fig5Result holds the FMS contour grids of Fig. 5.
 type Fig5Result = experiments.Fig5Result
 
 // ExperimentFig5 runs the flight-management-system study on steps×steps
-// grids.
-func ExperimentFig5(steps int) (Fig5Result, error) { return experiments.Fig5(steps) }
+// grids. workers bounds the sweep parallelism (0 = all cores); results
+// are identical for every worker count.
+func ExperimentFig5(steps, workers int) (Fig5Result, error) { return experiments.Fig5(steps, workers) }
 
 // Fig6Config and Fig6Result parameterize the synthetic-task-set study.
 type (

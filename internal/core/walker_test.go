@@ -139,6 +139,102 @@ func TestWalkerOnTableI(t *testing.T) {
 	}
 }
 
+// TestWalkerCoincidentEvents: several distinct tasks firing at the same
+// event time must all be absorbed by one Next() call, leaving the exact
+// summed value and right-slope. Identical task copies make every event
+// a multi-task event.
+func TestWalkerCoincidentEvents(t *testing.T) {
+	s := task.Set{
+		task.NewHI("a", 10, 6, 9, 2, 4),
+		task.NewHI("b", 10, 6, 9, 2, 4), // exact copy of a
+		task.NewHI("c", 10, 6, 9, 2, 4), // exact copy of a
+		task.NewLO("d", 10, 8, 3),
+		task.NewLO("e", 10, 8, 3), // exact copy of d
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []dbf.Kind{dbf.KindDBF, dbf.KindADB} {
+		w := newHIWalker(s, kind)
+		prev := task.Time(0)
+		for step := 0; step < 100; step++ {
+			if !w.Next() {
+				break
+			}
+			if w.Pos() <= prev {
+				t.Fatalf("kind %d: position did not advance past %d (coincident events not absorbed together)", kind, prev)
+			}
+			prev = w.Pos()
+			var wantVal task.Time
+			if kind == dbf.KindDBF {
+				wantVal = dbf.SetHIMode(s, w.Pos())
+			} else {
+				wantVal = dbf.SetADB(s, w.Pos())
+			}
+			if w.Value() != wantVal {
+				t.Fatalf("kind %d: value at %d = %d, want %d", kind, w.Pos(), w.Value(), wantVal)
+			}
+			if got, want := w.Slope(), dbf.SetRightSlope(s, kind, w.Pos()); got != want {
+				t.Fatalf("kind %d: slope at %d = %d, want %d", kind, w.Pos(), got, want)
+			}
+		}
+	}
+}
+
+// TestWalkerPropertyCoincidenceHeavy: property test on random sets whose
+// periods share small divisors, so same-time events across tasks are the
+// rule rather than the exception. At every event the walker's value and
+// slope must equal brute-force re-evaluation (dbf.SetHIMode/SetADB and
+// dbf.SetRightSlope).
+func TestWalkerPropertyCoincidenceHeavy(t *testing.T) {
+	periods := []task.Time{4, 6, 8, 12}
+	rnd := rand.New(rand.NewSource(304))
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rnd.Intn(6)
+		s := make(task.Set, 0, n)
+		for i := 0; i < n; i++ {
+			period := periods[rnd.Intn(len(periods))]
+			cLO := task.Time(rnd.Int63n(int64(period)/2) + 1)
+			name := string(rune('a' + i))
+			if rnd.Intn(2) == 0 {
+				cHI := cLO + task.Time(rnd.Int63n(int64(period-cLO)+1))
+				dHI := cHI + task.Time(rnd.Int63n(int64(period-cHI)+1))
+				dLO := cLO + task.Time(rnd.Int63n(int64(dHI-cLO)+1))
+				s = append(s, task.NewHI(name, period, dLO, dHI, cLO, cHI))
+			} else {
+				dLO := cLO + task.Time(rnd.Int63n(int64(period-cLO)+1))
+				s = append(s, task.NewLO(name, period, dLO, cLO))
+			}
+		}
+		if err := s.Validate(); err != nil {
+			continue
+		}
+		for _, kind := range []dbf.Kind{dbf.KindDBF, dbf.KindADB} {
+			w := newHIWalker(s, kind)
+			for step := 0; step < 300; step++ {
+				if !w.Next() {
+					break
+				}
+				pos := w.Pos()
+				var wantVal task.Time
+				if kind == dbf.KindDBF {
+					wantVal = dbf.SetHIMode(s, pos)
+				} else {
+					wantVal = dbf.SetADB(s, pos)
+				}
+				if w.Value() != wantVal {
+					t.Fatalf("kind %d: value at %d = %d, want %d\n%s",
+						kind, pos, w.Value(), wantVal, s.Table())
+				}
+				if got, want := w.Slope(), dbf.SetRightSlope(s, kind, pos); got != want {
+					t.Fatalf("kind %d: slope at %d = %d, want %d\n%s",
+						kind, pos, got, want, s.Table())
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkWalkerVsDirect(b *testing.B) {
 	rnd := rand.New(rand.NewSource(303))
 	s := randomSet(rnd, 12, 40)

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/gen"
+	"mcspeedup/internal/par"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/stats"
 	"mcspeedup/internal/task"
@@ -22,6 +22,9 @@ type AblationConfig struct {
 	// Speed is the HI-mode speed the speedup-based policies may use
 	// (default 2, the turbo ceiling the paper cites).
 	Speed rat.Rat
+	// Workers bounds the sweep parallelism (0 = all cores). Output is
+	// identical for every worker count.
+	Workers int `json:"-"`
 }
 
 func (c AblationConfig) withDefaults() AblationConfig {
@@ -104,7 +107,6 @@ func Ablation(cfg AblationConfig) (AblationResult, error) {
 	res.SchedFrac = make([][]float64, numPolicies)
 	res.MedianResetMS = make([][]float64, numPolicies)
 
-	rnd := rand.New(rand.NewSource(cfg.Seed))
 	params := gen.Defaults()
 
 	configure := func(base task.Set, p Policy) (task.Set, rat.Rat, error) {
@@ -125,37 +127,67 @@ func Ablation(cfg AblationConfig) (AblationResult, error) {
 		return set, speed, err
 	}
 
-	for _, uBound := range cfg.UBounds {
+	// One unit of work per (utilization point, set index): a generated
+	// base set evaluated under all four policies (paired corpus).
+	type setResult struct {
+		accepted [numPolicies]bool
+		reset    [numPolicies]float64 // ms; NaN = rejected or infinite
+	}
+	analyzeSet := func(ui, n int) (setResult, error) {
+		rnd := gen.SubRand(cfg.Seed, ui, n)
+		base := params.MustSet(rnd, cfg.UBounds[ui])
+		var out setResult
+		for p := Policy(0); p < numPolicies; p++ {
+			out.reset[p] = math.NaN()
+			set, speed, err := configure(base, p)
+			if err != nil {
+				return out, err
+			}
+			_, prepared, err := core.MinimalX(set)
+			if err != nil {
+				continue // LO-mode infeasible under this policy
+			}
+			sp, err := core.MinSpeedup(prepared)
+			if err != nil {
+				return out, err
+			}
+			if sp.Speedup.Cmp(speed) > 0 {
+				continue
+			}
+			out.accepted[p] = true
+			// Disruption: how long until LO service is back to
+			// normal. Use the policy's speed; for nominal-speed
+			// policies this is still the Corollary-5 idle bound.
+			rr, err := core.ResetTime(prepared, speed)
+			if err != nil {
+				return out, err
+			}
+			if !rr.Reset.IsInf() {
+				out.reset[p] = rr.Reset.Float64() / gen.TicksPerMS
+			}
+		}
+		return out, nil
+	}
+
+	sets, err := par.Map(len(cfg.UBounds)*cfg.SetsPerPoint, cfg.Workers,
+		func(k int) (setResult, error) {
+			return analyzeSet(k/cfg.SetsPerPoint, k%cfg.SetsPerPoint)
+		})
+	if err != nil {
+		return res, err
+	}
+
+	for ui := range cfg.UBounds {
 		accepted := make([]int, numPolicies)
 		resets := make([][]float64, numPolicies)
 		for n := 0; n < cfg.SetsPerPoint; n++ {
-			base := params.MustSet(rnd, uBound)
+			s := sets[ui*cfg.SetsPerPoint+n]
 			for p := Policy(0); p < numPolicies; p++ {
-				set, speed, err := configure(base, p)
-				if err != nil {
-					return res, err
+				if s.accepted[p] {
+					accepted[p]++
 				}
-				_, prepared, err := core.MinimalX(set)
-				if err != nil {
-					continue // LO-mode infeasible under this policy
-				}
-				sp, err := core.MinSpeedup(prepared)
-				if err != nil {
-					return res, err
-				}
-				if sp.Speedup.Cmp(speed) > 0 {
-					continue
-				}
-				accepted[p]++
-				// Disruption: how long until LO service is back to
-				// normal. Use the policy's speed; for nominal-speed
-				// policies this is still the Corollary-5 idle bound.
-				rr, err := core.ResetTime(prepared, speed)
-				if err != nil {
-					return res, err
-				}
-				if !rr.Reset.IsInf() {
-					resets[p] = append(resets[p], rr.Reset.Float64()/gen.TicksPerMS)
+				if !math.IsNaN(s.reset[p]) {
+					resets[p] = append(resets[p], s.reset[p])
 				}
 			}
 		}

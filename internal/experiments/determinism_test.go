@@ -46,3 +46,78 @@ func TestDeterministicRender(t *testing.T) {
 		}
 	}
 }
+
+// TestWorkerCountInvariance: every driver routed through the parallel
+// sweep engine must render byte-identically at workers=1 and workers=4
+// for the same seed — the engine's core guarantee (per-index random
+// substreams, index-ordered reduction).
+func TestWorkerCountInvariance(t *testing.T) {
+	drivers := map[string]func(workers int) (string, error){
+		"fig3": func(w int) (string, error) {
+			r, err := Fig3(20, 10, w)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig4": func(w int) (string, error) {
+			r, err := Fig4(7, 9, w)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig5": func(w int) (string, error) {
+			r, err := Fig5(4, w)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig6": func(w int) (string, error) {
+			r, err := Fig6(Fig6Config{SetsPerPoint: 6, UBounds: []float64{0.5, 0.8}, Seed: 41, Workers: w})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"fig7": func(w int) (string, error) {
+			r, err := Fig7(Fig7Config{SetsPerPoint: 4, Grid: []float64{0.3, 0.8}, Seed: 41, Workers: w})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"ablation": func(w int) (string, error) {
+			r, err := Ablation(AblationConfig{SetsPerPoint: 6, UBounds: []float64{0.6}, Seed: 41, Workers: w})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+		"service": func(w int) (string, error) {
+			r, err := ServiceQuality(ServiceQualityConfig{Sets: 4, UBound: 0.55, Seed: 17, Workers: w})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	}
+	for name, run := range drivers {
+		seq, err := run(1)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", name, err)
+		}
+		parl, err := run(4)
+		if err != nil {
+			t.Fatalf("%s workers=4: %v", name, err)
+		}
+		if seq != parl {
+			t.Errorf("%s: workers=1 and workers=4 renders differ:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+				name, seq, parl)
+		}
+		if seq == "" {
+			t.Errorf("%s: empty render", name)
+		}
+	}
+}

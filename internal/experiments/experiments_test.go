@@ -60,7 +60,7 @@ func TestFig1ShapesHold(t *testing.T) {
 }
 
 func TestFig3ShapesHold(t *testing.T) {
-	r, err := Fig3(30, 12)
+	r, err := Fig3(30, 12, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestFig3ShapesHold(t *testing.T) {
 }
 
 func TestFig4ShapesHold(t *testing.T) {
-	r, err := Fig4(9, 13)
+	r, err := Fig4(9, 13, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestFig4ShapesHold(t *testing.T) {
 }
 
 func TestFig5ShapesHold(t *testing.T) {
-	r, err := Fig5(5)
+	r, err := Fig5(5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

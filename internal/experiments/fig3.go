@@ -8,6 +8,7 @@ import (
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/par"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/task"
 	"mcspeedup/internal/textplot"
@@ -33,8 +34,9 @@ type Fig3Result struct {
 }
 
 // Fig3 computes both panels. speedSteps controls the s-axis resolution of
-// panel (b); speeds sweep (U_HI, 3].
-func Fig3(horizon task.Time, speedSteps int) (Fig3Result, error) {
+// panel (b); speeds sweep (U_HI, 3]. workers bounds the sweep parallelism
+// (0 = all cores); the output is identical for every worker count.
+func Fig3(horizon task.Time, speedSteps, workers int) (Fig3Result, error) {
 	if horizon <= 0 {
 		horizon = 30
 	}
@@ -70,27 +72,39 @@ func Fig3(horizon task.Time, speedSteps int) (Fig3Result, error) {
 		res.Supply2 = append(res.Supply2, 2*x)
 	}
 
-	// Panel (b): sweep s from just above U_HI (where Δ_R diverges) to 3.
+	// Panel (b): sweep s from just above U_HI (where Δ_R diverges) to 3,
+	// one reset analysis pair per sweep point.
 	uHI := base.Util(task.HI).Float64()
-	for i := 0; i < speedSteps; i++ {
+	type resetPoint struct {
+		s, plain, degraded float64
+	}
+	points, err := par.Map(speedSteps, workers, func(i int) (resetPoint, error) {
 		s := uHI + 0.05 + (3.0-uHI-0.05)*float64(i)/float64(speedSteps-1)
 		speed := rat.FromFloat(s, 1<<20)
-		res.Speeds = append(res.Speeds, s)
-		for v, set := range []task.Set{base, deg} {
-			rr, err := core.ResetTime(set, speed)
-			if err != nil {
-				return res, err
-			}
-			val := math.NaN()
-			if !rr.Reset.IsInf() {
-				val = rr.Reset.Float64()
-			}
-			if v == 0 {
-				res.ResetPlain = append(res.ResetPlain, val)
-			} else {
-				res.ResetDegraded = append(res.ResetDegraded, val)
-			}
+		pt := resetPoint{s: s, plain: math.NaN(), degraded: math.NaN()}
+		rr, err := core.ResetTime(base, speed)
+		if err != nil {
+			return pt, err
 		}
+		if !rr.Reset.IsInf() {
+			pt.plain = rr.Reset.Float64()
+		}
+		rd, err := core.ResetTime(deg, speed)
+		if err != nil {
+			return pt, err
+		}
+		if !rd.Reset.IsInf() {
+			pt.degraded = rd.Reset.Float64()
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, pt := range points {
+		res.Speeds = append(res.Speeds, pt.s)
+		res.ResetPlain = append(res.ResetPlain, pt.plain)
+		res.ResetDegraded = append(res.ResetDegraded, pt.degraded)
 	}
 	return res, nil
 }

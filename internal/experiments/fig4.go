@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"mcspeedup/internal/core"
+	"mcspeedup/internal/par"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/task"
 	"mcspeedup/internal/textplot"
@@ -37,8 +38,10 @@ func fig4Base() task.Set {
 	}
 }
 
-// Fig4 evaluates the closed forms over the trade-off grids.
-func Fig4(xSteps, speedSteps int) (Fig4Result, error) {
+// Fig4 evaluates the closed forms over the trade-off grids. workers
+// bounds the sweep parallelism (0 = all cores); the output is identical
+// for every worker count.
+func Fig4(xSteps, speedSteps, workers int) (Fig4Result, error) {
 	if xSteps <= 1 {
 		xSteps = 13
 	}
@@ -53,26 +56,40 @@ func Fig4(xSteps, speedSteps int) (Fig4Result, error) {
 	}
 	res.SBound = make([][]float64, len(ys))
 
-	for i := 0; i < xSteps; i++ {
+	// Panel (a): one closed-form column per x sweep point.
+	type xColumn struct {
+		x      float64
+		bounds []float64
+	}
+	columns, err := par.Map(xSteps, workers, func(i int) (xColumn, error) {
 		// x sweeps (0.1, 0.9).
-		x := 0.1 + 0.8*float64(i)/float64(xSteps-1)
-		res.XValues = append(res.XValues, x)
-		xr := rat.FromFloat(x, 1<<16)
-		for yi, y := range ys {
+		col := xColumn{x: 0.1 + 0.8*float64(i)/float64(xSteps-1)}
+		xr := rat.FromFloat(col.x, 1<<16)
+		for _, y := range ys {
 			shaped, err := base.ShortenHIDeadlines(xr)
 			if err != nil {
-				return res, err
+				return col, err
 			}
 			shaped, err = shaped.DegradeLO(y)
 			if err != nil {
-				return res, err
+				return col, err
 			}
 			bound := core.ClosedFormSpeedup(shaped)
 			v := math.NaN()
 			if !bound.IsInf() {
 				v = bound.Float64()
 			}
-			res.SBound[yi] = append(res.SBound[yi], v)
+			col.bounds = append(col.bounds, v)
+		}
+		return col, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, col := range columns {
+		res.XValues = append(res.XValues, col.x)
+		for yi := range ys {
+			res.SBound[yi] = append(res.SBound[yi], col.bounds[yi])
 		}
 	}
 

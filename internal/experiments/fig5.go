@@ -7,6 +7,7 @@ import (
 
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/fms"
+	"mcspeedup/internal/par"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/textplot"
 )
@@ -30,8 +31,10 @@ type Fig5Result struct {
 	HeadlineRecoveryMS float64
 }
 
-// Fig5 evaluates both panels on steps×steps grids.
-func Fig5(steps int) (Fig5Result, error) {
+// Fig5 evaluates both panels on steps×steps grids. workers bounds the
+// sweep parallelism (0 = all cores); the output is identical for every
+// worker count.
+func Fig5(steps, workers int) (Fig5Result, error) {
 	if steps <= 1 {
 		steps = 9
 	}
@@ -49,59 +52,70 @@ func Fig5(steps int) (Fig5Result, error) {
 		res.XGrid = append(res.XGrid, 0.2+0.7*float64(i)/float64(steps-1))
 		res.YGrid = append(res.YGrid, 1.5+2.5*float64(i)/float64(steps-1))
 	}
-	res.SMin = make([][]float64, len(res.YGrid))
-	for yi, y := range res.YGrid {
-		res.SMin[yi] = make([]float64, len(res.XGrid))
-		for xi, x := range res.XGrid {
-			shaped, err := base.ShortenHIDeadlines(rat.FromFloat(x, 1<<16))
-			if err != nil {
-				return res, err
-			}
-			shaped, err = shaped.DegradeLO(rat.FromFloat(y, 1<<16))
-			if err != nil {
-				return res, err
-			}
-			sp, err := core.MinSpeedup(shaped)
-			if err != nil {
-				return res, err
-			}
-			res.SMin[yi][xi] = sp.Speedup.Float64()
+	// One exact speedup analysis per (y, x) grid cell.
+	smin, err := par.Map(len(res.YGrid)*len(res.XGrid), workers, func(k int) (float64, error) {
+		y := res.YGrid[k/len(res.XGrid)]
+		x := res.XGrid[k%len(res.XGrid)]
+		shaped, err := base.ShortenHIDeadlines(rat.FromFloat(x, 1<<16))
+		if err != nil {
+			return 0, err
 		}
+		shaped, err = shaped.DegradeLO(rat.FromFloat(y, 1<<16))
+		if err != nil {
+			return 0, err
+		}
+		sp, err := core.MinSpeedup(shaped)
+		if err != nil {
+			return 0, err
+		}
+		return sp.Speedup.Float64(), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.SMin = make([][]float64, len(res.YGrid))
+	for yi := range res.YGrid {
+		res.SMin[yi] = smin[yi*len(res.XGrid) : (yi+1)*len(res.XGrid)]
 	}
 
 	// Panel (b): Δ_R over s ∈ [1.2, 3], γ ∈ [1, 5], with minimal x and
-	// y = 2.
+	// y = 2. One row of reset analyses per γ (the prepared set is shared
+	// along the row).
 	for i := 0; i < steps; i++ {
 		res.SpeedGrid = append(res.SpeedGrid, 1.2+1.8*float64(i)/float64(steps-1))
 		res.GammaGrid = append(res.GammaGrid, 1.0+4.0*float64(i)/float64(steps-1))
 	}
-	res.ResetMS = make([][]float64, len(res.GammaGrid))
-	for gi, g := range res.GammaGrid {
-		res.ResetMS[gi] = make([]float64, len(res.SpeedGrid))
-		set, err := fms.Tasks(rat.FromFloat(g, 1<<16))
+	rows, err := par.Map(len(res.GammaGrid), workers, func(gi int) ([]float64, error) {
+		row := make([]float64, len(res.SpeedGrid))
+		set, err := fms.Tasks(rat.FromFloat(res.GammaGrid[gi], 1<<16))
 		if err != nil {
-			return res, err
+			return nil, err
 		}
 		set, err = set.DegradeLO(rat.Two)
 		if err != nil {
-			return res, err
+			return nil, err
 		}
 		_, prepared, err := core.MinimalX(set)
 		if err != nil {
-			return res, err
+			return nil, err
 		}
 		for si, s := range res.SpeedGrid {
 			rr, err := core.ResetTime(prepared, rat.FromFloat(s, 1<<16))
 			if err != nil {
-				return res, err
+				return nil, err
 			}
 			if rr.Reset.IsInf() {
-				res.ResetMS[gi][si] = math.NaN()
+				row[si] = math.NaN()
 				continue
 			}
-			res.ResetMS[gi][si] = rr.Reset.Float64() / fms.TicksPerMS
+			row[si] = rr.Reset.Float64() / fms.TicksPerMS
 		}
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.ResetMS = rows
 
 	// Headline: Δ_R at s = 2 for the FMS's own γ = 2.
 	headSet, err := fms.Tasks(fms.DefaultGamma)

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/gen"
+	"mcspeedup/internal/par"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/stats"
 	"mcspeedup/internal/task"
@@ -22,6 +22,9 @@ type Fig6Config struct {
 	Seed         int64
 	// Params defaults to gen.Defaults() (the Fig. 6 caption values).
 	Params *gen.Params
+	// Workers bounds the sweep parallelism (0 = all cores). Output is
+	// identical for every worker count.
+	Workers int `json:"-"`
 }
 
 func (c Fig6Config) withDefaults() Fig6Config {
@@ -66,13 +69,26 @@ type Fig6Result struct {
 	Infeasible int
 }
 
+// fig6SetResult is the per-task-set unit of work: one generated base
+// set, fully analyzed. NaN marks a panel entry the set did not produce
+// (infeasible for that y, or an infinite Δ_R).
+type fig6SetResult struct {
+	infeasible int // regenerated LO-infeasible draws
+	smin       float64
+	reset      float64 // ms; NaN if infinite
+	sminByY    []float64
+	resetBySY  []float64
+}
+
 // Fig6 runs the study. For every generated base set, LO tasks are
 // degraded by y, HI virtual deadlines get the minimal feasible x, then
-// the exact analyses run.
+// the exact analyses run. Sets are analyzed in parallel (Config.Workers)
+// with one random substream per (utilization point, set index), and the
+// per-set results are reduced in index order — the rendered output does
+// not depend on the worker count.
 func Fig6(cfg Fig6Config) (Fig6Result, error) {
 	cfg = cfg.withDefaults()
 	res := Fig6Result{Config: cfg, UBounds: cfg.UBounds}
-	rnd := rand.New(rand.NewSource(cfg.Seed))
 
 	ys := []rat.Rat{rat.New(3, 2), rat.Two, rat.FromInt64(3)}
 	for _, y := range ys {
@@ -91,80 +107,112 @@ func Fig6(cfg Fig6Config) (Fig6Result, error) {
 	res.MedianSMin = make([][]float64, len(ys))
 	res.MedianReset = make([][]float64, len(sy))
 
-	for _, uBound := range cfg.UBounds {
+	analyzeSet := func(pi, n int) (fig6SetResult, error) {
+		rnd := gen.SubRand(cfg.Seed, pi, n)
+		out := fig6SetResult{
+			sminByY:   make([]float64, len(ys)),
+			resetBySY: make([]float64, len(sy)),
+		}
+		// Regenerate until the configuration is analyzable with the
+		// reference degradation y = 2 (matches the paper's "x set to
+		// the minimum to guarantee LO mode schedulability").
+		var base task2
+		for {
+			cand := cfg.Params.MustSet(rnd, cfg.UBounds[pi])
+			shaped, err := cand.DegradeLO(rat.Two)
+			if err != nil {
+				return out, err
+			}
+			if _, prepared, err := core.MinimalX(shaped); err == nil {
+				base = task2{raw: cand, y2: prepared}
+				break
+			}
+			out.infeasible++
+		}
+
+		// Panels (a) and (c) at y = 2 (and s = 3 for Δ_R).
+		sp, err := core.MinSpeedup(base.y2)
+		if err != nil {
+			return out, err
+		}
+		out.smin = sp.Speedup.Float64()
+		rr, err := core.ResetTime(base.y2, rat.FromInt64(3))
+		if err != nil {
+			return out, err
+		}
+		out.reset = nan()
+		if !rr.Reset.IsInf() {
+			out.reset = rr.Reset.Float64() / gen.TicksPerMS
+		}
+
+		// Panel (b): s_min per y.
+		for yi, y := range ys {
+			out.sminByY[yi] = nan()
+			prepared, err := base.prepared(y)
+			if err != nil {
+				continue // this y infeasible for this set
+			}
+			spy, err := core.MinSpeedup(prepared)
+			if err != nil {
+				return out, err
+			}
+			out.sminByY[yi] = spy.Speedup.Float64()
+		}
+		// Panel (d): Δ_R per (s, y).
+		for ci, c := range sy {
+			out.resetBySY[ci] = nan()
+			prepared, err := base.prepared(c.y)
+			if err != nil {
+				continue
+			}
+			rry, err := core.ResetTime(prepared, c.s)
+			if err != nil {
+				return out, err
+			}
+			if !rry.Reset.IsInf() {
+				out.resetBySY[ci] = rry.Reset.Float64() / gen.TicksPerMS
+			}
+		}
+		return out, nil
+	}
+
+	total := len(cfg.UBounds) * cfg.SetsPerPoint
+	sets, err := par.Map(total, cfg.Workers, func(k int) (fig6SetResult, error) {
+		return analyzeSet(k/cfg.SetsPerPoint, k%cfg.SetsPerPoint)
+	})
+	if err != nil {
+		return res, err
+	}
+
+	for pi := range cfg.UBounds {
 		var sminBox, resetBox []float64
 		sminByY := make([][]float64, len(ys))
 		resetBySY := make([][]float64, len(sy))
-
 		for n := 0; n < cfg.SetsPerPoint; n++ {
-			// Regenerate until the configuration is analyzable with
-			// the reference degradation y = 2 (matches the paper's "x
-			// set to the minimum to guarantee LO mode schedulability").
-			var base task2
-			for {
-				cand := cfg.Params.MustSet(rnd, uBound)
-				shaped, err := cand.DegradeLO(rat.Two)
-				if err != nil {
-					return res, err
-				}
-				if _, prepared, err := core.MinimalX(shaped); err == nil {
-					base = task2{raw: cand, y2: prepared}
-					break
-				}
-				res.Infeasible++
+			s := sets[pi*cfg.SetsPerPoint+n]
+			res.Infeasible += s.infeasible
+			sminBox = append(sminBox, s.smin)
+			if !math.IsNaN(s.reset) {
+				resetBox = append(resetBox, s.reset)
 			}
-
-			// Panels (a) and (c) at y = 2 (and s = 3 for Δ_R).
-			sp, err := core.MinSpeedup(base.y2)
-			if err != nil {
-				return res, err
-			}
-			sminBox = append(sminBox, sp.Speedup.Float64())
-			rr, err := core.ResetTime(base.y2, rat.FromInt64(3))
-			if err != nil {
-				return res, err
-			}
-			if !rr.Reset.IsInf() {
-				resetBox = append(resetBox, rr.Reset.Float64()/gen.TicksPerMS)
-			}
-
-			// Panel (b): median s_min per y.
-			for yi, y := range ys {
-				prepared, err := base.prepared(y)
-				if err != nil {
-					continue // this y infeasible for this set
+			for yi := range ys {
+				if !math.IsNaN(s.sminByY[yi]) {
+					sminByY[yi] = append(sminByY[yi], s.sminByY[yi])
 				}
-				spy, err := core.MinSpeedup(prepared)
-				if err != nil {
-					return res, err
-				}
-				sminByY[yi] = append(sminByY[yi], spy.Speedup.Float64())
 			}
-			// Panel (d): median Δ_R per (s, y).
-			for ci, c := range sy {
-				prepared, err := base.prepared(c.y)
-				if err != nil {
-					continue
-				}
-				rry, err := core.ResetTime(prepared, c.s)
-				if err != nil {
-					return res, err
-				}
-				if !rry.Reset.IsInf() {
-					resetBySY[ci] = append(resetBySY[ci], rry.Reset.Float64()/gen.TicksPerMS)
+			for ci := range sy {
+				if !math.IsNaN(s.resetBySY[ci]) {
+					resetBySY[ci] = append(resetBySY[ci], s.resetBySY[ci])
 				}
 			}
 		}
-
 		res.SMinDist = append(res.SMinDist, sminBox)
 		res.ResetDist = append(res.ResetDist, resetBox)
 		for yi := range ys {
-			v := nanIfEmptyMedian(sminByY[yi])
-			res.MedianSMin[yi] = append(res.MedianSMin[yi], v)
+			res.MedianSMin[yi] = append(res.MedianSMin[yi], nanIfEmptyMedian(sminByY[yi]))
 		}
 		for ci := range sy {
-			v := nanIfEmptyMedian(resetBySY[ci])
-			res.MedianReset[ci] = append(res.MedianReset[ci], v)
+			res.MedianReset[ci] = append(res.MedianReset[ci], nanIfEmptyMedian(resetBySY[ci]))
 		}
 	}
 	return res, nil

@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/edfvd"
 	"mcspeedup/internal/gen"
+	"mcspeedup/internal/par"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/task"
 	"mcspeedup/internal/textplot"
@@ -28,6 +28,9 @@ type Fig7Config struct {
 	// ResetLimit is the maximum allowed resetting time in ticks
 	// (paper: 5 s = 50000 ticks).
 	ResetLimit task.Time
+	// Workers bounds the sweep parallelism (0 = all cores). Output is
+	// identical for every worker count.
+	Workers int `json:"-"`
 }
 
 func (c Fig7Config) withDefaults() Fig7Config {
@@ -66,60 +69,100 @@ type Fig7Result struct {
 	GenFailures int
 }
 
+// fig7DrawResult classifies one generated task set of one grid cell.
+type fig7DrawResult struct {
+	genFail                bool
+	okVD, okPlain, okSpeed bool
+}
+
 // Fig7 runs the study: per grid cell, SetsPerPoint random sets with
 // γ = 10 and terminated LO tasks; a set counts as schedulable under
 // speedup when some x yields LO-mode feasibility, the exact HI-mode test
-// passes at Config.Speed, and Δ_R(Speed) ≤ ResetLimit.
+// passes at Config.Speed, and Δ_R(Speed) ≤ ResetLimit. Draws run in
+// parallel (Config.Workers) with one random substream per
+// (cell, draw index); the reduction is index-ordered, so the result is
+// identical for every worker count.
 func Fig7(cfg Fig7Config) (Fig7Result, error) {
 	cfg = cfg.withDefaults()
 	res := Fig7Result{Config: cfg, Grid: cfg.Grid}
-	rnd := rand.New(rand.NewSource(cfg.Seed))
 
 	params := gen.Defaults()
 	params.GammaMin, params.GammaMax = 10, 10
 
 	limit := rat.FromInt64(int64(cfg.ResetLimit))
+	cells := len(cfg.Grid) * len(cfg.Grid)
+
+	analyzeDraw := func(cell, n int) (fig7DrawResult, error) {
+		li, hi := cell/len(cfg.Grid), cell%len(cfg.Grid)
+		uLO, uHI := cfg.Grid[li], cfg.Grid[hi]
+		rnd := gen.SubRand(cfg.Seed, cell, n)
+		var out fig7DrawResult
+		base, ok := params.SetWithTargets(rnd, uHI, uLO, 0.025)
+		if !ok {
+			out.genFail = true
+			return out, nil
+		}
+		if vd, err := edfvd.Analyze(base); err == nil && vd.Schedulable {
+			out.okVD = true
+		}
+		terminated := base.TerminateLO()
+		_, prepared, err := core.MinimalX(terminated)
+		if err != nil {
+			return out, nil // not even LO-mode feasible
+		}
+		sp, err := core.MinSpeedup(prepared)
+		if err != nil {
+			return out, err
+		}
+		if sp.Speedup.Cmp(rat.One) <= 0 {
+			out.okPlain = true
+			out.okSpeed = true // speedup subsumes the no-speedup case
+			return out, nil
+		}
+		if sp.Speedup.Cmp(cfg.Speed) > 0 {
+			return out, nil
+		}
+		rr, err := core.ResetTime(prepared, cfg.Speed)
+		if err != nil {
+			return out, err
+		}
+		if !rr.Reset.IsInf() && rr.Reset.Cmp(limit) <= 0 {
+			out.okSpeed = true
+		}
+		return out, nil
+	}
+
+	draws, err := par.Map(cells*cfg.SetsPerPoint, cfg.Workers, func(k int) (fig7DrawResult, error) {
+		return analyzeDraw(k/cfg.SetsPerPoint, k%cfg.SetsPerPoint)
+	})
+	if err != nil {
+		return res, err
+	}
+
 	res.WithSpeedup = make([][]float64, len(cfg.Grid))
 	res.NoSpeedup = make([][]float64, len(cfg.Grid))
 	res.EDFVD = make([][]float64, len(cfg.Grid))
-	for li, uLO := range cfg.Grid {
+	for li := range cfg.Grid {
 		res.WithSpeedup[li] = make([]float64, len(cfg.Grid))
 		res.NoSpeedup[li] = make([]float64, len(cfg.Grid))
 		res.EDFVD[li] = make([]float64, len(cfg.Grid))
-		for hi, uHI := range cfg.Grid {
+		for hi := range cfg.Grid {
+			cell := li*len(cfg.Grid) + hi
 			var okSpeed, okPlain, okVD, total int
 			for n := 0; n < cfg.SetsPerPoint; n++ {
-				base, ok := params.SetWithTargets(rnd, uHI, uLO, 0.025)
-				if !ok {
+				d := draws[cell*cfg.SetsPerPoint+n]
+				if d.genFail {
 					res.GenFailures++
 					continue
 				}
 				total++
-				if vd, err := edfvd.Analyze(base); err == nil && vd.Schedulable {
+				if d.okVD {
 					okVD++
 				}
-				terminated := base.TerminateLO()
-				_, prepared, err := core.MinimalX(terminated)
-				if err != nil {
-					continue // not even LO-mode feasible
-				}
-				sp, err := core.MinSpeedup(prepared)
-				if err != nil {
-					return res, err
-				}
-				if sp.Speedup.Cmp(rat.One) <= 0 {
+				if d.okPlain {
 					okPlain++
-					okSpeed++ // speedup subsumes the no-speedup case
-					continue
 				}
-				if sp.Speedup.Cmp(cfg.Speed) > 0 {
-					continue
-				}
-				rr, err := core.ResetTime(prepared, cfg.Speed)
-				if err != nil {
-					return res, err
-				}
-				if !rr.Reset.IsInf() && rr.Reset.Cmp(limit) <= 0 {
+				if d.okSpeed {
 					okSpeed++
 				}
 			}

@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/gen"
+	"mcspeedup/internal/par"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/sim"
 	"mcspeedup/internal/task"
@@ -24,6 +24,9 @@ type ServiceQualityConfig struct {
 	// OverrunProb is the per-HI-job overrun probability driving the
 	// simulations.
 	OverrunProb float64
+	// Workers bounds the sweep parallelism (0 = all cores). Output is
+	// identical for every worker count.
+	Workers int `json:"-"`
 }
 
 func (c ServiceQualityConfig) withDefaults() ServiceQualityConfig {
@@ -73,7 +76,26 @@ type ServiceQualityResult struct {
 	CorpusSize int
 }
 
-// ServiceQuality runs the study.
+// serviceSetResult is one fully-processed corpus candidate: either
+// disqualified (ok = false) or the paired simulation measurements of
+// all four policies.
+type serviceSetResult struct {
+	ok        bool
+	speed     [numPolicies]float64
+	episodes  [numPolicies]float64
+	completed [numPolicies]float64
+	released  [numPolicies]float64
+	respSum   [numPolicies]float64
+	respN     [numPolicies]float64
+}
+
+// ServiceQuality runs the study. Corpus candidates are generated,
+// qualified, and simulated in parallel (Config.Workers), each from its
+// own random substream; the reduction admits the first Config.Sets
+// qualifying candidates in index order, so the result is identical for
+// every worker count. Candidates are processed in chunks so that a run
+// with a high qualification rate does not fan out far past the corpus
+// target.
 func ServiceQuality(cfg ServiceQualityConfig) (ServiceQualityResult, error) {
 	cfg = cfg.withDefaults()
 	res := ServiceQualityResult{Config: cfg}
@@ -88,10 +110,10 @@ func ServiceQuality(cfg ServiceQualityConfig) (ServiceQualityResult, error) {
 	episodes := make([]float64, numPolicies)
 	runs := make([]float64, numPolicies)
 
-	rnd := rand.New(rand.NewSource(cfg.Seed))
 	params := gen.Defaults()
 
-	for n := 0; n < cfg.Sets*8 && res.CorpusSize < cfg.Sets; n++ {
+	analyzeCandidate := func(n int) (*serviceSetResult, error) {
+		rnd := gen.SubRand(cfg.Seed, 0, n)
 		base := params.MustSet(rnd, cfg.UBound)
 
 		// Build all four configurations. Each policy runs at its own
@@ -102,8 +124,7 @@ func ServiceQuality(cfg ServiceQualityConfig) (ServiceQualityResult, error) {
 			speed rat.Rat
 		}
 		confs := make([]conf, numPolicies)
-		ok := true
-		for p := Policy(0); p < numPolicies && ok; p++ {
+		for p := Policy(0); p < numPolicies; p++ {
 			set := base
 			var err error
 			switch p {
@@ -113,21 +134,18 @@ func ServiceQuality(cfg ServiceQualityConfig) (ServiceQualityResult, error) {
 				set, err = base.DegradeLO(rat.Two)
 			}
 			if err != nil {
-				ok = false
-				break
+				return nil, nil
 			}
 			_, prepared, err := core.MinimalX(set)
 			if err != nil {
-				ok = false
-				break
+				return nil, nil
 			}
 			sp, err := core.MinSpeedup(prepared)
 			if err != nil {
-				return res, err
+				return nil, err
 			}
 			if !sp.Exact || sp.Speedup.IsInf() {
-				ok = false
-				break
+				return nil, nil
 			}
 			speed := rat.Max(rat.One, sp.Speedup)
 			// The nominal-speed policies additionally get the study's
@@ -137,14 +155,11 @@ func ServiceQuality(cfg ServiceQualityConfig) (ServiceQualityResult, error) {
 			}
 			confs[p] = conf{set: prepared, speed: speed}
 		}
-		if !ok {
-			continue
-		}
-		res.CorpusSize++
-		for p := Policy(0); p < numPolicies; p++ {
-			speedSum[p] += confs[p].speed.Float64()
-		}
 
+		out := &serviceSetResult{ok: true}
+		for p := Policy(0); p < numPolicies; p++ {
+			out.speed[p] = confs[p].speed.Float64()
+		}
 		horizon := cfg.Horizon
 		if horizon <= 0 {
 			horizon = 10 * base.MaxPeriod()
@@ -156,26 +171,62 @@ func ServiceQuality(cfg ServiceQualityConfig) (ServiceQualityResult, error) {
 				CollectJobs: true,
 			})
 			if err != nil {
-				return res, err
+				return nil, err
 			}
 			if len(r.Misses) != 0 {
-				return res, fmt.Errorf("experiments: analytically safe set missed under %v", Policy(p))
+				return nil, fmt.Errorf("experiments: analytically safe set missed under %v", Policy(p))
 			}
-			runs[p]++
-			episodes[p] += float64(len(r.Episodes))
+			out.episodes[p] = float64(len(r.Episodes))
 			loDone := 0
 			for _, j := range r.Jobs {
 				if confs[p].set[j.Task].Crit != task.LO {
 					continue
 				}
 				loDone++
-				respSum[p] += j.ResponseTime().Float64()
-				respN[p]++
+				out.respSum[p] += j.ResponseTime().Float64()
+				out.respN[p]++
 			}
-			completed[p] += float64(loDone)
+			out.completed[p] = float64(loDone)
 			// Released LO jobs = completed + dropped + killed (drops
 			// and kills only ever affect LO jobs).
-			released[p] += float64(loDone + r.Dropped + r.Killed)
+			out.released[p] = float64(loDone + r.Dropped + r.Killed)
+		}
+		return out, nil
+	}
+
+	// The corpus admits the first Sets qualifying candidates among the
+	// first Sets*8 indices — exactly the sequential rejection-sampling
+	// semantics, chunked so parallel overdraw stays bounded.
+	budget := cfg.Sets * 8
+	chunk := cfg.Sets
+	if w := 2 * par.Workers(cfg.Workers); chunk < w {
+		chunk = w
+	}
+	for start := 0; start < budget && res.CorpusSize < cfg.Sets; start += chunk {
+		end := start + chunk
+		if end > budget {
+			end = budget
+		}
+		results, err := par.Map(end-start, cfg.Workers, func(j int) (*serviceSetResult, error) {
+			return analyzeCandidate(start + j)
+		})
+		if err != nil {
+			return res, err
+		}
+		for _, r := range results {
+			if r == nil || !r.ok || res.CorpusSize >= cfg.Sets {
+				continue
+			}
+			res.CorpusSize++
+			for p := Policy(0); p < numPolicies; p++ {
+				speedSum[p] += r.speed[p]
+				episodes[p] += r.episodes[p]
+				completed[p] += r.completed[p]
+				released[p] += r.released[p]
+				respSum[p] += r.respSum[p]
+				respN[p] += r.respN[p]
+				runs[p]++
+			}
 		}
 	}
 	if res.CorpusSize == 0 {

@@ -11,6 +11,7 @@ import (
 
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/par"
 	"mcspeedup/internal/rat"
 )
 
@@ -33,7 +34,9 @@ type Table1Result struct {
 	TableText string
 }
 
-// Table1 computes the running example's numbers.
+// Table1 computes the running example's numbers. The four analyses that
+// share no inputs run through the sweep engine; Δ_R at s_min needs the
+// Example-1 result and follows sequentially.
 func Table1() (Table1Result, error) {
 	base := examplesets.TableI()
 	deg := examplesets.TableIDegraded()
@@ -41,35 +44,44 @@ func Table1() (Table1Result, error) {
 	var out Table1Result
 	out.TableText = base.Table()
 
-	sp, err := core.MinSpeedup(base)
+	err := par.ForEach(4, 0, func(i int) error {
+		switch i {
+		case 0:
+			sp, err := core.MinSpeedup(base)
+			if err != nil {
+				return err
+			}
+			out.SMin = sp.Speedup
+		case 1:
+			sp, err := core.MinSpeedup(deg)
+			if err != nil {
+				return err
+			}
+			out.SMinDegraded = sp.Speedup
+		case 2:
+			rr, err := core.ResetTime(base, rat.Two)
+			if err != nil {
+				return err
+			}
+			out.ResetAt2 = rr.Reset
+		case 3:
+			rr, err := core.ResetTime(deg, rat.Two)
+			if err != nil {
+				return err
+			}
+			out.ResetDegradedAt2 = rr.Reset
+		}
+		return nil
+	})
 	if err != nil {
 		return out, err
 	}
-	out.SMin = sp.Speedup
-
-	spDeg, err := core.MinSpeedup(deg)
-	if err != nil {
-		return out, err
-	}
-	out.SMinDegraded = spDeg.Speedup
-
-	r2, err := core.ResetTime(base, rat.Two)
-	if err != nil {
-		return out, err
-	}
-	out.ResetAt2 = r2.Reset
 
 	rs, err := core.ResetTime(base, out.SMin)
 	if err != nil {
 		return out, err
 	}
 	out.ResetAtSMin = rs.Reset
-
-	rd, err := core.ResetTime(deg, rat.Two)
-	if err != nil {
-		return out, err
-	}
-	out.ResetDegradedAt2 = rd.Reset
 	return out, nil
 }
 

@@ -1,0 +1,41 @@
+package gen
+
+import "math/rand"
+
+// The experiment sweeps are parallelized per task-set index (package
+// par), so every index needs a random stream that is (a) independent of
+// every other index and (b) a pure function of the experiment seed and
+// the index — never of execution order. Substream derives such a stream
+// seed from (seed, point, index) with SplitMix64 finalizer mixing, the
+// standard splittable-seed construction: each coordinate passes through
+// a full 64-bit avalanche, so adjacent seeds, points, and indices land
+// in unrelated states.
+
+// mix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
+// pseudorandom number generators"), a bijective 64-bit avalanche.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Substream derives the stream seed for coordinate (point, index) of a
+// sweep keyed by seed. point typically identifies the data point (a
+// utilization value, a grid cell) and index the task-set draw within it.
+// Each coordinate is folded into an already-avalanched state and mixed
+// again, so the combination is not commutative — (seed, point, index)
+// permutations land on unrelated streams.
+func Substream(seed int64, point, index int) int64 {
+	const phi = 0x9e3779b97f4a7c15 // SplitMix64 state increment
+	z := mix64(uint64(seed))
+	z = mix64(z + phi*(uint64(point)+1))
+	z = mix64(z + phi*(uint64(index)+1))
+	return int64(z)
+}
+
+// SubRand returns an independent *rand.Rand for coordinate
+// (point, index) of the sweep keyed by seed.
+func SubRand(seed int64, point, index int) *rand.Rand {
+	return rand.New(rand.NewSource(Substream(seed, point, index)))
+}

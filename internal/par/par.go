@@ -1,0 +1,110 @@
+// Package par is the deterministic parallel sweep engine behind every
+// experiment driver. The corpus studies of the paper's evaluation are
+// embarrassingly parallel — each task set is generated from its own
+// random stream (gen.Substream) and analyzed independently — so the
+// drivers fan the per-index work out over a bounded worker pool and
+// reduce the per-index results in index order. Rendered output is
+// therefore byte-identical for any worker count, which is the invariant
+// internal/experiments/determinism_test.go pins.
+//
+// Error semantics match a sequential loop: when one or more calls fail,
+// the error reported is the one raised at the smallest index, and no
+// new indices are claimed once a failure is observed. Indices are
+// claimed in increasing order, so every index below a failing one has
+// already run — the winning error is exactly the error a sequential
+// loop would have returned.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: n when positive, otherwise
+// GOMAXPROCS (all available cores).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach invokes fn(i) for every i in [0, n), distributing the indices
+// over up to workers goroutines (Workers resolves non-positive values).
+// fn must be safe for concurrent invocation on distinct indices; it
+// typically writes into its own slot of a pre-allocated result slice.
+// On failure the remaining unclaimed indices are cancelled and the
+// smallest-index error is returned.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64 // next index to claim
+		stop atomic.Bool  // set on first failure; halts claiming
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = n // smallest failing index seen so far
+		firstErr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Map evaluates fn over [0, n) with ForEach's scheduling and returns
+// the results in index order. On failure the partial results are
+// discarded and the smallest-index error is returned.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

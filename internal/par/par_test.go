@@ -1,0 +1,101 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 237
+		counts := make([]atomic.Int32, n)
+		if err := ForEach(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsSmallestIndexError(t *testing.T) {
+	// Indices 5 and 40 both fail; every worker count must report index
+	// 5's error, like a sequential loop would.
+	for _, workers := range []int{1, 2, 7} {
+		err := ForEach(100, workers, func(i int) error {
+			if i == 5 || i == 40 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom at 5" {
+			t.Fatalf("workers=%d: got %v, want boom at 5", workers, err)
+		}
+	}
+}
+
+func TestForEachCancelsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(1_000_000, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Claiming halts after the failure; only a bounded prefix runs.
+	if got := ran.Load(); got > 10_000 {
+		t.Fatalf("ran %d indices after early error", got)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapDiscardsOnError(t *testing.T) {
+	got, err := Map(10, 4, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || got != nil {
+		t.Fatalf("got %v, %v; want nil, error", got, err)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Fatal("default workers must be positive")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("explicit worker count must be honored")
+	}
+}

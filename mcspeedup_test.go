@@ -204,13 +204,13 @@ func TestExperimentWrappers(t *testing.T) {
 	if _, err := mcspeedup.ExperimentFig1(20); err != nil {
 		t.Error(err)
 	}
-	if _, err := mcspeedup.ExperimentFig3(20, 8); err != nil {
+	if _, err := mcspeedup.ExperimentFig3(20, 8, 0); err != nil {
 		t.Error(err)
 	}
-	if _, err := mcspeedup.ExperimentFig4(5, 5); err != nil {
+	if _, err := mcspeedup.ExperimentFig4(5, 5, 0); err != nil {
 		t.Error(err)
 	}
-	if _, err := mcspeedup.ExperimentFig5(3); err != nil {
+	if _, err := mcspeedup.ExperimentFig5(3, 0); err != nil {
 		t.Error(err)
 	}
 	if _, err := mcspeedup.ExperimentFig6(mcspeedup.Fig6Config{
