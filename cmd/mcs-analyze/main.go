@@ -12,6 +12,12 @@
 //	-minx           apply the minimal feasible x instead
 //	-y float        apply eq. (14): degrade LO tasks by y
 //	-terminate      apply eq. (3): terminate LO tasks in HI mode
+//	-json           emit the report as JSON (the exact bytes the
+//	                mcs-serve /v1/analyze endpoint returns)
+//
+// -x and -minx are mutually exclusive (minx computes the x), as are
+// -terminate and -y (termination is the y → ∞ limit of degradation);
+// contradictory combinations are rejected with a non-zero exit.
 //
 // The task-set JSON format is the one produced by mcs-gen:
 //
@@ -38,8 +44,16 @@ func main() {
 		minX      = flag.Bool("minx", false, "use the minimal feasible overrun-preparation factor")
 		yFactor   = flag.Float64("y", 0, "LO-task degradation factor (0 = keep parameters as given)")
 		terminate = flag.Bool("terminate", false, "terminate LO tasks in HI mode")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
+
+	if *xFactor > 0 && *minX {
+		log.Fatal("-x and -minx are mutually exclusive: -minx computes the minimal feasible x itself")
+	}
+	if *terminate && *yFactor > 0 {
+		log.Fatal("-terminate and -y are mutually exclusive: termination is the y → ∞ limit of degradation")
+	}
 
 	data, err := readInput(flag.Arg(0))
 	if err != nil {
@@ -66,7 +80,9 @@ func main() {
 			log.Fatal(err)
 		}
 		set = prepared
-		fmt.Printf("minimal overrun preparation: x = %v (%.4f)\n", x, x.Float64())
+		if !*jsonOut {
+			fmt.Printf("minimal overrun preparation: x = %v (%.4f)\n", x, x.Float64())
+		}
 	case *xFactor > 0:
 		set, err = set.ShortenHIDeadlines(mcspeedup.RatFromFloat(*xFactor))
 		if err != nil {
@@ -78,7 +94,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(report.Render())
+	if *jsonOut {
+		out, err := report.MarshalIndent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := os.Stdout.Write(append(out, '\n')); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Print(report.Render())
+	}
 	if !report.Safe() {
 		os.Exit(1)
 	}

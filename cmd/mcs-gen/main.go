@@ -10,6 +10,8 @@
 //	-seed int       RNG seed (default 1)
 //	-gamma-min/max  WCET uncertainty range (default 1..3)
 //	-example        emit the paper's Table-I example instead
+//	-fms            emit the flight-management-system case study (§VI.A)
+//	-gamma float    WCET uncertainty factor for -fms (default 2)
 package main
 
 import (
@@ -31,13 +33,22 @@ func main() {
 		gammaMin = flag.Float64("gamma-min", 1, "minimum C(HI)/C(LO)")
 		gammaMax = flag.Float64("gamma-max", 3, "maximum C(HI)/C(LO)")
 		example  = flag.Bool("example", false, "emit the paper's Table-I example set")
+		fms      = flag.Bool("fms", false, "emit the flight-management-system case study")
+		gamma    = flag.Float64("gamma", 2, "WCET uncertainty factor γ for -fms")
 	)
 	flag.Parse()
 
 	var set mcspeedup.Set
-	if *example {
+	switch {
+	case *example:
 		set = mcspeedup.TableISet()
-	} else {
+	case *fms:
+		var err error
+		set, err = mcspeedup.FMSTasks(mcspeedup.RatFromFloat(*gamma))
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
 		if *uBound <= 0 || *uBound >= 1 {
 			log.Fatalf("target utilization %g outside (0,1)", *uBound)
 		}

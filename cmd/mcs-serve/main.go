@@ -1,0 +1,111 @@
+// Command mcs-serve runs the paper's analyses as a long-running HTTP/JSON
+// service with content-addressed result caching, bounded-concurrency
+// admission control, and Prometheus-style metrics.
+//
+// Usage:
+//
+//	mcs-serve [flags]
+//
+//	-addr string            listen address (default "127.0.0.1:8080";
+//	                        use port 0 for an ephemeral port)
+//	-inflight int           max concurrently computed analyses
+//	                        (default GOMAXPROCS; cache hits bypass this)
+//	-admission-wait dur     how long a request waits for a free slot
+//	                        before 429 (default 100ms)
+//	-timeout dur            per-request deadline (default 30s)
+//	-cache int              result-cache capacity in entries (default 1024)
+//	-max-body int           request-body cap in bytes (default 8 MiB)
+//	-max-sim-horizon int    /v1/simulate horizon cap in ticks (default 2e6)
+//	-drain dur              graceful-shutdown drain budget (default 10s)
+//
+// Endpoints: POST /v1/analyze, /v1/speedup, /v1/reset, /v1/simulate;
+// GET /healthz, /metrics. See internal/server for the request formats.
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to the -drain budget before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcspeedup/internal/server"
+	"mcspeedup/internal/task"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcs-serve: ")
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = ephemeral)")
+		inflight      = flag.Int("inflight", 0, "max concurrently computed analyses (0 = GOMAXPROCS)")
+		admissionWait = flag.Duration("admission-wait", 100*time.Millisecond, "wait for a free slot before 429")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		cacheEntries  = flag.Int("cache", 1024, "result-cache capacity in entries")
+		maxBody       = flag.Int64("max-body", 8<<20, "request-body cap in bytes")
+		maxSimHorizon = flag.Int64("max-sim-horizon", 2_000_000, "simulate-horizon cap in ticks")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	svc := server.New(server.Config{
+		MaxInFlight:    *inflight,
+		AdmissionWait:  *admissionWait,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheEntries,
+		MaxBodyBytes:   *maxBody,
+		MaxSimHorizon:  task.Time(*maxSimHorizon),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// The handler enforces its own per-request deadline; these bound
+		// pathological clients.
+		ReadTimeout:  *timeout + 10*time.Second,
+		WriteTimeout: *timeout + 10*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	// The "listening on" line is the startup handshake scripts parse
+	// (scripts/verify.sh, server_e2e_test.go); keep its shape stable.
+	log.Printf("listening on http://%s", ln.Addr().String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		// Serve never returns nil; any return without a signal is fatal.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down: draining in-flight requests (up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("forced shutdown: %v", err)
+		srv.Close()
+		os.Exit(1)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained; bye")
+}

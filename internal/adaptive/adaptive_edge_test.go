@@ -1,0 +1,125 @@
+package adaptive
+
+// Edge cases of the governor's budget accounting, asserted against the
+// exact Corollary-5 analysis (core.ResetTime) rather than hard-coded
+// constants wherever a bound is involved.
+
+import (
+	"testing"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+)
+
+func TestZeroCapacityBudgetRejected(t *testing.T) {
+	zero := Budget{Capacity: rat.Zero, Recharge: rat.One}
+	if err := zero.Validate(); err == nil {
+		t.Error("zero-capacity budget validated")
+	}
+	if _, err := NewGovernor(examplesets.TableI(), rat.Two, zero); err == nil {
+		t.Error("NewGovernor accepted a zero-capacity budget")
+	}
+	neg := Budget{Capacity: rat.New(-1, 1), Recharge: rat.One}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative-capacity budget validated")
+	}
+	inf := Budget{Capacity: rat.PosInf, Recharge: rat.One}
+	if err := inf.Validate(); err == nil {
+		t.Error("infinite-capacity budget validated")
+	}
+}
+
+func TestEpisodeExactlyEqualToRemainingCredit(t *testing.T) {
+	// Table I at speed 2: Δ_R = 6, episode cost (2−1)·6 = 6. A bucket of
+	// capacity exactly 6 must admit the episode (cost ≤ credit, not
+	// cost < credit) and end with precisely zero credit.
+	set := examplesets.TableI()
+	rr, err := core.ResetTime(set, rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := rat.Two.Sub(rat.One).Mul(rr.Reset)
+	g, err := NewGovernor(set, rat.Two, Budget{Capacity: cost, Recharge: rat.New(1, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Request(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Terminated || !d.Speed.Eq(rat.Two) {
+		t.Fatalf("boundary episode not admitted at full speed: %+v", d)
+	}
+	if d.CreditAfter.Sign() != 0 {
+		t.Fatalf("credit after boundary episode = %v, want exactly 0", d.CreditAfter)
+	}
+	if !d.Reset.Eq(rr.Reset) {
+		t.Fatalf("episode reset %v differs from Corollary-5 bound %v", d.Reset, rr.Reset)
+	}
+	// With the bucket drained and negligible recharge, the immediate next
+	// burst cannot even afford the floor: it must terminate, for free.
+	d2, err := g.Request(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Terminated {
+		t.Fatalf("drained bucket still admitted an overclocked episode: %+v", d2)
+	}
+	if !d2.CreditBefore.Eq(d2.CreditAfter) {
+		t.Fatalf("termination consumed credit: %v → %v", d2.CreditBefore, d2.CreditAfter)
+	}
+}
+
+func TestDegradeToFloorMatchesResetTimeBound(t *testing.T) {
+	// Capacity that covers the floor episode but not the full-speed one:
+	// full-speed cost is 6; floor s_min = 4/3 with cost (1/3)·Δ_R(4/3).
+	set := examplesets.TableI()
+	smin, err := core.MinSpeedup(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smin.Speedup.Eq(rat.New(4, 3)) {
+		t.Fatalf("Table I s_min = %v, want 4/3", smin.Speedup)
+	}
+	floorRR, err := core.ResetTime(set, smin.Speedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floorCost := smin.Speedup.Sub(rat.One).Mul(floorRR.Reset)
+	// Pick a capacity strictly between the floor cost and the full cost.
+	capacity := floorCost.Add(rat.One)
+	fullRR, err := core.ResetTime(set, rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCost := rat.Two.Sub(rat.One).Mul(fullRR.Reset)
+	if capacity.Cmp(fullCost) >= 0 {
+		t.Fatalf("test geometry broken: capacity %v not below full cost %v", capacity, fullCost)
+	}
+	g, err := NewGovernor(set, rat.Two, Budget{Capacity: capacity, Recharge: rat.New(1, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Request(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Terminated || !d.Speed.Eq(smin.Speedup) {
+		t.Fatalf("expected degrade-to-floor at s_min = %v, got %+v", smin.Speedup, d)
+	}
+	// The admitted episode length must be exactly the Corollary-5 bound
+	// at the floor speed — the guarantee that composes with package sim.
+	if !d.Reset.Eq(floorRR.Reset) {
+		t.Fatalf("floor episode reset %v, want Δ_R(s_min) = %v", d.Reset, floorRR.Reset)
+	}
+	if !d.CreditAfter.Eq(capacity.Sub(floorCost)) {
+		t.Fatalf("floor episode cost: credit %v → %v, want drop of %v",
+			d.CreditBefore, d.CreditAfter, floorCost)
+	}
+	// Monotonicity sanity: the floor episode is no shorter than the
+	// full-speed one (less speed drains the backlog more slowly).
+	if d.Reset.Cmp(fullRR.Reset) < 0 {
+		t.Fatalf("Δ_R(s_min) = %v < Δ_R(2) = %v", d.Reset, fullRR.Reset)
+	}
+}

@@ -1,0 +1,116 @@
+// Package cache provides a size-bounded, concurrency-safe LRU cache for
+// content-addressed analysis results.
+//
+// The paper's analyses (core.MinSpeedup, core.ResetTime, core.Analyze)
+// are pure functions of the task set and options, so a serving layer can
+// key their results by a canonical content hash (task.Set.Fingerprint
+// plus an option string) and reuse them across requests. The cache keeps
+// hit/miss/eviction counters so the serving layer can export a hit ratio.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Len, Capacity           int
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a fixed-capacity LRU map from string keys to values of type V.
+// All methods are safe for concurrent use. The zero value is not usable;
+// construct with New.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+	stats    Stats
+}
+
+type entry[V any] struct {
+	key   string
+	value V
+}
+
+// New returns an empty cache holding at most capacity entries.
+// capacity must be positive.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		panic("cache: non-positive capacity")
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get looks the key up, marking the entry most recently used on a hit.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*entry[V]).value, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes the key, evicting the least recently used
+// entry when the cache is full.
+func (c *Cache[V]) Put(key string, value V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[V]).value = value
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+		c.stats.Evictions++
+	}
+	c.items[key] = c.order.PushFront(&entry[V]{key: key, value: value})
+}
+
+// Len returns the current number of entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Len = c.order.Len()
+	s.Capacity = c.capacity
+	return s
+}
+
+// Purge empties the cache; the hit/miss/eviction counters are preserved.
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.items)
+}

@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutAndStats(t *testing.T) {
+	c := New[string](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put("a", "1")
+	if v, ok := c.Get("a"); !ok || v != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	c.Put("a", "2")
+	if v, _ := c.Get("a"); v != "2" {
+		t.Fatalf("Put did not refresh: %q", v)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Evictions != 0 || s.Len != 1 || s.Capacity != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if r := s.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit ratio %f, want 2/3", r)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Fatal("zero stats hit ratio")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a")    // a is now most recent; b is the LRU
+	c.Put("d", 4) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted out of LRU order", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Len != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestRefreshOnPutDoesNotEvict(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert: nothing may be evicted
+	if s := c.Stats(); s.Evictions != 0 || s.Len != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	c.Put("c", 3) // now b (LRU) goes
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("refresh did not move a to the front")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[int](4)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatal("purge left entries")
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatal("purge reset counters")
+	}
+	c.Put("a", 2) // reusable after purge
+	if v, ok := c.Get("a"); !ok || v != 2 {
+		t.Fatalf("Get after purge = %d, %v", v, ok)
+	}
+}
+
+func TestNewRejectsNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 accepted")
+		}
+	}()
+	New[int](0)
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	const workers = 16
+	c := New[int](32)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (w*31+i)%64)
+				if v, ok := c.Get(k); ok && v < 0 {
+					t.Errorf("corrupt value %d", v)
+				}
+				c.Put(k, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != workers*500 {
+		t.Fatalf("lookups %d, want %d", s.Hits+s.Misses, workers*500)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// reportExport is the JSON shape of a Report. Every rational is encoded
+// as its exact canonical string (rat.Rat.MarshalJSON) and the task set
+// through the task package's marshalers, so the document is byte-
+// deterministic for a given analysis outcome — the property the serving
+// layer's content-addressed cache and the CLI/server byte-identity
+// guarantee rely on.
+type reportExport struct {
+	Tasks         task.Set      `json:"tasks"`
+	Speed         rat.Rat       `json:"speed"`
+	UtilLO        rat.Rat       `json:"utilLO"`
+	UtilHI        rat.Rat       `json:"utilHI"`
+	SchedulableLO bool          `json:"schedulableLO"`
+	Speedup       speedupExport `json:"speedup"`
+	SchedulableHI bool          `json:"schedulableHI"`
+	Reset         resetExport   `json:"reset"`
+	ClosedSpeedup rat.Rat       `json:"closedFormSpeedup"`
+	ClosedReset   rat.Rat       `json:"closedFormReset"`
+	Safe          bool          `json:"safe"`
+}
+
+type speedupExport struct {
+	Value        rat.Rat   `json:"value"`
+	LowerBound   rat.Rat   `json:"lowerBound"`
+	Exact        bool      `json:"exact"`
+	WitnessDelta task.Time `json:"witnessDelta"`
+	Events       int       `json:"events"`
+}
+
+type resetExport struct {
+	Value  rat.Rat `json:"value"`
+	Events int     `json:"events"`
+}
+
+// MarshalIndent renders the report as indented JSON. The output is
+// deterministic: mcs-analyze -json and the mcs-serve /v1/analyze endpoint
+// both emit exactly these bytes for the same input.
+func (r Report) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(reportExport{
+		Tasks:         r.Set,
+		Speed:         r.Speed,
+		UtilLO:        r.UtilLO,
+		UtilHI:        r.UtilHI,
+		SchedulableLO: r.SchedulableLO,
+		Speedup: speedupExport{
+			Value:        r.Speedup.Speedup,
+			LowerBound:   r.Speedup.LowerBound,
+			Exact:        r.Speedup.Exact,
+			WitnessDelta: r.Speedup.WitnessDelta,
+			Events:       r.Speedup.Events,
+		},
+		SchedulableHI: r.SchedulableHI,
+		Reset: resetExport{
+			Value:  r.Reset.Reset,
+			Events: r.Reset.Events,
+		},
+		ClosedSpeedup: r.ClosedSpeedup,
+		ClosedReset:   r.ClosedReset,
+		Safe:          r.Safe(),
+	}, "", "  ")
+}

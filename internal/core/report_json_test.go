@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/rat"
+)
+
+func TestReportMarshalIndent(t *testing.T) {
+	r, err := Analyze(examplesets.TableI(), rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Tasks         []map[string]any `json:"tasks"`
+		Speed         string           `json:"speed"`
+		SchedulableLO bool             `json:"schedulableLO"`
+		Speedup       struct {
+			Value string `json:"value"`
+			Exact bool   `json:"exact"`
+		} `json:"speedup"`
+		Reset struct {
+			Value string `json:"value"`
+		} `json:"reset"`
+		Safe bool `json:"safe"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	// Table I: s_min = 4/3, Δ_R(2) = 6, safe at speed 2.
+	if decoded.Speed != "2" || decoded.Speedup.Value != "4/3" || !decoded.Speedup.Exact {
+		t.Errorf("speedup fields wrong: %+v", decoded)
+	}
+	if decoded.Reset.Value != "6" || !decoded.SchedulableLO || !decoded.Safe {
+		t.Errorf("reset/safety fields wrong: %+v", decoded)
+	}
+	if len(decoded.Tasks) != len(examplesets.TableI()) {
+		t.Errorf("tasks: %d", len(decoded.Tasks))
+	}
+}
+
+func TestReportMarshalIndentDeterministic(t *testing.T) {
+	set := examplesets.TableI()
+	r1, err := Analyze(set, rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(set.Clone(), rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r1.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r2.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("report JSON not deterministic:\n%s\n---\n%s", a, b)
+	}
+}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool is a bounded admission pool: a counting semaphore over units of
+// in-flight work, used by long-running services to cap concurrent
+// analyses the same way ForEach caps sweep workers. Unlike ForEach —
+// which owns a fixed index space — a Pool admits an open-ended request
+// stream: callers Acquire a slot before starting work and Release it
+// when done, and saturation is surfaced to the caller (to be turned into
+// back-pressure, e.g. HTTP 429) rather than queued without bound.
+type Pool struct {
+	slots    chan struct{}
+	inFlight atomic.Int64
+}
+
+// NewPool returns a pool admitting at most capacity concurrent holders.
+// Non-positive capacities resolve like Workers: GOMAXPROCS slots.
+func NewPool(capacity int) *Pool {
+	capacity = Workers(capacity)
+	return &Pool{slots: make(chan struct{}, capacity)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, and reports which
+// happened. On success the caller must Release exactly once.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		p.inFlight.Add(1)
+		return nil
+	default:
+	}
+	select {
+	case p.slots <- struct{}{}:
+		p.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("par: pool saturated (%d/%d in flight): %w",
+			p.InFlight(), p.Capacity(), ctx.Err())
+	}
+}
+
+// TryAcquire claims a slot without blocking; it reports whether one was
+// available.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		p.inFlight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot previously obtained from Acquire or TryAcquire.
+// Releasing more than was acquired panics — that is a caller bug.
+func (p *Pool) Release() {
+	if p.inFlight.Add(-1) < 0 {
+		panic("par: Pool.Release without a matching Acquire")
+	}
+	<-p.slots
+}
+
+// Capacity returns the maximum number of concurrent holders.
+func (p *Pool) Capacity() int { return cap(p.slots) }
+
+// InFlight returns the current number of held slots.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }

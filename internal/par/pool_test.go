@@ -1,0 +1,131 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolCapacityAndTryAcquire(t *testing.T) {
+	p := NewPool(2)
+	if p.Capacity() != 2 || p.InFlight() != 0 {
+		t.Fatalf("fresh pool: capacity %d, in-flight %d", p.Capacity(), p.InFlight())
+	}
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("could not fill an empty pool")
+	}
+	if p.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on a full pool")
+	}
+	if p.InFlight() != 2 {
+		t.Fatalf("in-flight %d, want 2", p.InFlight())
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("slot not reusable after Release")
+	}
+	p.Release()
+	p.Release()
+	if p.InFlight() != 0 {
+		t.Fatalf("in-flight %d after draining, want 0", p.InFlight())
+	}
+}
+
+func TestPoolAcquireBlocksUntilRelease(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- p.Acquire(context.Background()) }()
+	select {
+	case err := <-acquired:
+		t.Fatalf("second Acquire returned %v before Release", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Release()
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Acquire did not unblock after Release")
+	}
+	p.Release()
+}
+
+func TestPoolAcquireHonorsContext(t *testing.T) {
+	p := NewPool(1)
+	if !p.TryAcquire() {
+		t.Fatal("fill")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.Acquire(ctx); err == nil {
+		t.Fatal("Acquire on a full pool ignored the deadline")
+	} else if ctx.Err() == nil {
+		t.Fatalf("Acquire failed before the deadline: %v", err)
+	}
+	p.Release()
+}
+
+func TestPoolDefaultCapacity(t *testing.T) {
+	if c := NewPool(0).Capacity(); c < 1 {
+		t.Fatalf("default capacity %d", c)
+	}
+}
+
+func TestPoolConcurrentHoldersNeverExceedCapacity(t *testing.T) {
+	const capacity, clients = 4, 64
+	p := NewPool(capacity)
+	var (
+		mu     sync.Mutex
+		cur    int
+		peak   int
+		served int
+	)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			defer wg.Done()
+			if err := p.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			served++
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			p.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > capacity {
+		t.Fatalf("observed %d concurrent holders, capacity %d", peak, capacity)
+	}
+	if served != clients {
+		t.Fatalf("served %d of %d", served, clients)
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("in-flight %d after all released", p.InFlight())
+	}
+}
+
+func TestPoolReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Release did not panic")
+		}
+	}()
+	NewPool(1).Release()
+}

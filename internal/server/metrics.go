@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mcspeedup/internal/cache"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. The analyses
+// are sub-millisecond for small sets and can reach seconds for large
+// pseudo-polynomial walks, so the buckets span 500 µs – 2.5 s.
+var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+// histogram is a fixed-bucket latency histogram (cumulative counts are
+// computed at render time; counts here are per bucket).
+type histogram struct {
+	counts []uint64 // len(latencyBuckets)+1; last slot = +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if seconds <= latencyBuckets[i] {
+			break
+		}
+	}
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// metrics aggregates the service counters rendered by GET /metrics.
+// Request counts are keyed by (endpoint, status code); latency histograms
+// by endpoint.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	requests map[string]map[int]uint64
+	latency  map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[string]map[int]uint64),
+		latency:  make(map[string]*histogram),
+	}
+}
+
+// record registers one completed request.
+func (m *metrics) record(endpoint string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = newHistogram()
+		m.latency[endpoint] = h
+	}
+	h.observe(elapsed.Seconds())
+}
+
+// render emits the Prometheus text exposition format. Families and label
+// values are emitted in sorted order so the output is deterministic.
+func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var b strings.Builder
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+
+	b.WriteString("# HELP mcs_requests_total Completed HTTP requests by endpoint and status code.\n")
+	b.WriteString("# TYPE mcs_requests_total counter\n")
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for c := range m.requests[ep] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&b, "mcs_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, m.requests[ep][c])
+		}
+	}
+
+	b.WriteString("# HELP mcs_request_duration_seconds Request latency by endpoint.\n")
+	b.WriteString("# TYPE mcs_request_duration_seconds histogram\n")
+	for _, ep := range endpoints {
+		h := m.latency[ep]
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "mcs_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(&b, "mcs_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(&b, "mcs_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(&b, "mcs_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
+	}
+
+	b.WriteString("# HELP mcs_cache_hits_total Result-cache lookups served from cache.\n")
+	b.WriteString("# TYPE mcs_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "mcs_cache_hits_total %d\n", cs.Hits)
+	b.WriteString("# TYPE mcs_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "mcs_cache_misses_total %d\n", cs.Misses)
+	b.WriteString("# TYPE mcs_cache_evictions_total counter\n")
+	fmt.Fprintf(&b, "mcs_cache_evictions_total %d\n", cs.Evictions)
+	b.WriteString("# TYPE mcs_cache_entries gauge\n")
+	fmt.Fprintf(&b, "mcs_cache_entries %d\n", cs.Len)
+	b.WriteString("# TYPE mcs_cache_capacity gauge\n")
+	fmt.Fprintf(&b, "mcs_cache_capacity %d\n", cs.Capacity)
+	b.WriteString("# HELP mcs_cache_hit_ratio Hits over total lookups since start.\n")
+	b.WriteString("# TYPE mcs_cache_hit_ratio gauge\n")
+	fmt.Fprintf(&b, "mcs_cache_hit_ratio %g\n", cs.HitRatio())
+
+	b.WriteString("# HELP mcs_pool_in_flight Analyses currently holding an admission slot.\n")
+	b.WriteString("# TYPE mcs_pool_in_flight gauge\n")
+	fmt.Fprintf(&b, "mcs_pool_in_flight %d\n", poolInFlight)
+	b.WriteString("# TYPE mcs_pool_capacity gauge\n")
+	fmt.Fprintf(&b, "mcs_pool_capacity %d\n", poolCapacity)
+
+	b.WriteString("# HELP mcs_uptime_seconds Seconds since the server started.\n")
+	b.WriteString("# TYPE mcs_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "mcs_uptime_seconds %g\n", time.Since(m.start).Seconds())
+	return b.String()
+}

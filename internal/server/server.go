@@ -1,0 +1,221 @@
+// Package server implements the mcs-serve HTTP/JSON API: the paper's
+// analyses as a long-running service with content-addressed result
+// caching, bounded-concurrency admission control, and Prometheus-style
+// metrics.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   — full safety report (Theorem 2 + Corollary 5 +
+//	                     Lemmas 6–7), byte-identical to mcs-analyze -json
+//	POST /v1/speedup   — minimum HI-mode speedup s_min (Theorem 2)
+//	POST /v1/reset     — service resetting time Δ_R (Corollary 5)
+//	POST /v1/simulate  — discrete-event run of the runtime protocol (§IV)
+//	GET  /healthz      — liveness probe
+//	GET  /metrics      — Prometheus text exposition
+//
+// Every analysis is a pure function of the task set and options, so POST
+// responses are cached in a size-bounded LRU keyed by the canonical
+// content hash task.Set.Fingerprint() plus a canonical option string:
+// semantically identical requests (task order, JSON field order,
+// whitespace) hit the same entry. In-flight analyses are capped by a
+// par.Pool; when the pool stays saturated past the admission wait the
+// request is rejected with 429 so callers can back off.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mcspeedup/internal/cache"
+	"mcspeedup/internal/par"
+	"mcspeedup/internal/task"
+)
+
+// Config tunes the service. The zero value selects production defaults.
+type Config struct {
+	// MaxInFlight caps concurrently computed analyses (cache hits are
+	// served without a slot). 0 = GOMAXPROCS.
+	MaxInFlight int
+	// AdmissionWait bounds how long a request waits for a free slot
+	// before 429. 0 = 100ms.
+	AdmissionWait time.Duration
+	// RequestTimeout is the per-request deadline; requests whose
+	// deadline expires before computation starts are rejected. 0 = 30s.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the result cache. 0 = 1024.
+	CacheEntries int
+	// MaxBodyBytes bounds the request body. 0 = 8 MiB.
+	MaxBodyBytes int64
+	// MaxSimHorizon bounds the /v1/simulate workload horizon in ticks
+	// (the horizon drives the simulated-job count). 0 = 2,000,000
+	// (200 s at the experiment tick of 100 µs).
+	MaxSimHorizon task.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = par.Workers(0)
+	}
+	if c.AdmissionWait <= 0 {
+		c.AdmissionWait = 100 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSimHorizon <= 0 {
+		c.MaxSimHorizon = 2_000_000
+	}
+	return c
+}
+
+// Server is the mcs-serve HTTP handler set.
+type Server struct {
+	cfg     Config
+	pool    *par.Pool
+	results *cache.Cache[[]byte]
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    par.NewPool(cfg.MaxInFlight),
+		results: cache.New[[]byte](cfg.CacheEntries),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/analyze", s.instrument("/v1/analyze", s.requirePOST(s.handleAnalyze)))
+	s.mux.HandleFunc("/v1/speedup", s.instrument("/v1/speedup", s.requirePOST(s.handleSpeedup)))
+	s.mux.HandleFunc("/v1/reset", s.instrument("/v1/reset", s.requirePOST(s.handleReset)))
+	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.requirePOST(s.handleSimulate)))
+	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusWriter records the status code written to the client.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/status accounting and the
+// request deadline.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.metrics.record(endpoint, sw.code, time.Since(start))
+	}
+}
+
+func (s *Server) requirePOST(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+// errSaturated marks pool-admission failure; mapped to 429.
+var errSaturated = errors.New("server saturated; retry later")
+
+// compute serves the endpoint's response bytes from the cache when
+// possible, otherwise admits the computation through the pool, runs fn,
+// and caches its result. The returned bool mirrors the X-Cache header.
+func (s *Server) compute(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, bool, error) {
+	if body, ok := s.results.Get(key); ok {
+		return body, true, nil
+	}
+	admit, cancel := context.WithTimeout(ctx, s.cfg.AdmissionWait)
+	defer cancel()
+	if err := s.pool.Acquire(admit); err != nil {
+		if ctx.Err() != nil {
+			return nil, false, fmt.Errorf("request deadline exceeded: %w", ctx.Err())
+		}
+		return nil, false, errSaturated
+	}
+	defer s.pool.Release()
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("request deadline exceeded: %w", err)
+	}
+	body, err := fn()
+	if err != nil {
+		return nil, false, err
+	}
+	s.results.Put(key, body)
+	return body, false, nil
+}
+
+// serveComputed runs compute and writes the JSON response, translating
+// admission and input errors to their status codes.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, fn func() ([]byte, error)) {
+	body, hit, err := s.compute(r.Context(), key, fn)
+	if err != nil {
+		switch {
+		case errors.Is(err, errSaturated):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			// Analysis/transform failures are input-driven.
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": int64(time.Since(s.metrics.start).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.metrics.render(s.results.Stats(), s.pool.InFlight(), s.pool.Capacity()))
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

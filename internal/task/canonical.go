@@ -1,0 +1,49 @@
+package task
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Canonical returns a normal form of the set: a deep copy with tasks
+// sorted by name. Two sets describing the same system — same tasks in any
+// order, decoded from JSON with fields in any order — have identical
+// canonical forms. Names are unique in any validated set, so the order is
+// total and the normal form is well-defined.
+//
+// The analyses themselves are order-insensitive; Canonical exists so that
+// order-insensitive consumers (content-addressed caches, deduplication)
+// can key on one representative.
+func (s Set) Canonical() Set {
+	out := s.Clone()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Fingerprint returns a content address for the set: the hex SHA-256 of a
+// canonical binary encoding of Canonical(). It is invariant under task
+// reordering and under JSON field/whitespace variations (those are erased
+// by decoding), and differs whenever any name, criticality, or timing
+// parameter differs.
+func (s Set) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, t := range s.Canonical() {
+		// Length-prefix the name so the encoding is unambiguous.
+		writeInt(int64(len(t.Name)))
+		h.Write([]byte(t.Name))
+		writeInt(int64(t.Crit))
+		for _, m := range []Crit{LO, HI} {
+			writeInt(int64(t.Period[m]))
+			writeInt(int64(t.Deadline[m]))
+			writeInt(int64(t.WCET[m]))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

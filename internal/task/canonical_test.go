@@ -1,0 +1,133 @@
+package task
+
+import (
+	"strings"
+	"testing"
+)
+
+func canonicalFixture() Set {
+	return Set{
+		NewHI("beta", 20, 8, 15, 3, 6),
+		NewLO("alpha", 10, 10, 2),
+		NewHI("gamma", 50, 20, 40, 5, 10),
+	}
+}
+
+func TestCanonicalSortsByNameWithoutMutating(t *testing.T) {
+	s := canonicalFixture()
+	c := s.Canonical()
+	if got := []string{c[0].Name, c[1].Name, c[2].Name}; got[0] != "alpha" || got[1] != "beta" || got[2] != "gamma" {
+		t.Fatalf("canonical order = %v", got)
+	}
+	if s[0].Name != "beta" {
+		t.Fatal("Canonical mutated the receiver")
+	}
+	// Deep copy: mutating the canonical form must not leak back.
+	c[0].WCET[LO] = 99
+	if s[1].WCET[LO] == 99 {
+		t.Fatal("Canonical shares task storage with the receiver")
+	}
+}
+
+func TestFingerprintTaskOrderInvariance(t *testing.T) {
+	s := canonicalFixture()
+	want := s.Fingerprint()
+	perms := []Set{
+		{s[1], s[0], s[2]},
+		{s[2], s[1], s[0]},
+		{s[0], s[2], s[1]},
+	}
+	for i, p := range perms {
+		if got := p.Fingerprint(); got != want {
+			t.Errorf("permutation %d: fingerprint %s != %s", i, got, want)
+		}
+	}
+}
+
+func TestFingerprintFieldOrderAndWhitespaceInvariance(t *testing.T) {
+	// The same task with JSON fields in different orders and arbitrary
+	// whitespace must decode to the same fingerprint.
+	a := `[{"name":"tau1","crit":"HI","period":[10,10],"deadline":[6,9],"wcet":[2,4]},
+	       {"name":"tau2","crit":"LO","period":[10,10],"deadline":[10,10],"wcet":[2,2]}]`
+	b := `[
+	  { "wcet": [2, 2], "deadline": [10, 10], "period": [10, 10], "crit": "LO", "name": "tau2" },
+	  { "crit": "HI", "wcet": [2, 4], "name": "tau1", "deadline": [6, 9], "period": [10, 10] }
+	]`
+	sa, err := ParseJSON([]byte(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := ParseJSON([]byte(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Fingerprint() != sb.Fingerprint() {
+		t.Errorf("fingerprints differ:\n%s\n%s", sa.Fingerprint(), sb.Fingerprint())
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	s := canonicalFixture()
+	base := s.Fingerprint()
+	mutations := []func(Set){
+		func(m Set) { m[0].WCET[HI]++ },
+		func(m Set) { m[1].Period[LO]++; m[1].Period[HI]++ },
+		func(m Set) { m[2].Name = "gamma2" },
+		func(m Set) { m[1].Deadline[HI] = Unbounded; m[1].Period[HI] = Unbounded },
+	}
+	for i, mut := range mutations {
+		m := s.Clone()
+		mut(m)
+		if m.Fingerprint() == base {
+			t.Errorf("mutation %d left the fingerprint unchanged", i)
+		}
+	}
+	// The empty-name/length-prefix encoding must distinguish sets whose
+	// concatenated fields coincide.
+	x := Set{NewLO("ab", 10, 10, 2), NewLO("c", 10, 10, 2)}
+	y := Set{NewLO("a", 10, 10, 2), NewLO("bc", 10, 10, 2)}
+	if x.Fingerprint() == y.Fingerprint() {
+		t.Error("name-boundary collision: {ab,c} and {a,bc} share a fingerprint")
+	}
+}
+
+func TestParseJSONRejectsDuplicateNames(t *testing.T) {
+	dup := `[{"name":"x","crit":"LO","period":[10,10],"deadline":[10,10],"wcet":[2,2]},
+	         {"name":"x","crit":"LO","period":[20,20],"deadline":[20,20],"wcet":[2,2]}]`
+	if _, err := ParseJSON([]byte(dup)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate names accepted (err = %v)", err)
+	}
+}
+
+func TestParseJSONRejectsBadNumerics(t *testing.T) {
+	cases := map[string]string{
+		"negative period":    `[{"name":"x","crit":"LO","period":[-10,10],"deadline":[10,10],"wcet":[2,2]}]`,
+		"negative wcet":      `[{"name":"x","crit":"LO","period":[10,10],"deadline":[10,10],"wcet":[-2,-2]}]`,
+		"fractional time":    `[{"name":"x","crit":"LO","period":[10.5,10],"deadline":[10,10],"wcet":[2,2]}]`,
+		"NaN literal":        `[{"name":"x","crit":"LO","period":[NaN,10],"deadline":[10,10],"wcet":[2,2]}]`,
+		"unknown field":      `[{"name":"x","crit":"LO","period":[10,10],"deadline":[10,10],"wcet":[2,2],"wect":[2,2]}]`,
+		"trailing data":      `[{"name":"x","crit":"LO","period":[10,10],"deadline":[10,10],"wcet":[2,2]}] []`,
+		"inf wcet":           `[{"name":"x","crit":"LO","period":[10,10],"deadline":[10,10],"wcet":["inf","inf"]}]`,
+		"string criticality": `[{"name":"x","crit":"MED","period":[10,10],"deadline":[10,10],"wcet":[2,2]}]`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseJSON([]byte(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestFingerprintStableAcrossRoundTrip(t *testing.T) {
+	s := canonicalFixture()
+	data, err := s.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != s.Fingerprint() {
+		t.Error("fingerprint changed across a JSON round trip")
+	}
+}

@@ -1,6 +1,7 @@
 package task
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math/big"
@@ -187,11 +188,20 @@ func (s Set) MarshalIndent() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
-// ParseJSON decodes a task set from JSON and validates it.
+// ParseJSON decodes a task set from JSON and validates it. Decoding is
+// strict: unknown object fields, negative or fractional times, duplicate
+// task names, and trailing garbage are all rejected, so any two JSON
+// documents that parse successfully and describe the same system yield
+// the same Canonical()/Fingerprint().
 func ParseJSON(data []byte) (Set, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var s Set
-	if err := json.Unmarshal(data, &s); err != nil {
+	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("task: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("task: trailing data after task set")
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

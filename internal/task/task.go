@@ -47,7 +47,11 @@ func (t Time) MarshalJSON() ([]byte, error) {
 	return json.Marshal(int64(t))
 }
 
-// UnmarshalJSON accepts either an integer or the string "inf".
+// UnmarshalJSON accepts either a non-negative integer or the string
+// "inf". Negative values, fractional values, and float specials (NaN,
+// Infinity — invalid JSON to begin with) are rejected here rather than
+// deferred to Validate, so that every decoded Time is well-defined for
+// content addressing (Set.Fingerprint).
 func (t *Time) UnmarshalJSON(b []byte) error {
 	s := strings.TrimSpace(string(b))
 	if s == `"inf"` || s == `"Inf"` || s == `"+Inf"` {
@@ -56,7 +60,10 @@ func (t *Time) UnmarshalJSON(b []byte) error {
 	}
 	var v int64
 	if err := json.Unmarshal(b, &v); err != nil {
-		return fmt.Errorf("task: bad Time %s: %w", s, err)
+		return fmt.Errorf("task: bad Time %s (want a non-negative integer or \"inf\"): %w", s, err)
+	}
+	if v < 0 {
+		return fmt.Errorf("task: bad Time %s: negative durations are not allowed", s)
 	}
 	*t = Time(v)
 	return nil

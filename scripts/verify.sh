@@ -2,6 +2,9 @@
 # Tier-1 verification: build, vet, plain tests, then the full suite under
 # the race detector (the parallel sweep engine in internal/par fans every
 # experiment driver out across goroutines, so -race is part of tier-1).
+# Finally a curl-driven smoke test of the mcs-serve daemon: start it on an
+# ephemeral port, hit /healthz, POST the same analysis twice, and assert
+# the second request was answered from the content-addressed cache.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,3 +13,45 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+# --- mcs-serve smoke test -------------------------------------------------
+tmp=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/mcs-gen" ./cmd/mcs-gen
+go build -o "$tmp/mcs-serve" ./cmd/mcs-serve
+
+"$tmp/mcs-gen" -example >"$tmp/tasks.json" 2>/dev/null
+printf '{"tasks":%s,"speed":2}' "$(cat "$tmp/tasks.json")" >"$tmp/req.json"
+
+"$tmp/mcs-serve" -addr 127.0.0.1:0 2>"$tmp/serve.log" &
+serve_pid=$!
+
+# The daemon announces "listening on http://ADDR" on stderr once ready.
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's/.*listening on \(http:[^ ]*\).*/\1/p' "$tmp/serve.log" | head -n 1)
+    [ -n "$base" ] && break
+    kill -0 "$serve_pid"
+    sleep 0.1
+done
+[ -n "$base" ]
+
+curl -fsS "$base/healthz" | grep -q '"status":"ok"'
+curl -fsS -D "$tmp/h1" -o "$tmp/r1" -X POST --data-binary @"$tmp/req.json" "$base/v1/analyze"
+curl -fsS -D "$tmp/h2" -o "$tmp/r2" -X POST --data-binary @"$tmp/req.json" "$base/v1/analyze"
+grep -qi '^x-cache: miss' "$tmp/h1"
+grep -qi '^x-cache: hit' "$tmp/h2"
+cmp "$tmp/r1" "$tmp/r2"
+grep -q '"safe": true' "$tmp/r1"
+curl -fsS "$base/metrics" | grep -q '^mcs_cache_hits_total 1$'
+
+kill "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+echo "mcs-serve smoke test passed"
