@@ -97,6 +97,7 @@ func BenchmarkAblation(b *testing.B) {
 
 func BenchmarkMinSpeedForReset(b *testing.B) {
 	set := benchSet(b, 0.8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mcspeedup.MinSpeedForReset(set, 50000); err != nil {
@@ -116,9 +117,21 @@ func BenchmarkMinimalY(b *testing.B) {
 			break
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := mcspeedup.MinimalY(prepared, mcspeedup.RatTwo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTuneDeadlines(b *testing.B) {
+	set := benchSet(b, 0.7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcspeedup.TuneDeadlines(set, mcspeedup.RatZero); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,6 +154,7 @@ func benchSet(b *testing.B, uBound float64) mcspeedup.Set {
 
 func BenchmarkMinSpeedupTableI(b *testing.B) {
 	set := mcspeedup.TableISet()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mcspeedup.MinSpeedup(set); err != nil {
@@ -151,6 +165,7 @@ func BenchmarkMinSpeedupTableI(b *testing.B) {
 
 func BenchmarkMinSpeedupSynthetic(b *testing.B) {
 	set := benchSet(b, 0.8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mcspeedup.MinSpeedup(set); err != nil {
@@ -172,6 +187,7 @@ func BenchmarkMinSpeedupFMS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mcspeedup.MinSpeedup(prepared); err != nil {
@@ -182,6 +198,7 @@ func BenchmarkMinSpeedupFMS(b *testing.B) {
 
 func BenchmarkResetTimeSynthetic(b *testing.B) {
 	set := benchSet(b, 0.8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mcspeedup.ResetTime(set, mcspeedup.RatTwo); err != nil {

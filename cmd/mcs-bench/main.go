@@ -1,0 +1,180 @@
+// Command mcs-bench measures the analysis engine's steady-state
+// performance and writes the machine-readable trajectory BENCH_core.json
+// tracked at the repository root (see docs/PERF.md). It benchmarks the
+// hot analysis paths with testing.Benchmark — so ns/op, B/op, and
+// allocs/op carry the exact semantics of `go test -bench` — plus one
+// timed run of the Fig.-5 design-space sweep as an end-to-end wall-clock
+// probe.
+//
+// Usage:
+//
+//	mcs-bench [-out BENCH_core.json] [-grid 9] [-workers 0]
+//
+// Regenerate the checked-in file with scripts/bench_core.sh. Absolute
+// numbers are machine-dependent; allocs/op is the portable signal the
+// regression tests pin (see internal/core's zero-allocation tests).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcspeedup"
+)
+
+// benchDoc is the BENCH_core.json layout.
+type benchDoc struct {
+	GeneratedAt string       `json:"generatedAt"`
+	GoVersion   string       `json:"goVersion"`
+	NumCPU      int          `json:"numCPU"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+	Fig5        fig5Entry    `json:"fig5Sweep"`
+}
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+type fig5Entry struct {
+	Grid    int     `json:"grid"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+}
+
+// measure runs fn under testing.Benchmark with allocation reporting.
+func measure(name string, fn func()) benchEntry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	e := benchEntry{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	log.Printf("%-28s %12.0f ns/op %8d B/op %6d allocs/op (%d iters)",
+		e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Iterations)
+	return e
+}
+
+// fmsPrepared is the §VI.A flight-management set degraded by y = 2 and
+// minimally prepared — the same configuration the repository's root
+// benchmarks use.
+func fmsPrepared() mcspeedup.Set {
+	set, err := mcspeedup.FMSTasks(mcspeedup.RatTwo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err = set.DegradeLO(mcspeedup.RatTwo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, prepared, err := mcspeedup.MinimalX(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prepared
+}
+
+// genPrepared mirrors the root benchmarks' synthetic corpus: a
+// generator set at the given seed and utilization, minimally prepared.
+func genPrepared(seed int64, uBound float64) mcspeedup.Set {
+	g := mcspeedup.DefaultGenerator()
+	rnd := rand.New(rand.NewSource(seed))
+	for {
+		set := g.MustSet(rnd, uBound)
+		if _, prepared, err := mcspeedup.MinimalX(set); err == nil {
+			return prepared
+		}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcs-bench: ")
+	var (
+		out     = flag.String("out", "BENCH_core.json", "output path (- = stdout)")
+		grid    = flag.Int("grid", 9, "Fig.-5 sweep grid resolution")
+		workers = flag.Int("workers", 0, "Fig.-5 sweep workers (0 = all cores)")
+	)
+	flag.Parse()
+
+	fms := fmsPrepared()
+	synth := genPrepared(77, 0.7)
+	scratch := new(mcspeedup.AnalysisScratch)
+	withScratch := mcspeedup.AnalysisOptions{Scratch: scratch}
+
+	doc := benchDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	doc.Benchmarks = []benchEntry{
+		measure("MinSpeedupFMS", func() {
+			if _, err := mcspeedup.MinSpeedup(fms); err != nil {
+				log.Fatal(err)
+			}
+		}),
+		measure("MinSpeedupFMSScratch", func() {
+			if _, err := mcspeedup.MinSpeedupOpts(fms, withScratch); err != nil {
+				log.Fatal(err)
+			}
+		}),
+		measure("ResetTimeFMS", func() {
+			if _, err := mcspeedup.ResetTimeOpts(fms, mcspeedup.RatTwo, withScratch); err != nil {
+				log.Fatal(err)
+			}
+		}),
+		measure("MinSpeedForResetFMS", func() {
+			if _, err := mcspeedup.MinSpeedForResetOpts(fms, 50_000, withScratch); err != nil {
+				log.Fatal(err)
+			}
+		}),
+		measure("MinimalY", func() {
+			if _, _, err := mcspeedup.MinimalY(synth, mcspeedup.RatTwo); err != nil {
+				log.Fatal(err)
+			}
+		}),
+		measure("TuneDeadlines", func() {
+			if _, err := mcspeedup.TuneDeadlines(synth, mcspeedup.RatZero); err != nil {
+				log.Fatal(err)
+			}
+		}),
+	}
+
+	start := time.Now()
+	if _, err := mcspeedup.ExperimentFig5(*grid, *workers); err != nil {
+		log.Fatal(err)
+	}
+	doc.Fig5 = fig5Entry{Grid: *grid, Workers: *workers, Seconds: time.Since(start).Seconds()}
+	log.Printf("fig5 sweep (grid %d, workers %d): %.3fs", *grid, *workers, doc.Fig5.Seconds)
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		fmt.Print(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -52,6 +52,7 @@ func main() {
 		cacheEntries  = flag.Int("cache", 1024, "result-cache capacity in entries")
 		maxBody       = flag.Int64("max-body", 8<<20, "request-body cap in bytes")
 		maxSimHorizon = flag.Int64("max-sim-horizon", 2_000_000, "simulate-horizon cap in ticks")
+		maxBatch      = flag.Int("max-batch", 256, "max task sets per /v1/batch request")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
 	flag.Parse()
@@ -63,6 +64,7 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		MaxBodyBytes:   *maxBody,
 		MaxSimHorizon:  task.Time(*maxSimHorizon),
+		MaxBatchItems:  *maxBatch,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,67 @@
+//go:build !race
+
+package core
+
+// Steady-state allocation regression tests. These pin the PR's headline
+// property: with a Scratch arena (or a warm pool) the Theorem-2 and
+// Corollary-5 walks touch the heap zero times per call. They are built
+// out of race-instrumented runs because -race adds bookkeeping
+// allocations that testing.AllocsPerRun would count against us.
+
+import (
+	"testing"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// allocProofSet is harmonic (hyperperiod 160) so every walk terminates
+// exactly and, crucially, the utilization accumulator never overflows —
+// keeping UtilBounds on its allocation-free int64 fast path.
+func allocProofSet() task.Set { return benchTuneSet() }
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	fn() // warm up: Scratch slices grow to size on the first call
+	if got := testing.AllocsPerRun(100, fn); got != 0 {
+		t.Errorf("%s: %v allocs/op in steady state, want 0", name, got)
+	}
+}
+
+func TestAnalysesZeroAllocSteadyState(t *testing.T) {
+	s := allocProofSet()
+	o := Options{Scratch: new(Scratch)}
+
+	assertZeroAllocs(t, "MinSpeedupOpts", func() {
+		if _, err := MinSpeedupOpts(s, o); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZeroAllocs(t, "ResetTimeOpts", func() {
+		if _, err := ResetTimeOpts(s, rat.Two, o); err != nil {
+			t.Fatal(err)
+		}
+	})
+	assertZeroAllocs(t, "MinSpeedForResetOpts", func() {
+		if _, err := MinSpeedForResetOpts(s, 100, o); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPooledPathZeroAllocSteadyState covers the nil-Scratch route through
+// the package pool. The pool can in principle be drained by a GC between
+// runs, so this asserts a near-zero average rather than exactly zero —
+// still far below the dozens of allocations the cold constructor paid.
+func TestPooledPathZeroAllocSteadyState(t *testing.T) {
+	s := allocProofSet()
+	fn := func() {
+		if _, err := MinSpeedup(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fn()
+	if got := testing.AllocsPerRun(200, fn); got > 1 {
+		t.Errorf("pooled MinSpeedup: %v allocs/op in steady state, want ≤ 1", got)
+	}
+}

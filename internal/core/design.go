@@ -44,13 +44,28 @@ type SpeedForResetResult struct {
 // itself. See SpeedForResetResult.Attained for the (rare) open-infimum
 // case.
 func MinSpeedForReset(s task.Set, budget task.Time) (SpeedForResetResult, error) {
+	return MinSpeedForResetOpts(s, budget, Options{})
+}
+
+// MinSpeedForResetOpts is MinSpeedForReset with explicit walk options.
+//
+// Each budget query walks the ADB events from Δ = 0 up to the budget:
+// the walk is not resumable across queries, because the decisive infimum
+// for a smaller budget can lie anywhere inside the already-walked prefix
+// and the per-event left-limit bookkeeping would have to be replayed
+// regardless. The per-query cost is therefore O(E·log n) in the number
+// of events E below the budget — but with a Scratch (or the package
+// pool) it is allocation-free, so sweeping many budgets over one set
+// costs no heap traffic beyond the first query.
+func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForResetResult, error) {
 	if err := s.Validate(); err != nil {
 		return SpeedForResetResult{}, err
 	}
 	if budget <= 0 {
 		return SpeedForResetResult{}, fmt.Errorf("core: reset budget %d must be positive", budget)
 	}
-	w := newHIWalker(s, dbf.KindADB)
+	w := o.acquireWalker(s, dbf.KindADB)
+	defer o.releaseWalker(w)
 	best := rat.PosInf
 	attained := false
 	consider := func(r rat.Rat, pointAttained bool) {
@@ -83,6 +98,73 @@ func MinSpeedForReset(s task.Set, budget task.Time) (SpeedForResetResult, error)
 	return SpeedForResetResult{Speed: best, Attained: attained}, nil
 }
 
+// capProbe answers "does this candidate's minimum speedup stay within a
+// threshold?" for the stream of closely related sets a design search
+// generates. Adjacent bisection candidates differ by one scaling factor
+// and usually share their decisive witness Δ, so each query first
+// re-evaluates the summed DBF ratio at the previous full walk's
+// WitnessDelta — an O(n) rejection certificate: the ratio at any single
+// Δ > 0 lower-bounds the Theorem-2 supremum, so a point already above
+// the threshold rejects the candidate without walking its events. Only
+// inconclusive certificates (and every accepted candidate) pay the full
+// walk. Decisions are bit-identical to always walking: the certificate
+// skips exactly the walks whose comparison outcome it has proved.
+type capProbe struct {
+	opts    Options
+	witness task.Time
+	// walks and pruned count full event walks and certificate
+	// rejections, for tests and benchmarks to assert pruning happens.
+	walks, pruned int
+}
+
+// newCapProbe builds a probe over o, materializing a private Scratch
+// when the caller did not bring one so the whole search shares a single
+// walker arena.
+func newCapProbe(o Options) *capProbe {
+	if o.Scratch == nil {
+		o.Scratch = new(Scratch)
+	}
+	return &capProbe{opts: o}
+}
+
+// atLeast reports whether the certificate proves s_min(set) ≥ bound
+// (strict > when strict is set). An inconclusive certificate reports
+// false — it never decides acceptance, only rejection.
+func (p *capProbe) atLeast(set task.Set, bound rat.Rat, strict bool) bool {
+	if p.opts.NoWarmStart || p.witness <= 0 {
+		return false
+	}
+	v := dbf.SetValue(set, dbf.KindDBF, p.witness)
+	c := rat.New(int64(v), int64(p.witness)).Cmp(bound)
+	if c > 0 || (c == 0 && !strict) {
+		p.pruned++
+		return true
+	}
+	return false
+}
+
+// speedup runs the full Theorem-2 walk and refreshes the witness.
+func (p *capProbe) speedup(set task.Set) (SpeedupResult, error) {
+	p.walks++
+	res, err := MinSpeedupOpts(set, p.opts)
+	if err == nil && res.WitnessDelta > 0 {
+		p.witness = res.WitnessDelta
+	}
+	return res, err
+}
+
+// meets decides s_min(set) ≤ cap, warm-starting at the witness.
+func (p *capProbe) meets(set task.Set, cap rat.Rat) (bool, error) {
+	if p.atLeast(set, cap, true) {
+		return false, nil
+	}
+	res, err := p.speedup(set)
+	if err != nil {
+		return false, err
+	}
+	return res.Speedup.Cmp(cap) <= 0, nil
+}
+
 // MinimalY finds the smallest uniform service-degradation factor y ≥ 1
 // (eq. (14)) such that the degraded set's minimum HI-mode speedup does
 // not exceed speedCap. HI-criticality virtual deadlines are kept as they
@@ -97,18 +179,23 @@ func MinSpeedForReset(s task.Set, budget task.Time) (SpeedForResetResult, error)
 // (the y → ∞ limit of the demand) misses the cap, no y exists and an
 // error is returned.
 func MinimalY(s task.Set, speedCap rat.Rat) (rat.Rat, task.Set, error) {
+	return MinimalYOpts(s, speedCap, Options{})
+}
+
+// MinimalYOpts is MinimalY with explicit walk options. The search probes
+// O(log) candidate degradations through a witness-warm-started capProbe:
+// rejected candidates are usually dismissed by the O(n) certificate at
+// the previous decisive Δ instead of a full event walk.
+func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, error) {
 	if err := s.Validate(); err != nil {
 		return rat.Rat{}, nil, err
 	}
 	if speedCap.Sign() <= 0 {
 		return rat.Rat{}, nil, fmt.Errorf("core: speed cap %v must be positive", speedCap)
 	}
+	probe := newCapProbe(o)
 	meets := func(set task.Set) (bool, error) {
-		res, err := MinSpeedup(set)
-		if err != nil {
-			return false, err
-		}
-		return res.Speedup.Cmp(speedCap) <= 0, nil
+		return probe.meets(set, speedCap)
 	}
 
 	if len(s.ByCrit(task.LO)) == 0 {
@@ -207,6 +294,13 @@ func MinimalY(s task.Set, speedCap rat.Rat) (rat.Rat, task.Set, error) {
 // when the window is empty. Degradation (eq. (14)) must already be
 // applied to s if desired.
 func FeasibleXWindow(s task.Set, speedCap rat.Rat) (xLo, xHi rat.Rat, err error) {
+	return FeasibleXWindowOpts(s, speedCap, Options{})
+}
+
+// FeasibleXWindowOpts is FeasibleXWindow with explicit walk options;
+// like MinimalYOpts it prunes rejected bisection candidates through the
+// witness certificate.
+func FeasibleXWindowOpts(s task.Set, speedCap rat.Rat, o Options) (xLo, xHi rat.Rat, err error) {
 	if speedCap.Sign() <= 0 {
 		return rat.Rat{}, rat.Rat{}, fmt.Errorf("core: speed cap %v must be positive", speedCap)
 	}
@@ -224,16 +318,13 @@ func FeasibleXWindow(s task.Set, speedCap rat.Rat) (xLo, xHi rat.Rat, err error)
 			dMax = s[i].Deadline[task.HI]
 		}
 	}
+	probe := newCapProbe(o)
 	meets := func(k int64) (bool, error) {
 		set, err := s.ShortenHIDeadlines(rat.New(k, int64(dMax)))
 		if err != nil {
 			return false, nil
 		}
-		res, err := MinSpeedup(set)
-		if err != nil {
-			return false, err
-		}
-		return res.Speedup.Cmp(speedCap) <= 0, nil
+		return probe.meets(set, speedCap)
 	}
 
 	// Increasing x raises the HI-mode demand pointwise, so the set of

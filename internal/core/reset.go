@@ -37,6 +37,12 @@ type ResetResult struct {
 // ADB ≤ U_HI·Δ + 2ΣC(HI) guarantees a crossing no later than
 // 2ΣC(HI)/(speed − U_HI), so the walk always terminates.
 func ResetTime(s task.Set, speed rat.Rat) (ResetResult, error) {
+	return ResetTimeOpts(s, speed, Options{})
+}
+
+// ResetTimeOpts is ResetTime with explicit walk options (Scratch reuse
+// for tight loops, event caps).
+func ResetTimeOpts(s task.Set, speed rat.Rat, o Options) (ResetResult, error) {
 	if err := s.Validate(); err != nil {
 		return ResetResult{}, err
 	}
@@ -51,7 +57,8 @@ func ResetTime(s task.Set, speed rat.Rat) (ResetResult, error) {
 		return ResetResult{Reset: rat.PosInf}, nil
 	}
 
-	w := newHIWalker(s, dbf.KindADB)
+	w := o.acquireWalker(s, dbf.KindADB)
+	defer o.releaseWalker(w)
 	events := 0
 	for {
 		pos, v := w.Pos(), w.Value()

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync"
+
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/task"
+)
+
+// Scratch is a reusable analysis arena: the walker state (event heap and
+// per-task slices) behind one in-flight event walk. Callers probing many
+// related configurations in a tight loop — the Section-V design-space
+// searches, batch serving, experiment sweeps — thread one Scratch through
+// Options so every walk reuses the same storage instead of round-tripping
+// the package pool. The zero value is ready to use.
+//
+// A Scratch serializes the walks that borrow it and must not be shared
+// between concurrent goroutines; give each worker its own. Analyses
+// called with a nil Scratch fall back to the package-level walker pool,
+// which is safe for concurrent use and still allocation-free in steady
+// state.
+type Scratch struct {
+	walker hiWalker
+	inUse  bool
+}
+
+// walkerPool recycles walker state across analyses that were not handed
+// an explicit Scratch. Entries keep their slices, so a steady stream of
+// MinSpeedup/ResetTime/MinSpeedForReset calls reaches 0 allocs/op once
+// the pool is warm.
+var walkerPool = sync.Pool{New: func() any { return new(hiWalker) }}
+
+// acquireWalker returns a walker positioned at Δ = 0 over (s, kind),
+// borrowing the caller's Scratch arena when one is set and falling back
+// to the package pool otherwise. Pair every acquire with releaseWalker.
+func (o Options) acquireWalker(s task.Set, kind dbf.Kind) *hiWalker {
+	if sc := o.Scratch; sc != nil && !sc.inUse {
+		sc.inUse = true
+		sc.walker.Reset(s, kind)
+		return &sc.walker
+	}
+	w := walkerPool.Get().(*hiWalker)
+	w.Reset(s, kind)
+	return w
+}
+
+// releaseWalker returns the walker to its home (Scratch or pool). The
+// task-set reference is dropped so a pooled walker never pins a caller's
+// set beyond the walk that used it.
+func (o Options) releaseWalker(w *hiWalker) {
+	w.set = nil
+	if sc := o.Scratch; sc != nil && w == &sc.walker {
+		sc.inUse = false
+		return
+	}
+	walkerPool.Put(w)
+}

@@ -30,6 +30,19 @@ type Options struct {
 	// walk gives up and reports an inexact (but safe) result.
 	// Defaults to 1_000_000.
 	MaxEvents int
+
+	// Scratch, when non-nil, is a caller-owned arena whose walker
+	// storage the analyses reuse instead of the package pool; see
+	// Scratch. It must not be shared between concurrent goroutines.
+	Scratch *Scratch
+
+	// NoWarmStart disables the witness-certificate pruning in the
+	// design-space searches (MinimalY, FeasibleXWindow, TuneDeadlines):
+	// every candidate then pays a full event walk. Results are
+	// bit-identical either way — the certificate only ever skips walks
+	// whose outcome it has already proved — so the flag exists for
+	// differential tests and for benchmarking the cold path.
+	NoWarmStart bool
 }
 
 func (o Options) maxEvents() int {
@@ -104,7 +117,8 @@ func MinSpeedupOpts(s task.Set, o Options) (SpeedupResult, error) {
 	best := rat.Zero
 	var witness task.Time
 	var pos task.Time
-	w := newHIWalker(s, dbf.KindDBF)
+	w := o.acquireWalker(s, dbf.KindDBF)
+	defer o.releaseWalker(w)
 	events := 0
 	for ; events < o.maxEvents(); events++ {
 		if !w.Next() {

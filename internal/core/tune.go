@@ -41,6 +41,16 @@ type TuneResult struct {
 // but every reported number is exact, and the result is never worse than
 // the uniform baseline it starts from.
 func TuneDeadlines(s task.Set, step rat.Rat) (TuneResult, error) {
+	return TuneDeadlinesOpts(s, step, Options{})
+}
+
+// TuneDeadlinesOpts is TuneDeadlines with explicit walk options. Every
+// candidate move is screened by the witness certificate first: a summed
+// DBF ratio at the previous decisive Δ that already reaches the round's
+// best speedup proves the move cannot improve it, skipping the full
+// Theorem-2 walk. One candidate buffer is reused across the inner loop,
+// so a round allocates only when it finds an improving move.
+func TuneDeadlinesOpts(s task.Set, step rat.Rat, o Options) (TuneResult, error) {
 	if step.Sign() <= 0 {
 		step = rat.New(1, 16)
 	}
@@ -51,13 +61,15 @@ func TuneDeadlines(s task.Set, step rat.Rat) (TuneResult, error) {
 	if err != nil {
 		return TuneResult{}, err
 	}
-	base, err := MinSpeedup(cur)
+	probe := newCapProbe(o)
+	base, err := probe.speedup(cur)
 	if err != nil {
 		return TuneResult{}, err
 	}
 	res := TuneResult{UniformSpeedup: base.Speedup}
 	best := base.Speedup
 
+	cand := make(task.Set, len(cur))
 	for rounds := 0; rounds < 64*len(s); rounds++ {
 		bestIdx := -1
 		var bestSet task.Set
@@ -79,7 +91,7 @@ func TuneDeadlines(s task.Set, step rat.Rat) (TuneResult, error) {
 			if d >= cur[i].Deadline[task.LO] {
 				continue // already at the floor
 			}
-			cand := cur.Clone()
+			copy(cand, cur)
 			cand[i].Deadline[task.LO] = d
 			okLO, err := SchedulableLO(cand)
 			if err != nil {
@@ -88,12 +100,17 @@ func TuneDeadlines(s task.Set, step rat.Rat) (TuneResult, error) {
 			if !okLO {
 				continue
 			}
-			sp, err := MinSpeedup(cand)
+			// Certificate: s_min(cand) ≥ bestVal already proves the
+			// move cannot strictly improve this round.
+			if probe.atLeast(cand, bestVal, false) {
+				continue
+			}
+			sp, err := probe.speedup(cand)
 			if err != nil {
 				return TuneResult{}, err
 			}
 			if sp.Speedup.Cmp(bestVal) < 0 {
-				bestIdx, bestSet, bestVal = i, cand, sp.Speedup
+				bestIdx, bestSet, bestVal = i, cand.Clone(), sp.Speedup
 			}
 		}
 		if bestIdx < 0 {

@@ -42,6 +42,18 @@ type eventHeap struct {
 
 func (h *eventHeap) Len() int { return len(h.times) }
 
+// reset empties the heap, growing the backing arrays to hold n entries
+// without further allocation (each task contributes at most one pending
+// event, so n = len(set) is the exact high-water mark of a walk).
+func (h *eventHeap) reset(n int) {
+	if cap(h.times) < n {
+		h.times = make([]task.Time, 0, n)
+		h.tasks = make([]int, 0, n)
+		return
+	}
+	h.times, h.tasks = h.times[:0], h.tasks[:0]
+}
+
 func (h *eventHeap) push(t task.Time, taskIdx int) {
 	h.times = append(h.times, t)
 	h.tasks = append(h.tasks, taskIdx)
@@ -83,25 +95,48 @@ func (h *eventHeap) pop() (task.Time, int) {
 	return t, taskIdx
 }
 
-// newHIWalker positions the walker at Δ = 0.
+// newHIWalker positions a fresh walker at Δ = 0 with all storage
+// pre-sized to len(s). Analyses should prefer Options.acquireWalker,
+// which recycles walkers instead of allocating.
 func newHIWalker(s task.Set, kind dbf.Kind) *hiWalker {
-	w := &hiWalker{
-		set:       s,
-		kind:      kind,
-		taskVal:   make([]task.Time, len(s)),
-		taskSlope: make([]task.Time, len(s)),
-		taskPos:   make([]task.Time, len(s)),
-	}
+	w := &hiWalker{}
+	w.Reset(s, kind)
+	return w
+}
+
+// Reset repositions the walker at Δ = 0 over a (possibly different) task
+// set and curve kind, reusing every internal slice. After the first walk
+// at a given set size a Reset performs no heap allocation, which is what
+// lets the package pool and the Scratch arena run the Theorem-2 /
+// Corollary-5 analyses allocation-free in steady state.
+func (w *hiWalker) Reset(s task.Set, kind dbf.Kind) {
+	w.set, w.kind = s, kind
+	w.pos, w.value, w.slope = 0, 0, 0
+	n := len(s)
+	w.taskVal = sizedTimes(w.taskVal, n)
+	w.taskSlope = sizedTimes(w.taskSlope, n)
+	w.taskPos = sizedTimes(w.taskPos, n)
+	w.events.reset(n)
 	for i := range s {
 		w.taskVal[i] = w.eval(i, 0)
 		w.taskSlope[i] = dbf.RightSlope(&s[i], kind, 0)
+		w.taskPos[i] = 0
 		w.value += w.taskVal[i]
 		w.slope += w.taskSlope[i]
 		if next, ok := dbf.NextEvent(&s[i], kind, 0); ok {
 			w.events.push(next, i)
 		}
 	}
-	return w
+}
+
+// sizedTimes returns buf resized to n entries, reusing its backing array
+// when the capacity suffices. Contents are unspecified; Reset overwrites
+// every entry.
+func sizedTimes(buf []task.Time, n int) []task.Time {
+	if cap(buf) < n {
+		return make([]task.Time, n)
+	}
+	return buf[:n]
 }
 
 func (w *hiWalker) eval(i int, at task.Time) task.Time {

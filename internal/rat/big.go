@@ -22,6 +22,31 @@ func (r Rat) Big() *big.Rat {
 // products the analysis walks form with event positions.
 const roundDenom = int64(1) << 20
 
+// Round rounds r onto the same 2^-20 grid FromBig uses — upward when up
+// is true, downward otherwise — returning r unchanged when its reduced
+// denominator is already at most 2^20. It matches FromBig(r.Big(), up)
+// exactly but stays allocation-free whenever num·2^20 fits int64,
+// falling back to the big.Rat path only on overflow. Infinities pass
+// through unchanged.
+func (r Rat) Round(up bool) Rat {
+	if r.den == 0 || r.den <= roundDenom {
+		return r
+	}
+	if scaled, ok := tryMul64(r.num, roundDenom); ok {
+		q := scaled / r.den
+		if scaled%r.den != 0 {
+			if up && r.num > 0 {
+				q++
+			}
+			if !up && r.num < 0 {
+				q--
+			}
+		}
+		return New(q, roundDenom)
+	}
+	return FromBig(r.Big(), up)
+}
+
 // FromBig converts v to a Rat. The conversion is exact whenever v's
 // reduced denominator is at most 2^20 (and the numerator fits int64);
 // otherwise the value is directed-rounded to a multiple of 1/2^20 —

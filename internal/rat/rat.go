@@ -216,36 +216,54 @@ func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
 // Eq reports r == s.
 func (r Rat) Eq(s Rat) bool { return r.Cmp(s) == 0 }
 
-func addChecked(a, b int64) int64 {
+// tryAdd64 and tryMul64 are the non-panicking primitives under
+// addChecked/mulChecked and AddChecked.
+func tryAdd64(a, b int64) (int64, bool) {
 	s := a + b
 	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func tryMul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	hi, lo := bits.Mul64(absU(a), absU(b))
+	neg := (a < 0) != (b < 0)
+	if hi != 0 {
+		return 0, false
+	}
+	if neg {
+		if lo > uint64(math.MaxInt64)+1 {
+			return 0, false
+		}
+		if lo == uint64(math.MaxInt64)+1 {
+			return math.MinInt64, true
+		}
+		return -int64(lo), true
+	}
+	if lo > uint64(math.MaxInt64) {
+		return 0, false
+	}
+	return int64(lo), true
+}
+
+func addChecked(a, b int64) int64 {
+	s, ok := tryAdd64(a, b)
+	if !ok {
 		panic(ErrOverflow)
 	}
 	return s
 }
 
 func mulChecked(a, b int64) int64 {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	hi, lo := bits.Mul64(absU(a), absU(b))
-	neg := (a < 0) != (b < 0)
-	if hi != 0 {
+	p, ok := tryMul64(a, b)
+	if !ok {
 		panic(ErrOverflow)
 	}
-	if neg {
-		if lo > uint64(math.MaxInt64)+1 {
-			panic(ErrOverflow)
-		}
-		if lo == uint64(math.MaxInt64)+1 {
-			return math.MinInt64
-		}
-		return -int64(lo)
-	}
-	if lo > uint64(math.MaxInt64) {
-		panic(ErrOverflow)
-	}
-	return int64(lo)
+	return p
 }
 
 // Add returns r + s exactly.
@@ -276,6 +294,35 @@ func addInf(r, s Rat) Rat {
 	default:
 		return s
 	}
+}
+
+// AddChecked returns r + s and true when the exact sum is representable,
+// and Zero and false otherwise — the allocation-free accumulation
+// primitive for callers that keep a big.Rat fallback (e.g. utilization
+// sums over many coprime periods) and must not pay Add's panic/recover
+// on the hot path. Inf + -Inf also reports false.
+func (r Rat) AddChecked(s Rat) (Rat, bool) {
+	if r.den == 0 || s.den == 0 {
+		rc, sc := r.infClass(), s.infClass()
+		if rc != 0 && sc != 0 && rc != sc {
+			return Zero, false
+		}
+		return addInf(r, s), true
+	}
+	g := int64(gcd64(uint64(r.den), uint64(s.den)))
+	rd := r.den / g
+	sd := s.den / g
+	a, ok1 := tryMul64(r.num, sd)
+	b, ok2 := tryMul64(s.num, rd)
+	if !ok1 || !ok2 {
+		return Zero, false
+	}
+	num, ok3 := tryAdd64(a, b)
+	den, ok4 := tryMul64(rd, s.den)
+	if !ok3 || !ok4 {
+		return Zero, false
+	}
+	return New(num, den), true
 }
 
 // Neg returns -r.

@@ -65,6 +65,12 @@ func decodeRequest(r *http.Request, envelope interface{ setTasks(json.RawMessage
 	if err != nil {
 		return fmt.Errorf("reading body: %w", err)
 	}
+	return decodeBody(body, envelope)
+}
+
+// decodeBody is decodeRequest over raw bytes; /v1/batch reuses it per
+// item so every item accepts exactly the /v1/analyze body formats.
+func decodeBody(body []byte, envelope interface{ setTasks(json.RawMessage) }) error {
 	trimmed := bytes.TrimSpace(body)
 	if len(trimmed) == 0 {
 		return fmt.Errorf("empty request body")
@@ -151,27 +157,24 @@ type analyzeRequest struct {
 	transformOpts
 }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req analyzeRequest
-	if err := decodeRequest(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
+// analyzeJob validates an analyze request and returns its cache key and
+// compute closure. /v1/analyze and each /v1/batch item go through this
+// one path, so a batch item's key — and therefore its cached bytes — is
+// identical to the equivalent individual call's.
+func analyzeJob(req analyzeRequest) (string, func() ([]byte, error), error) {
 	if err := req.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return "", nil, err
 	}
 	set, err := parseTasks(req.Tasks)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return "", nil, err
 	}
 	speed := rat.Two
 	if req.Speed != nil {
 		speed = req.Speed.Rat
 	}
 	key := fmt.Sprintf("analyze|%s|speed=%s|%s", set.Fingerprint(), speed, req.keyPart())
-	s.serveComputed(w, r, key, func() ([]byte, error) {
+	return key, func() ([]byte, error) {
 		transformed, err := req.apply(set)
 		if err != nil {
 			return nil, err
@@ -181,7 +184,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return report.MarshalIndent()
-	})
+	}, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := decodeRequest(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, fn, err := analyzeJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveComputed(w, r, key, fn)
 }
 
 // --- POST /v1/speedup ---

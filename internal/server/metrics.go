@@ -48,6 +48,8 @@ type metrics struct {
 	start    time.Time
 	requests map[string]map[int]uint64
 	latency  map[string]*histogram
+	// /v1/batch item counters, by outcome.
+	batchItems, batchHits, batchErrors uint64
 }
 
 func newMetrics() *metrics {
@@ -74,6 +76,15 @@ func (m *metrics) record(endpoint string, code int, elapsed time.Duration) {
 		m.latency[endpoint] = h
 	}
 	h.observe(elapsed.Seconds())
+}
+
+// recordBatch registers one completed /v1/batch request's item tallies.
+func (m *metrics) recordBatch(items, hits, errors int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchItems += uint64(items)
+	m.batchHits += uint64(hits)
+	m.batchErrors += uint64(errors)
 }
 
 // render emits the Prometheus text exposition format. Families and label
@@ -117,6 +128,14 @@ func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity int) string 
 		fmt.Fprintf(&b, "mcs_request_duration_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
 		fmt.Fprintf(&b, "mcs_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.total)
 	}
+
+	b.WriteString("# HELP mcs_batch_items_total Task sets received across /v1/batch requests.\n")
+	b.WriteString("# TYPE mcs_batch_items_total counter\n")
+	fmt.Fprintf(&b, "mcs_batch_items_total %d\n", m.batchItems)
+	b.WriteString("# TYPE mcs_batch_item_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "mcs_batch_item_cache_hits_total %d\n", m.batchHits)
+	b.WriteString("# TYPE mcs_batch_item_errors_total counter\n")
+	fmt.Fprintf(&b, "mcs_batch_item_errors_total %d\n", m.batchErrors)
 
 	b.WriteString("# HELP mcs_cache_hits_total Result-cache lookups served from cache.\n")
 	b.WriteString("# TYPE mcs_cache_hits_total counter\n")

@@ -7,6 +7,9 @@
 //
 //	POST /v1/analyze   — full safety report (Theorem 2 + Corollary 5 +
 //	                     Lemmas 6–7), byte-identical to mcs-analyze -json
+//	POST /v1/batch     — many analyze items in one request, fanned over
+//	                     the admission pool; per-item results are
+//	                     byte-identical to individual /v1/analyze calls
 //	POST /v1/speedup   — minimum HI-mode speedup s_min (Theorem 2)
 //	POST /v1/reset     — service resetting time Δ_R (Corollary 5)
 //	POST /v1/simulate  — discrete-event run of the runtime protocol (§IV)
@@ -54,6 +57,9 @@ type Config struct {
 	// (the horizon drives the simulated-job count). 0 = 2,000,000
 	// (200 s at the experiment tick of 100 µs).
 	MaxSimHorizon task.Time
+	// MaxBatchItems bounds the number of task sets per /v1/batch
+	// request. 0 = 256.
+	MaxBatchItems int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSimHorizon <= 0 {
 		c.MaxSimHorizon = 2_000_000
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
 	}
 	return c
 }
@@ -98,6 +107,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.instrument("/v1/analyze", s.requirePOST(s.handleAnalyze)))
+	s.mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", s.requirePOST(s.handleBatch)))
 	s.mux.HandleFunc("/v1/speedup", s.instrument("/v1/speedup", s.requirePOST(s.handleSpeedup)))
 	s.mux.HandleFunc("/v1/reset", s.instrument("/v1/reset", s.requirePOST(s.handleReset)))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.requirePOST(s.handleSimulate)))
@@ -152,11 +162,24 @@ var errSaturated = errors.New("server saturated; retry later")
 // possible, otherwise admits the computation through the pool, runs fn,
 // and caches its result. The returned bool mirrors the X-Cache header.
 func (s *Server) compute(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, bool, error) {
+	return s.computeAdmit(ctx, s.cfg.AdmissionWait, key, fn)
+}
+
+// computeAdmit is compute with an explicit admission wait. wait > 0 is
+// the single-request behavior (bounded wait, then 429); wait ≤ 0 queues
+// for a slot until the request context expires, which is what /v1/batch
+// items want — a saturated pool should stretch a batch out, not shed
+// items that individual retries would recompute anyway.
+func (s *Server) computeAdmit(ctx context.Context, wait time.Duration, key string, fn func() ([]byte, error)) ([]byte, bool, error) {
 	if body, ok := s.results.Get(key); ok {
 		return body, true, nil
 	}
-	admit, cancel := context.WithTimeout(ctx, s.cfg.AdmissionWait)
-	defer cancel()
+	admit := ctx
+	if wait > 0 {
+		var cancel context.CancelFunc
+		admit, cancel = context.WithTimeout(ctx, wait)
+		defer cancel()
+	}
 	if err := s.pool.Acquire(admit); err != nil {
 		if ctx.Err() != nil {
 			return nil, false, fmt.Errorf("request deadline exceeded: %w", ctx.Err())
@@ -180,16 +203,10 @@ func (s *Server) compute(ctx context.Context, key string, fn func() ([]byte, err
 func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, fn func() ([]byte, error)) {
 	body, hit, err := s.compute(r.Context(), key, fn)
 	if err != nil {
-		switch {
-		case errors.Is(err, errSaturated):
+		if errors.Is(err, errSaturated) {
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, err.Error())
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-		default:
-			// Analysis/transform failures are input-driven.
-			writeError(w, http.StatusBadRequest, err.Error())
 		}
+		writeError(w, errorStatus(err), err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -212,6 +229,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, s.metrics.render(s.results.Stats(), s.pool.InFlight(), s.pool.Capacity()))
+}
+
+// errorStatus maps a compute error to its HTTP status: saturation → 429,
+// deadline/cancellation → 503, anything else is input-driven → 400.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, errSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

@@ -15,15 +15,32 @@ import (
 type Set []Task
 
 // Validate validates every task and checks that names are unique.
+// It allocates nothing for typical set sizes: Validate runs on every
+// analysis entry point, so design-space searches and the serving layer
+// call it thousands of times per query stream.
 func (s Set) Validate() error {
 	if len(s) == 0 {
 		return fmt.Errorf("task: empty task set")
 	}
-	seen := make(map[string]bool, len(s))
 	for i := range s {
 		if err := s[i].Validate(); err != nil {
 			return err
 		}
+	}
+	if len(s) <= 128 {
+		// Quadratic name scan: allocation-free and faster than a map up
+		// to well past any realistic uniprocessor set size.
+		for i := range s {
+			for j := i + 1; j < len(s); j++ {
+				if s[i].Name == s[j].Name {
+					return fmt.Errorf("task: duplicate task name %q", s[i].Name)
+				}
+			}
+		}
+		return nil
+	}
+	seen := make(map[string]bool, len(s))
+	for i := range s {
 		if seen[s[i].Name] {
 			return fmt.Errorf("task: duplicate task name %q", s[i].Name)
 		}
@@ -77,9 +94,34 @@ func (s Set) Util(m Crit) rat.Rat {
 
 // UtilBounds returns exact-or-directed-rounded lower and upper bounds on
 // Util(m); lo equals hi exactly when the sum is representable.
+//
+// The sum is first accumulated in fixed-width rationals, which is exact
+// and allocation-free whenever every partial sum fits int64/int64 — the
+// common case, and the one the analysis hot paths (MinSpeedup, ResetTime)
+// hit on every call. Only when a partial sum overflows does the big.Rat
+// path run and directed rounding apply.
 func (s Set) UtilBounds(m Crit) (lo, hi rat.Rat) {
-	sum := s.utilBig(m, func(*Task) bool { return true })
-	return rat.FromBig(sum, false), rat.FromBig(sum, true)
+	sum := rat.Zero
+	exact := true
+	for i := range s {
+		if s[i].Period[m].IsUnbounded() {
+			continue
+		}
+		var ok bool
+		sum, ok = sum.AddChecked(rat.New(int64(s[i].WCET[m]), int64(s[i].Period[m])))
+		if !ok {
+			exact = false
+			break
+		}
+	}
+	if exact {
+		// Same directed rounding FromBig applies, so the fast path is
+		// bit-identical to the big.Rat path while keeping the bounds'
+		// denominators small enough for downstream exact arithmetic.
+		return sum.Round(false), sum.Round(true)
+	}
+	big := s.utilBig(m, func(*Task) bool { return true })
+	return rat.FromBig(big, false), rat.FromBig(big, true)
 }
 
 // UtilCrit returns U_χ(m) = Σ_{χ_i = c} C_i(m)/T_i(m): the mode-m

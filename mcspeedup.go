@@ -136,6 +136,15 @@ type SpeedupResult = core.SpeedupResult
 // AnalysisOptions tunes the pseudo-polynomial event walks.
 type AnalysisOptions = core.Options
 
+// AnalysisScratch is a reusable walker arena: thread one through
+// AnalysisOptions.Scratch when calling the analyses in a tight loop and
+// every walk reuses the same storage, making steady-state calls
+// allocation-free. Not safe for concurrent use — give each goroutine its
+// own. The zero value is ready to use; without one, the analyses fall
+// back to a package-level pool that is concurrency-safe and still
+// allocation-free in steady state.
+type AnalysisScratch = core.Scratch
+
 // MinSpeedup computes the minimum HI-mode processor speedup factor
 // s_min = sup_Δ ΣDBF_HI(τ_i, Δ)/Δ of Theorem 2, exactly.
 func MinSpeedup(s Set) (SpeedupResult, error) { return core.MinSpeedup(s) }
@@ -152,6 +161,11 @@ type ResetResult = core.ResetResult
 // for the given HI-mode speed factor (+Inf when speed does not exceed the
 // HI-mode utilization).
 func ResetTime(s Set, speed Rat) (ResetResult, error) { return core.ResetTime(s, speed) }
+
+// ResetTimeOpts is ResetTime with explicit walk options.
+func ResetTimeOpts(s Set, speed Rat, o AnalysisOptions) (ResetResult, error) {
+	return core.ResetTimeOpts(s, speed, o)
+}
 
 // SchedulableLO is the exact LO-mode EDF processor-demand test.
 func SchedulableLO(s Set) (bool, error) { return core.SchedulableLO(s) }
@@ -189,6 +203,12 @@ func MinSpeedForReset(s Set, budget Time) (SpeedForResetResult, error) {
 	return core.MinSpeedForReset(s, budget)
 }
 
+// MinSpeedForResetOpts is MinSpeedForReset with explicit walk options;
+// with a Scratch, sweeping many budgets over one set is allocation-free.
+func MinSpeedForResetOpts(s Set, budget Time, o AnalysisOptions) (SpeedForResetResult, error) {
+	return core.MinSpeedForResetOpts(s, budget, o)
+}
+
 // MinimalY finds the smallest uniform service-degradation factor y
 // (eq. (14)) whose minimum HI-mode speedup fits under speedCap ("my
 // platform turbo-boosts at most 2×; how little degradation suffices?").
@@ -196,11 +216,25 @@ func MinimalY(s Set, speedCap Rat) (Rat, Set, error) {
 	return core.MinimalY(s, speedCap)
 }
 
+// MinimalYOpts is MinimalY with explicit walk options. Candidate
+// degradations are screened by a witness certificate at the previous
+// decisive Δ before paying a full event walk; results are bit-identical
+// to the cold path (set AnalysisOptions.NoWarmStart to force it).
+func MinimalYOpts(s Set, speedCap Rat, o AnalysisOptions) (Rat, Set, error) {
+	return core.MinimalYOpts(s, speedCap, o)
+}
+
 // FeasibleXWindow computes the interval of overrun-preparation factors x
 // that keep LO mode schedulable (lower end) while respecting a HI-mode
 // speed cap (upper end).
 func FeasibleXWindow(s Set, speedCap Rat) (xLo, xHi Rat, err error) {
 	return core.FeasibleXWindow(s, speedCap)
+}
+
+// FeasibleXWindowOpts is FeasibleXWindow with explicit walk options
+// (witness-certificate pruning like MinimalYOpts).
+func FeasibleXWindowOpts(s Set, speedCap Rat, o AnalysisOptions) (xLo, xHi Rat, err error) {
+	return core.FeasibleXWindowOpts(s, speedCap, o)
 }
 
 // --- EDF-VD baseline ---
@@ -354,3 +388,9 @@ type TuneResult = core.TuneResult
 // in the spirit of Ekberg & Yi's demand shaping), subject to exact
 // LO-mode schedulability. Pass RatZero for the default step.
 func TuneDeadlines(s Set, step Rat) (TuneResult, error) { return core.TuneDeadlines(s, step) }
+
+// TuneDeadlinesOpts is TuneDeadlines with explicit walk options
+// (witness-certificate pruning like MinimalYOpts).
+func TuneDeadlinesOpts(s Set, step Rat, o AnalysisOptions) (TuneResult, error) {
+	return core.TuneDeadlinesOpts(s, step, o)
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerate BENCH_core.json, the tracked benchmark trajectory of the
+# analysis engine (see docs/PERF.md). Run on an otherwise idle machine;
+# ns/op is hardware-dependent, allocs/op should be stable anywhere.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/mcs-bench -out BENCH_core.json "$@"

@@ -14,6 +14,11 @@ go vet ./...
 go test ./...
 go test -race ./...
 
+# Bench smoke: every core benchmark must still compile and complete one
+# iteration (allocation regressions are pinned by internal/core's
+# zero-allocation tests; this guards the benchmarks themselves).
+go test -bench=. -benchtime=1x -run='^$' ./internal/core/...
+
 # --- mcs-serve smoke test -------------------------------------------------
 tmp=$(mktemp -d)
 serve_pid=""
@@ -50,6 +55,19 @@ grep -qi '^x-cache: hit' "$tmp/h2"
 cmp "$tmp/r1" "$tmp/r2"
 grep -q '"safe": true' "$tmp/r1"
 curl -fsS "$base/metrics" | grep -q '^mcs_cache_hits_total 1$'
+
+# /v1/batch smoke against the paper's FMS case study: two items (one of
+# them the already-cached analysis above), per-item results embedded
+# verbatim, and the batch item counters exposed in /metrics.
+"$tmp/mcs-gen" -fms >"$tmp/fms.json" 2>/dev/null
+printf '{"items":[%s,{"tasks":%s,"minx":true,"speed":4}]}' \
+    "$(cat "$tmp/req.json")" "$(cat "$tmp/fms.json")" >"$tmp/batch.json"
+curl -fsS -o "$tmp/b1" -X POST --data-binary @"$tmp/batch.json" "$base/v1/batch"
+grep -q '"count": 2' "$tmp/b1"
+grep -q '"errors": 0' "$tmp/b1"
+grep -q '"cache": "hit"' "$tmp/b1"
+grep -q '"safe": true' "$tmp/b1"
+curl -fsS "$base/metrics" | grep -q '^mcs_batch_items_total 2$'
 
 kill "$serve_pid"
 wait "$serve_pid"

@@ -234,6 +234,64 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Errorf("x+minx: %d, want 400", resp.StatusCode)
 	}
 
+	// Acceptance: /v1/batch per-item results are byte-identical to the
+	// equivalent individual /v1/analyze calls, with 32 clients posting
+	// the same batch concurrently.
+	items := []string{
+		body,
+		fms,
+		`{"tasks":` + fms + `,"terminate":true,"speed":4}`,
+		`{"tasks":` + fms + `,"y":2,"minx":true,"speed":4}`,
+	}
+	individual := make([][]byte, len(items))
+	for i, item := range items {
+		resp, data := httpPost(t, base+"/v1/analyze", item)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze item %d: %d (%s)", i, resp.StatusCode, data)
+		}
+		individual[i] = bytes.TrimRight(data, "\n")
+	}
+	batchReq := `{"items":[` + strings.Join(items, ",") + `]}`
+	var bwg sync.WaitGroup
+	bwg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer bwg.Done()
+			resp, data := httpPost(t, base+"/v1/batch", batchReq)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("batch client %d: %d (%s)", c, resp.StatusCode, data)
+				return
+			}
+			var doc struct {
+				Count  int `json:"count"`
+				Errors int `json:"errors"`
+				Items  []struct {
+					Index  int             `json:"index"`
+					Error  string          `json:"error"`
+					Result json.RawMessage `json:"result"`
+				} `json:"items"`
+			}
+			if err := json.Unmarshal(data, &doc); err != nil {
+				t.Errorf("batch client %d: decoding response: %v", c, err)
+				return
+			}
+			if doc.Count != len(items) || doc.Errors != 0 || len(doc.Items) != len(items) {
+				t.Errorf("batch client %d: count=%d errors=%d items=%d", c, doc.Count, doc.Errors, len(doc.Items))
+				return
+			}
+			for i, item := range doc.Items {
+				if item.Index != i || item.Error != "" {
+					t.Errorf("batch client %d item %d: index=%d error=%q", c, i, item.Index, item.Error)
+					continue
+				}
+				if !bytes.Equal(item.Result, individual[i]) {
+					t.Errorf("batch client %d item %d: result differs from individual /v1/analyze body", c, i)
+				}
+			}
+		}(c)
+	}
+	bwg.Wait()
+
 	// Graceful shutdown: SIGTERM must drain and exit 0.
 	if err := stop(); err != nil {
 		t.Fatalf("graceful shutdown: %v", err)
