@@ -92,7 +92,7 @@ func main() {
 	selected := func(name string) bool { return all || want[name] }
 
 	report := benchReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339), //lint:ignore determcheck bench-report metadata; experiment results do not depend on it
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 		Workers:     *workers,
@@ -104,9 +104,9 @@ func main() {
 		if !selected(key) {
 			return
 		}
-		start := time.Now()
+		start := time.Now() //lint:ignore determcheck wall-clock bench timing around the driver; the rendered results do not depend on it
 		r, err := driver()
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:ignore determcheck wall-clock bench timing around the driver; the rendered results do not depend on it
 		if err != nil {
 			log.Fatalf("%s: %v", title, err)
 		}

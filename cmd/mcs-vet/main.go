@@ -1,0 +1,30 @@
+// Command mcs-vet is the repository's custom static-analysis suite: a
+// vet tool (in the sense of `go vet -vettool`) enforcing the
+// correctness invariants the analysis engine's guarantees rest on.
+//
+// Usage:
+//
+//	go build -o $(go env GOPATH)/bin/mcs-vet ./cmd/mcs-vet
+//	go vet -vettool=$(go env GOPATH)/bin/mcs-vet ./...
+//
+// scripts/verify.sh runs exactly that on every verification pass. See
+// docs/STATIC_ANALYSIS.md for the analyzers, the invariants they
+// protect, and the //lint:ignore escape hatch.
+package main
+
+import (
+	"mcspeedup/internal/lint"
+	"mcspeedup/internal/lint/determcheck"
+	"mcspeedup/internal/lint/metricscheck"
+	"mcspeedup/internal/lint/ratcheck"
+	"mcspeedup/internal/lint/scratchcheck"
+)
+
+func main() {
+	lint.Main(
+		ratcheck.Analyzer,
+		determcheck.Analyzer,
+		scratchcheck.Analyzer,
+		metricscheck.Analyzer,
+	)
+}

@@ -31,11 +31,23 @@
 package dbf
 
 import (
+	"errors"
 	"fmt"
 
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/task"
 )
+
+// ErrNegativeInterval is the sentinel wrapped by the panic every exported
+// evaluator raises on a negative interval length Δ. A negative Δ is a
+// caller bug in library use, hence the panic — but when the interval is
+// derived from untrusted input (the mcs-serve endpoints), the boundary
+// can recover and test the cause with errors.Is(err, ErrNegativeInterval)
+// to turn the crash into an input error instead of taking down the
+// process. The internal invariant panics (unknown Kind, NextEvent finding
+// no candidate) are genuine unreachable-state assertions and do not wrap
+// the sentinel.
+var ErrNegativeInterval = errors.New("dbf: negative interval")
 
 // LOMode returns DBF_LO(τ_i, Δ) per eq. (4):
 //
@@ -67,7 +79,7 @@ func carry(t *task.Task, w task.Time) task.Time {
 // For terminated tasks it returns 0 (see the package comment).
 func HIMode(t *task.Task, delta task.Time) task.Time {
 	if delta < 0 {
-		panic(fmt.Errorf("dbf: negative interval %d", delta))
+		panic(fmt.Errorf("%w %d", ErrNegativeInterval, delta))
 	}
 	if t.Terminated() {
 		return 0
@@ -84,7 +96,7 @@ func HIMode(t *task.Task, delta task.Time) task.Time {
 // carry-over job's C(HI) remains (see the package comment).
 func ADB(t *task.Task, delta task.Time) task.Time {
 	if delta < 0 {
-		panic(fmt.Errorf("dbf: negative interval %d", delta))
+		panic(fmt.Errorf("%w %d", ErrNegativeInterval, delta))
 	}
 	if t.Terminated() {
 		return t.WCET[task.HI]
@@ -116,7 +128,7 @@ func carryRat(t *task.Task, w rat.Rat) rat.Rat {
 // HIModeAt evaluates DBF_HI at a rational interval length.
 func HIModeAt(t *task.Task, delta rat.Rat) rat.Rat {
 	if delta.Sign() < 0 {
-		panic(fmt.Errorf("dbf: negative interval %v", delta))
+		panic(fmt.Errorf("%w %v", ErrNegativeInterval, delta))
 	}
 	if t.Terminated() {
 		return rat.Zero
@@ -131,7 +143,7 @@ func HIModeAt(t *task.Task, delta rat.Rat) rat.Rat {
 // ADBAt evaluates ADB_HI at a rational interval length.
 func ADBAt(t *task.Task, delta rat.Rat) rat.Rat {
 	if delta.Sign() < 0 {
-		panic(fmt.Errorf("dbf: negative interval %v", delta))
+		panic(fmt.Errorf("%w %v", ErrNegativeInterval, delta))
 	}
 	if t.Terminated() {
 		return rat.FromInt64(int64(t.WCET[task.HI]))

@@ -1,6 +1,7 @@
 package dbf
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -315,8 +316,14 @@ func TestNegativeDeltaPanics(t *testing.T) {
 	} {
 		func() {
 			defer func() {
-				if recover() == nil {
+				r := recover()
+				if r == nil {
 					t.Error("negative Δ did not panic")
+					return
+				}
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, ErrNegativeInterval) {
+					t.Errorf("recovered %v; want an error wrapping ErrNegativeInterval", r)
 				}
 			}()
 			f()

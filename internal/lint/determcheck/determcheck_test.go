@@ -1,0 +1,12 @@
+package determcheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/determcheck"
+	"mcspeedup/internal/lint/linttest"
+)
+
+func TestDetermcheck(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/experiments", determcheck.Analyzer)
+}

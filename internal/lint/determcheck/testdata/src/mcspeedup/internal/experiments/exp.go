@@ -1,0 +1,103 @@
+// Package experiments exercises determcheck: the import path places it
+// inside the analyzer's determinism-critical scope.
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"mcspeedup/internal/par"
+)
+
+// Wall-clock rule.
+
+func stamped() int64 {
+	return time.Now().UnixNano() // want `time.Now in a determinism-critical package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in a determinism-critical package`
+}
+
+// Global-randomness rule.
+
+func jitter() int {
+	return rand.Intn(10) // want `global math/rand.Intn`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Intn(10)                   // methods on an explicit *rand.Rand are fine
+}
+
+// Map-iteration rule.
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is randomized per run`
+		total += v
+	}
+	return total
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort idiom: clean
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func debugOnly(m map[string]int) {
+	//lint:ignore determcheck debug helper; the order never reaches rendered output
+	for k, v := range m {
+		_, _ = k, v
+	}
+}
+
+// Fan-out per-index-slot rule.
+
+func sweep(n int) []int {
+	out := make([]int, n)
+	shared := make([]int, 1)
+	cursor := 0
+	_ = par.ForEach(n, 0, func(i int) error {
+		out[i] = i * i     // per-index slot: clean
+		shared[cursor] = i // want `write to captured slice shared`
+		cursor++
+		return nil
+	})
+	return out
+}
+
+func derivedIndex(n int) []int {
+	out := make([]int, 2*n)
+	_ = par.ForEach(n, 0, func(i int) error {
+		j := 2 * i
+		out[j] = i // index derived from the worker's parameter: clean
+		return nil
+	})
+	return out
+}
+
+func goStmt(vals []int) {
+	done := make(chan struct{})
+	go func() {
+		vals[0] = 1 // want `write to captured slice vals`
+		close(done)
+	}()
+	<-done
+}
+
+func workerOwned(n int) {
+	done := make(chan struct{})
+	go func() {
+		mine := make([]int, n)
+		mine[0] = 1 // the worker's own slice: clean
+		_ = mine
+		close(done)
+	}()
+	<-done
+}

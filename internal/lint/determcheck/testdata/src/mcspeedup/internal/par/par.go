@@ -1,0 +1,27 @@
+// Package par is a minimal stub of mcspeedup/internal/par for the
+// determcheck testdata: the analyzer recognizes ForEach and Map by name
+// and import path, so only the signatures matter.
+package par
+
+func Workers(n int) int { return n }
+
+func ForEach(n, workers int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

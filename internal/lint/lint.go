@@ -1,0 +1,200 @@
+// Package lint is a self-contained static-analysis framework in the
+// style of golang.org/x/tools/go/analysis, built entirely on the
+// standard library's go/ast, go/parser and go/types (the module has no
+// third-party dependencies, so x/tools itself is not available).
+//
+// It hosts the mcs-vet analyzer suite — see docs/STATIC_ANALYSIS.md —
+// which turns this repository's correctness conventions into
+// compiler-grade checks:
+//
+//   - ratcheck: no raw int64 arithmetic on rat.Rat numerators and
+//     denominators outside internal/rat (Theorem-2 exactness).
+//   - determcheck: no wall clocks, global randomness, ordered map
+//     iteration, or off-index fan-out writes in the packages behind the
+//     byte-identical "-workers N" guarantee.
+//   - scratchcheck: core.Scratch arenas never stored, captured by
+//     goroutines, or double-acquired.
+//   - metricscheck: every mcs_* metric is registered exactly once,
+//     asserted in tests, and never incremented under a lock that spans
+//     pool admission.
+//
+// A diagnostic on a given line is suppressed by a directive comment
+//
+//	//lint:ignore <analyzer> <one-line justification>
+//
+// placed on the same line or the line immediately above. The
+// justification is mandatory: a bare ignore is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. It must be a valid command-line flag name.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// CanonicalPath strips the test-variant suffix from an import path: when
+// cmd/go vets a test build it names the package "p [p.test]", but the
+// analyzers scope themselves by the underlying package p.
+func CanonicalPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// Package bundles the loaded inputs shared by every analyzer of a run.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run applies the analyzers to pkg, filters findings through the
+// //lint:ignore directives found in the package's comments, and returns
+// the surviving diagnostics sorted by position.
+func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		diags = append(diags, pass.diagnostics...)
+	}
+	diags = applyIgnores(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreKey identifies the scope of one //lint:ignore directive: the
+// named analyzer is silenced on the directive's own line and on the
+// line immediately below (so the directive can precede the statement).
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// applyIgnores drops diagnostics covered by a justified ignore
+// directive and reports malformed directives (no justification) as
+// diagnostics in their own right, so the escape hatch cannot silently
+// rot into a blanket waiver.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignores := make(map[ignoreKey]bool)
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer> <justification>\"",
+					})
+					continue
+				}
+				for _, line := range [...]int{pos.Line, pos.Line + 1} {
+					ignores[ignoreKey{pos.Filename, line, name}] = true
+				}
+			}
+		}
+	}
+	kept := malformed
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir parses and type-checks the package rooted at root/src/<path>,
+// resolving imports of other packages under root/src the same way and
+// falling back to the standard library's source importer for everything
+// else. It is the loader behind the analyzers' testdata suites, mirroring
+// the GOPATH layout golang.org/x/tools/go/analysis/analysistest uses.
+//
+// When includeTests is set, _test.go files of the target package (in the
+// same package, i.e. the internal test variant) are parsed and checked
+// together with the library files.
+func LoadDir(root, path string, includeTests bool) (*Package, error) {
+	fset := token.NewFileSet()
+	ld := &dirLoader{
+		root:     root,
+		fset:     fset,
+		packages: make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	files, tpkg, info, err := ld.load(path, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, nil
+}
+
+// dirLoader is a recursive source importer over a testdata src tree.
+type dirLoader struct {
+	root     string
+	fset     *token.FileSet
+	packages map[string]*types.Package
+	fallback types.Importer
+}
+
+// Import implements types.Importer for the in-tree packages; anything
+// not present under root/src is delegated to the source importer.
+func (l *dirLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.packages[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(l.root, "src", filepath.FromSlash(path)); dirExists(dir) {
+		_, pkg, _, err := l.load(path, false)
+		return pkg, err
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *dirLoader) load(path string, includeTests bool) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: loading %s: %w", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	l.packages[path] = tpkg
+	return files, tpkg, info, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,12 @@
+package metricscheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/linttest"
+	"mcspeedup/internal/lint/metricscheck"
+)
+
+func TestMetricscheck(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/server", metricscheck.Analyzer)
+}

@@ -1,0 +1,12 @@
+// Package par is a minimal stub of mcspeedup/internal/par for the
+// metricscheck testdata: the analyzer recognizes Pool.Acquire and
+// Pool.TryAcquire by name and import path.
+package par
+
+import "context"
+
+type Pool struct{}
+
+func (p *Pool) Acquire(ctx context.Context) error { return nil }
+
+func (p *Pool) TryAcquire() bool { return true }

@@ -1,0 +1,15 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsFamilies(t *testing.T) {
+	out := render()
+	for _, family := range []string{"mcs_good_total", "mcs_lat_seconds_sum", "mcs_dup_total"} {
+		if !strings.Contains(out, family) {
+			t.Fatalf("missing %s", family)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package ratcheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/linttest"
+	"mcspeedup/internal/lint/ratcheck"
+)
+
+func TestRatcheck(t *testing.T) {
+	linttest.Run(t, "testdata", "a", ratcheck.Analyzer)
+}

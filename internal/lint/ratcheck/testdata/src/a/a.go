@@ -1,0 +1,63 @@
+// Package a exercises ratcheck: raw arithmetic and ordering on values
+// extracted from rat.Rat via Num/Den must be flagged; the rat.Rat
+// method calls and unrelated int64 arithmetic must stay clean.
+package a
+
+import "mcspeedup/internal/rat"
+
+func flagged(r, s rat.Rat) {
+	_ = r.Num() + s.Num() // want `raw arithmetic \(\+\)`
+	_ = r.Num() * 2       // want `raw arithmetic \(\*\)`
+	_ = r.Den() - 1       // want `raw arithmetic \(-\)`
+
+	if r.Num() < s.Num() { // want `raw ordering \(<\)`
+		return
+	}
+	if r.Num() == s.Num() { // want `raw equality \(==\)`
+		return
+	}
+
+	// Taint flows through assignments and conversions.
+	n := r.Num()
+	m := int64(n)
+	_ = m / s.Den() // want `raw arithmetic \(/\)`
+
+	total := int64(0)
+	total += r.Num() // want `raw arithmetic \(\+=\)`
+	_ = total
+
+	d := r.Den()
+	d++ // want `raw arithmetic \(\+\+\)`
+}
+
+func clean(r, s rat.Rat) {
+	// The sanctioned forms: method arithmetic and comparisons.
+	_ = r.Add(s)
+	_ = r.Mul(s)
+	if r.Cmp(s) < 0 || r.Eq(s) {
+		return
+	}
+	if sum, ok := r.AddChecked(s); ok {
+		_ = sum
+	}
+
+	// Equality against a constant is a sign/infinity probe, not an
+	// overflowable comparison.
+	if r.Den() == 0 {
+		return
+	}
+
+	// Unrelated int64 arithmetic is untouched.
+	x := int64(3)
+	y := x*2 + 1
+	_ = y
+
+	// Passing the raw fields onward without arithmetic is fine (e.g.
+	// rendering or re-normalizing through the package itself).
+	_ = rat.New(r.Num(), r.Den())
+}
+
+func ignored(r rat.Rat) int64 {
+	//lint:ignore ratcheck the denominators here are bounded by 2^20 by construction
+	return r.Num() * r.Den()
+}

@@ -1,0 +1,23 @@
+// Package rat is a minimal stub of mcspeedup/internal/rat for the
+// ratcheck testdata: just enough surface for the test package to
+// exercise the accessor-taint rules.
+package rat
+
+// Rat mirrors the real exact rational: an int64 numerator/denominator
+// pair with checked arithmetic.
+type Rat struct {
+	num int64
+	den int64
+}
+
+func New(num, den int64) Rat               { return Rat{num, den} }
+func FromInt64(n int64) Rat                { return Rat{n, 1} }
+func (r Rat) Num() int64                   { return r.num }
+func (r Rat) Den() int64                   { return r.den }
+func (r Rat) Add(s Rat) Rat                { return s }
+func (r Rat) Mul(s Rat) Rat                { return s }
+func (r Rat) Cmp(s Rat) int                { return 0 }
+func (r Rat) Eq(s Rat) bool                { return false }
+func (r Rat) AddChecked(s Rat) (Rat, bool) { return s, true }
+func (r Rat) IsInf() bool                  { return r.den == 0 }
+func (r Rat) Sign() int                    { return 0 }

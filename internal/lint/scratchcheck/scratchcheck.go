@@ -1,0 +1,258 @@
+// Package scratchcheck enforces the ownership discipline of the
+// core.Scratch analysis arena (aliased as AnalysisScratch at the module
+// root). A Scratch serializes the walks that borrow it and must not be
+// shared between concurrent goroutines — the comment on core.Scratch
+// says so, this analyzer makes the compiler say so. Four rules:
+//
+//  1. Outside internal/core, no struct type may declare a field of type
+//     core.Scratch or *core.Scratch. A retained arena outlives the call
+//     that threaded it through Options and invites exactly the
+//     cross-goroutine sharing the type forbids. (core's own Options is
+//     the sanctioned per-call channel and is exempt.)
+//  2. No concurrently-launched function — a go statement's literal or a
+//     par.ForEach/par.Map callback — may capture a Scratch declared
+//     outside itself, and a go statement may not pass one as an
+//     argument. Each worker allocates its own.
+//  3. Inside internal/core, a function that has borrowed the walker via
+//     o.acquireWalker must not pass the same Options o on to another
+//     call while the borrow is live: the nested walk silently falls
+//     back to the pool (scratch_test.go pins that fallback is safe, but
+//     relying on it defeats the arena and hides a layering mistake).
+//  4. Inside internal/core, every w := o.acquireWalker(...) must be
+//     followed immediately by defer o.releaseWalker(w), so a panicking
+//     walk cannot leak the borrow and poison the arena for its owner.
+//
+// Test files are exempt: scratch_test.go deliberately constructs the
+// sharing patterns to pin their runtime behavior.
+package scratchcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mcspeedup/internal/lint"
+)
+
+const (
+	corePkgPath = "mcspeedup/internal/core"
+	parPkgPath  = "mcspeedup/internal/par"
+)
+
+// Analyzer is the scratchcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "scratchcheck",
+	Doc:  "forbid storing, sharing, double-borrowing or leaking core.Scratch arenas",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	inCore := lint.CanonicalPath(pass.Pkg.Path()) == corePkgPath
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		if !inCore {
+			checkStructFields(pass, f)
+		}
+		checkConcurrentCapture(pass, f)
+		if inCore {
+			checkBorrowDiscipline(pass, f)
+		}
+	}
+	return nil
+}
+
+// isScratchType reports whether t is core.Scratch or *core.Scratch.
+func isScratchType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Scratch" && obj.Pkg() != nil && obj.Pkg().Path() == corePkgPath
+}
+
+// checkStructFields flags struct type declarations retaining a Scratch.
+func checkStructFields(pass *lint.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t != nil && isScratchType(t) {
+				pass.Reportf(field.Type.Pos(), "core.Scratch stored in a struct field: an arena retained beyond one call invites cross-goroutine sharing; thread it through Options per call instead")
+			}
+		}
+		return true
+	})
+}
+
+// checkConcurrentCapture flags Scratch values crossing into concurrently
+// launched functions: captured by (or passed to) a go statement, or
+// captured by a par fan-out callback.
+func checkConcurrentCapture(pass *lint.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if t := pass.TypesInfo.TypeOf(arg); t != nil && isScratchType(t) {
+					pass.Reportf(arg.Pos(), "core.Scratch passed into a go statement: a Scratch must not be shared between goroutines; allocate one per worker")
+				}
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkLitCapture(pass, lit)
+			}
+		case *ast.CallExpr:
+			if isParFanOut(pass, n) {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkLitCapture(pass, lit)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isParFanOut reports whether call invokes par.ForEach or par.Map.
+func isParFanOut(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != parPkgPath {
+		return false
+	}
+	return fn.Name() == "ForEach" || fn.Name() == "Map"
+}
+
+// checkLitCapture flags uses, inside a concurrently-invoked literal, of
+// Scratch-typed variables declared outside it.
+func checkLitCapture(pass *lint.Pass, lit *ast.FuncLit) {
+	local := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || local[obj] {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && isScratchType(v.Type()) {
+			pass.Reportf(id.Pos(), "core.Scratch %s captured by a concurrently-launched function: a Scratch must not be shared between goroutines; allocate one per worker", id.Name)
+		}
+		return true
+	})
+}
+
+// checkBorrowDiscipline enforces rules 3 and 4 inside internal/core: an
+// acquireWalker assignment must be chased by defer releaseWalker on the
+// next statement, and the borrowed Options must not be handed to another
+// call while the borrow is live.
+func checkBorrowDiscipline(pass *lint.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isWalkerMethod(pass, call, "acquireWalker") {
+				continue
+			}
+			if !followedByRelease(pass, block.List, i, as) {
+				pass.Reportf(as.Pos(), "o.acquireWalker must be immediately followed by defer o.releaseWalker(w): without the defer a panicking walk leaks the borrowed Scratch")
+			}
+			reportBorrowedOptionsEscapes(pass, block.List[i+1:], call)
+		}
+		return true
+	})
+}
+
+// isWalkerMethod reports whether call invokes the named core.Options
+// walker method.
+func isWalkerMethod(pass *lint.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == corePkgPath
+}
+
+// followedByRelease reports whether the statement after stmts[i] defers
+// releaseWalker on a variable assigned by as.
+func followedByRelease(pass *lint.Pass, stmts []ast.Stmt, i int, as *ast.AssignStmt) bool {
+	if i+1 >= len(stmts) {
+		return false
+	}
+	def, ok := stmts[i+1].(*ast.DeferStmt)
+	if !ok || !isWalkerMethod(pass, def.Call, "releaseWalker") {
+		return false
+	}
+	assigned := make(map[types.Object]bool)
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				assigned[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				assigned[obj] = true
+			}
+		}
+	}
+	for _, arg := range def.Call.Args {
+		if id, ok := arg.(*ast.Ident); ok && assigned[pass.TypesInfo.Uses[id]] {
+			return true
+		}
+	}
+	return false
+}
+
+// reportBorrowedOptionsEscapes flags calls in rest that pass, as an
+// argument, the Options value whose walker acquire is borrowed.
+func reportBorrowedOptionsEscapes(pass *lint.Pass, rest []ast.Stmt, acquire *ast.CallExpr) {
+	sel := acquire.Fun.(*ast.SelectorExpr)
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	optsObj := pass.TypesInfo.Uses[recv]
+	if optsObj == nil {
+		return
+	}
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				id, ok := arg.(*ast.Ident)
+				if ok && pass.TypesInfo.Uses[id] == optsObj {
+					pass.Reportf(id.Pos(), "Options %s passed to a nested call while its Scratch walker is borrowed: the nested walk silently falls back to the pool, defeating the arena; use a fresh Options/Scratch", id.Name)
+				}
+			}
+			return true
+		})
+	}
+}

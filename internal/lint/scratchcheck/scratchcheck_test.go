@@ -1,0 +1,16 @@
+package scratchcheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/linttest"
+	"mcspeedup/internal/lint/scratchcheck"
+)
+
+func TestScratchcheckRetentionAndSharing(t *testing.T) {
+	linttest.Run(t, "testdata", "a", scratchcheck.Analyzer)
+}
+
+func TestScratchcheckBorrowDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/core", scratchcheck.Analyzer)
+}

@@ -1,0 +1,60 @@
+// Package a exercises scratchcheck's retention and sharing rules from
+// outside internal/core.
+package a
+
+import (
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/par"
+)
+
+type cachedAnalyzer struct {
+	scratch *core.Scratch // want `stored in a struct field`
+	arena   core.Scratch  // want `stored in a struct field`
+	name    string
+}
+
+type options struct {
+	o core.Options // the sanctioned per-call channel: clean
+}
+
+func fanOutShared(n int) {
+	sc := new(core.Scratch)
+	_ = par.ForEach(n, 0, func(i int) error {
+		touch(sc) // want `captured by a concurrently-launched function`
+		return nil
+	})
+}
+
+func goShared() {
+	sc := new(core.Scratch)
+	done := make(chan struct{})
+	go func() {
+		touch(sc) // want `captured by a concurrently-launched function`
+		close(done)
+	}()
+	<-done
+}
+
+func goArg() {
+	sc := new(core.Scratch)
+	done := make(chan struct{})
+	go runWorker(sc, done) // want `passed into a go statement`
+	<-done
+}
+
+func perWorker(n int) {
+	_ = par.ForEach(n, 0, func(i int) error {
+		sc := new(core.Scratch) // worker-local arena: clean
+		touch(sc)
+		return nil
+	})
+}
+
+func sequential() {
+	sc := new(core.Scratch)
+	touch(sc) // same-goroutine use: clean
+}
+
+func touch(*core.Scratch) {}
+
+func runWorker(sc *core.Scratch, done chan struct{}) { close(done) }

@@ -1,0 +1,43 @@
+// Package core is a minimal stub of mcspeedup/internal/core for the
+// scratchcheck testdata. It doubles as the borrow-discipline test
+// package: rules 3 and 4 only apply inside internal/core, so their
+// flagged and clean cases live here, at the scoped import path.
+package core
+
+// Scratch mirrors the real single-goroutine walker arena.
+type Scratch struct {
+	inUse bool
+}
+
+type hiWalker struct{}
+
+// Options mirrors the real analysis options; its Scratch field is the
+// sanctioned per-call channel and must not be flagged by the
+// struct-field rule (which, additionally, does not apply inside core).
+type Options struct {
+	Scratch *Scratch
+}
+
+func (o Options) acquireWalker() *hiWalker  { return &hiWalker{} }
+func (o Options) releaseWalker(w *hiWalker) {}
+
+func analyzeOpts(o Options) int { return 0 }
+
+func disciplined(o Options) int {
+	w := o.acquireWalker()
+	defer o.releaseWalker(w)
+	_ = w
+	return 0
+}
+
+func leaky(o Options) {
+	w := o.acquireWalker() // want `must be immediately followed by defer`
+	_ = w
+}
+
+func nested(o Options) int {
+	w := o.acquireWalker()
+	defer o.releaseWalker(w)
+	_ = w
+	return analyzeOpts(o) // want `passed to a nested call while its Scratch walker is borrowed`
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// This file implements the cmd/go vet-tool protocol, so that the suite
+// runs as `go vet -vettool=$(go env GOPATH)/bin/mcs-vet ./...`:
+//
+//   - `mcs-vet -V=full` prints an identifying version line hashed over
+//     the executable (cmd/go keys its vet result cache on it);
+//   - `mcs-vet -flags` prints the analyzer flags as JSON (cmd/go merges
+//     them into `go vet`'s own flag set);
+//   - `mcs-vet <dir>/vet.cfg` analyzes one package unit described by the
+//     JSON config cmd/go writes: source files, the import map, and the
+//     export-data files of every dependency.
+//
+// The protocol is the one golang.org/x/tools/go/analysis/unitchecker
+// speaks; this is a stdlib-only reimplementation (the module carries no
+// third-party dependencies). Cross-package facts are not needed by any
+// analyzer in the suite, so dependency units (VetxOnly) are answered
+// immediately with an empty facts file.
+
+// Config mirrors cmd/go's vetConfig (the JSON it writes to vet.cfg).
+// Fields the suite does not consult are omitted; encoding/json ignores
+// them on decode.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vet tool built from this framework.
+// It never returns.
+func Main(analyzers ...*Analyzer) {
+	progname := "mcs-vet"
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printVersion := fs.String("V", "", "print version and exit (go vet handshake; pass 'full')")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet handshake)")
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		selected[a.Name] = fs.Bool(a.Name, false, "enable only "+doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *printVersion != "":
+		fmt.Printf("%s version devel buildID=%s\n", progname, executableHash())
+		os.Exit(0)
+	case *printFlags:
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range analyzers {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		json.NewEncoder(os.Stdout).Encode(out)
+		os.Exit(0)
+	}
+
+	// `-ratcheck` alone means "run only ratcheck"; `-ratcheck=false`
+	// drops it from the default everything-on suite. This matches the
+	// x/tools multichecker flag semantics.
+	anyEnabled := false
+	fs.Visit(func(f *flag.Flag) {
+		if on, ok := selected[f.Name]; ok && *on {
+			anyEnabled = true
+		}
+	})
+	var run []*Analyzer
+	for _, a := range analyzers {
+		explicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == a.Name {
+				explicit = true
+			}
+		})
+		switch {
+		case anyEnabled && *selected[a.Name]:
+			run = append(run, a)
+		case !anyEnabled && (!explicit || *selected[a.Name]):
+			run = append(run, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr,
+			"%s: expected a single vet configuration file argument\n"+
+				"usage: go vet -vettool=$(command -v %s) ./...\n", progname, progname)
+		os.Exit(1)
+	}
+	diags, err := runUnit(args[0], run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// executableHash hashes the running binary, making the version line —
+// and with it cmd/go's vet result cache key — change whenever the tool
+// is rebuilt with different analyzers.
+func executableHash() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+		}
+	}
+	return "unknown"
+}
+
+// runUnit analyzes the single package unit described by cfgPath.
+func runUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// Dependencies are analyzed only for cross-package facts, which this
+	// suite does not use: acknowledge with an empty facts file. This also
+	// skips type-checking the entire standard library.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Export data of every dependency is supplied by cmd/go via
+	// ImportMap (source import path → canonical package path) and
+	// PackageFile (canonical path → export file).
+	exportLookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compilerImporter := importer.ForCompiler(fset, compiler, exportLookup)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, goarch),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return Run(&Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, analyzers...)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

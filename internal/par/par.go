@@ -16,6 +16,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,7 +36,10 @@ func Workers(n int) int {
 // fn must be safe for concurrent invocation on distinct indices; it
 // typically writes into its own slot of a pre-allocated result slice.
 // On failure the remaining unclaimed indices are cancelled and the
-// smallest-index error is returned.
+// smallest-index error is returned. A panicking fn is treated as a
+// failure at its index, not a crash: a worker goroutine dying mid-sweep
+// would otherwise leave wg.Wait stuck forever (or kill the process), so
+// the panic is recovered and surfaced through the normal error path.
 func ForEach(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -46,7 +50,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := protect(fn, i); err != nil {
 				return err
 			}
 		}
@@ -79,7 +83,7 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := protect(fn, i); err != nil {
 					fail(i, err)
 					return
 				}
@@ -88,6 +92,17 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// protect runs fn(i), converting a panic into an error carrying the
+// index and the panic value.
+func protect(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("par: panic at index %d: %v", i, r)
+		}
+	}()
+	return fn(i)
 }
 
 // Map evaluates fn over [0, n) with ForEach's scheduling and returns

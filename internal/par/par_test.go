@@ -91,6 +91,75 @@ func TestMapDiscardsOnError(t *testing.T) {
 	}
 }
 
+func TestForEachWorkersExceedingItems(t *testing.T) {
+	// More workers than indices must neither deadlock nor duplicate work:
+	// the worker count is clamped to n.
+	n := 3
+	counts := make([]atomic.Int32, n)
+	if err := ForEach(n, 64, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachNonPositiveWorkers(t *testing.T) {
+	// workers ≤ 0 resolves to all cores; the sweep still covers every
+	// index exactly once and returns the sequential error.
+	for _, workers := range []int{0, -5} {
+		var ran atomic.Int32
+		err := ForEach(20, workers, func(i int) error {
+			ran.Add(1)
+			if i == 11 {
+				return errors.New("fail at 11")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 11" {
+			t.Fatalf("workers=%d: got %v, want fail at 11", workers, err)
+		}
+	}
+}
+
+func TestForEachRecoversPanickingItem(t *testing.T) {
+	// A panicking work item must surface as that index's error — for a
+	// parallel sweep a dead worker would otherwise hang wg.Wait forever
+	// (or crash the process), and a sequential sweep would just crash.
+	for _, workers := range []int{1, 4} {
+		err := ForEach(50, workers, func(i int) error {
+			if i == 7 {
+				panic("poisoned item")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was not surfaced as an error", workers)
+		}
+		want := "par: panic at index 7: poisoned item"
+		if err.Error() != want {
+			t.Fatalf("workers=%d: got %q, want %q", workers, err, want)
+		}
+	}
+}
+
+func TestMapRecoversPanickingItem(t *testing.T) {
+	got, err := Map(10, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if err == nil || got != nil {
+		t.Fatalf("got %v, %v; want nil results and a panic-derived error", got, err)
+	}
+}
+
 func TestWorkersDefault(t *testing.T) {
 	if Workers(0) < 1 || Workers(-2) < 1 {
 		t.Fatal("default workers must be positive")

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"mcspeedup/internal/cache"
+	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/par"
 	"mcspeedup/internal/task"
 )
@@ -190,12 +191,33 @@ func (s *Server) computeAdmit(ctx context.Context, wait time.Duration, key strin
 	if err := ctx.Err(); err != nil {
 		return nil, false, fmt.Errorf("request deadline exceeded: %w", err)
 	}
-	body, err := fn()
+	body, err := runAnalysis(fn)
 	if err != nil {
 		return nil, false, err
 	}
 	s.results.Put(key, body)
 	return body, false, nil
+}
+
+// runAnalysis invokes fn behind the service's panic boundary. The
+// analysis layer panics on negative interval lengths (a caller bug in
+// library use), but here the intervals descend from an untrusted request
+// body, so a dbf.ErrNegativeInterval panic is converted back into an
+// input error (mapped to 400 by errorStatus). Any other panic is a
+// genuine server bug and is re-raised.
+func runAnalysis(fn func() ([]byte, error)) (body []byte, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if e, ok := r.(error); ok && errors.Is(e, dbf.ErrNegativeInterval) {
+			body, err = nil, fmt.Errorf("invalid task set: %v", e)
+			return
+		}
+		panic(r)
+	}()
+	return fn()
 }
 
 // serveComputed runs compute and writes the JSON response, translating

@@ -13,8 +13,10 @@ import (
 	"time"
 
 	"mcspeedup/internal/core"
+	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/examplesets"
 	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
 )
 
 // tableIJSON is the paper's Table-I example in the mcs-gen JSON format.
@@ -302,6 +304,10 @@ func TestMetricsExposition(t *testing.T) {
 		`mcs_request_duration_seconds_count{endpoint="/v1/analyze"} 3`,
 		"mcs_cache_hits_total 1",
 		"mcs_cache_misses_total 1",
+		"mcs_cache_evictions_total 0",
+		"mcs_cache_entries 1",
+		"mcs_cache_capacity",
+		"mcs_cache_hit_ratio 0.5",
 		"mcs_pool_in_flight 0",
 		"mcs_pool_capacity",
 		"mcs_uptime_seconds",
@@ -349,4 +355,28 @@ func TestConcurrentClients(t *testing.T) {
 	if total != clients {
 		t.Errorf("requests_total sums to %d, want %d", total, clients)
 	}
+}
+
+func TestRunAnalysisPanicBoundary(t *testing.T) {
+	// A dbf negative-interval panic descends from untrusted request input
+	// and must come back as an input error (400), not kill the process.
+	h := task.NewHI("h", 10, 5, 10, 2, 4)
+	_, err := runAnalysis(func() ([]byte, error) {
+		dbf.HIMode(&h, -1)
+		return nil, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative interval") {
+		t.Fatalf("err = %v; want a negative-interval input error", err)
+	}
+	if got := errorStatus(err); got != http.StatusBadRequest {
+		t.Fatalf("errorStatus = %d, want %d", got, http.StatusBadRequest)
+	}
+
+	// Any other panic is a server bug and must propagate.
+	defer func() {
+		if recover() == nil {
+			t.Error("non-dbf panics must propagate")
+		}
+	}()
+	runAnalysis(func() ([]byte, error) { panic("boom") })
 }

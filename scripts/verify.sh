@@ -1,7 +1,9 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, plain tests, then the full suite under
-# the race detector (the parallel sweep engine in internal/par fans every
-# experiment driver out across goroutines, so -race is part of tier-1).
+# Tier-1 verification: formatting gate, build, vet (standard suite plus
+# the repo's own mcs-vet analyzers), then the full test suite under the
+# race detector (the parallel sweep engine in internal/par fans every
+# experiment driver out across goroutines, so -race is part of tier-1),
+# plus one plain run of internal/core's !race-tagged allocation tests.
 # Finally a curl-driven smoke test of the mcs-serve daemon: start it on an
 # ephemeral port, hit /healthz, POST the same analysis twice, and assert
 # the second request was answered from the content-addressed cache.
@@ -9,10 +11,28 @@ set -eux
 
 cd "$(dirname "$0")/.."
 
+# Formatting gate: fail fast, listing the offending files.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
-go test ./...
+
+# mcs-vet: the custom analyzer suite (ratcheck, determcheck,
+# scratchcheck, metricscheck) — see docs/STATIC_ANALYSIS.md.
+gobin="$(go env GOPATH)/bin"
+go build -o "$gobin/mcs-vet" ./cmd/mcs-vet
+go vet -vettool="$gobin/mcs-vet" ./...
+
+# The -race run is the canonical full suite; the extra plain run covers
+# internal/core's //go:build !race allocation-regression tests, which the
+# race detector's allocations would falsify.
 go test -race ./...
+go test -run Alloc ./internal/core/...
 
 # Bench smoke: every core benchmark must still compile and complete one
 # iteration (allocation regressions are pinned by internal/core's
