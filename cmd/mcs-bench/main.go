@@ -8,11 +8,19 @@
 //
 // Usage:
 //
-//	mcs-bench [-out BENCH_core.json] [-grid 9] [-workers 0]
+//	mcs-bench [-out BENCH_core.json] [-trajectory BENCH_trajectory.json]
+//	          [-grid 9] [-workers 0]
 //
 // Regenerate the checked-in file with scripts/bench_core.sh. Absolute
 // numbers are machine-dependent; allocs/op is the portable signal the
 // regression tests pin (see internal/core's zero-allocation tests).
+//
+// -trajectory appends one dated entry — git revision, per-benchmark
+// numbers, and the pruned-vs-unpruned event counters of the FMS walks —
+// to a JSON-array history file, so performance can be compared across
+// commits (CI uploads the file as a build artifact). The event counters
+// are machine-independent: they count examined demand events, the
+// algorithmic work the pruning of docs/PERF.md removes.
 package main
 
 import (
@@ -22,7 +30,9 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -50,6 +60,105 @@ type fig5Entry struct {
 	Grid    int     `json:"grid"`
 	Workers int     `json:"workers"`
 	Seconds float64 `json:"seconds"`
+}
+
+// trajectoryEntry is one element of the BENCH_trajectory.json array: the
+// same measurements as BENCH_core.json plus the commit they were taken at
+// and the FMS event counters, which compare across machines.
+type trajectoryEntry struct {
+	Date       string       `json:"date"`
+	GitRev     string       `json:"gitRev"`
+	GoVersion  string       `json:"goVersion"`
+	NumCPU     int          `json:"numCPU"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	FMSEvents  eventsEntry  `json:"fmsEvents"`
+}
+
+// eventsEntry records how many demand events each exact FMS analysis
+// examined with pruning on (the default walk, plus its bulk-skip count)
+// and with pruning off.
+type eventsEntry struct {
+	SpeedupExamined  int `json:"speedupExamined"`
+	SpeedupJumps     int `json:"speedupJumps"`
+	SpeedupUnpruned  int `json:"speedupUnpruned"`
+	ResetExamined    int `json:"resetExamined"`
+	ResetJumps       int `json:"resetJumps"`
+	ResetUnpruned    int `json:"resetUnpruned"`
+	SpeedForExamined int `json:"speedForResetExamined"`
+	SpeedForJumps    int `json:"speedForResetJumps"`
+	SpeedForUnpruned int `json:"speedForResetUnpruned"`
+}
+
+// fmsEventCounts runs the three exact FMS analyses pruned and unpruned
+// and collects their event counters.
+func fmsEventCounts(fms mcspeedup.Set) eventsEntry {
+	var e eventsEntry
+	cold := mcspeedup.AnalysisOptions{NoPrune: true}
+
+	sp, err := mcspeedup.MinSpeedup(fms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spCold, err := mcspeedup.MinSpeedupOpts(fms, cold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.SpeedupExamined, e.SpeedupJumps, e.SpeedupUnpruned = sp.Events, sp.Jumps, spCold.Events
+
+	rr, err := mcspeedup.ResetTimeOpts(fms, mcspeedup.RatTwo, mcspeedup.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rrCold, err := mcspeedup.ResetTimeOpts(fms, mcspeedup.RatTwo, cold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.ResetExamined, e.ResetJumps, e.ResetUnpruned = rr.Events, rr.Jumps, rrCold.Events
+
+	sr, err := mcspeedup.MinSpeedForResetOpts(fms, 50_000, mcspeedup.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srCold, err := mcspeedup.MinSpeedForResetOpts(fms, 50_000, cold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.SpeedForExamined, e.SpeedForJumps, e.SpeedForUnpruned = sr.Events, sr.Jumps, srCold.Events
+
+	log.Printf("FMS events examined (pruned/unpruned): speedup %d/%d (%d jumps), reset %d/%d (%d jumps), speed-for-reset %d/%d (%d jumps)",
+		e.SpeedupExamined, e.SpeedupUnpruned, e.SpeedupJumps,
+		e.ResetExamined, e.ResetUnpruned, e.ResetJumps,
+		e.SpeedForExamined, e.SpeedForUnpruned, e.SpeedForJumps)
+	return e
+}
+
+// gitRev returns the short commit hash of the working tree, or "unknown"
+// outside a git checkout (e.g. an extracted release tarball).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendTrajectory appends entry to the JSON array at path, creating the
+// file on first use.
+func appendTrajectory(path string, entry trajectoryEntry) error {
+	var hist []trajectoryEntry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return fmt.Errorf("%s is not a trajectory array: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	hist = append(hist, entry)
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // measure runs fn under testing.Benchmark with allocation reporting.
@@ -108,9 +217,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mcs-bench: ")
 	var (
-		out     = flag.String("out", "BENCH_core.json", "output path (- = stdout)")
-		grid    = flag.Int("grid", 9, "Fig.-5 sweep grid resolution")
-		workers = flag.Int("workers", 0, "Fig.-5 sweep workers (0 = all cores)")
+		out        = flag.String("out", "BENCH_core.json", "output path (- = stdout)")
+		trajectory = flag.String("trajectory", "", "append a dated entry to this JSON-array history file")
+		grid       = flag.Int("grid", 9, "Fig.-5 sweep grid resolution")
+		workers    = flag.Int("workers", 0, "Fig.-5 sweep workers (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -171,10 +281,25 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		fmt.Print(string(data))
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+
+	if *trajectory != "" {
+		entry := trajectoryEntry{
+			Date:       doc.GeneratedAt,
+			GitRev:     gitRev(),
+			GoVersion:  doc.GoVersion,
+			NumCPU:     doc.NumCPU,
+			Benchmarks: doc.Benchmarks,
+			FMSEvents:  fmsEventCounts(fms),
+		}
+		if err := appendTrajectory(*trajectory, entry); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("appended %s @ %s to %s", entry.Date, entry.GitRev, *trajectory)
 	}
-	log.Printf("wrote %s", *out)
 }

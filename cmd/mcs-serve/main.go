@@ -17,6 +17,10 @@
 //	-max-body int           request-body cap in bytes (default 8 MiB)
 //	-max-sim-horizon int    /v1/simulate horizon cap in ticks (default 2e6)
 //	-drain dur              graceful-shutdown drain budget (default 10s)
+//	-pprof string           serve net/http/pprof on this extra LOOPBACK
+//	                        address (e.g. 127.0.0.1:6060); empty = off.
+//	                        Refused for non-loopback addresses; the
+//	                        profiling handlers never join the public mux.
 //
 // Endpoints: POST /v1/analyze, /v1/speedup, /v1/reset, /v1/simulate;
 // GET /healthz, /metrics. See internal/server for the request formats.
@@ -29,9 +33,11 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux only
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,8 +60,18 @@ func main() {
 		maxSimHorizon = flag.Int64("max-sim-horizon", 2_000_000, "simulate-horizon cap in ticks")
 		maxBatch      = flag.Int("max-batch", 256, "max task sets per /v1/batch request")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		pprofAddr     = flag.String("pprof", "", "serve /debug/pprof on this extra loopback address (empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		pln, err := startPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pln.Close()
+		log.Printf("pprof listening on http://%s (loopback only)", pln.Addr().String())
+	}
 
 	svc := server.New(server.Config{
 		MaxInFlight:    *inflight,
@@ -110,4 +126,42 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("drained; bye")
+}
+
+// startPprof serves the net/http/pprof handlers — which the blank import
+// above registered on http.DefaultServeMux, NOT on the service mux that
+// server.New builds — on their own listener. The address must be a
+// loopback address: profiling exposes heap contents and symbol names, so
+// a stray flag value must not be able to put it on a public interface.
+func startPprof(addr string) (net.Listener, error) {
+	if err := requireLoopback(addr); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	return ln, nil
+}
+
+// requireLoopback rejects any host:port whose host is not a loopback
+// address. An empty host ("":6060) would bind every interface, so it is
+// rejected too.
+func requireLoopback(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-pprof address %q: %v", addr, err)
+	}
+	if host == "localhost" {
+		return nil
+	}
+	if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+		return fmt.Errorf("-pprof address %q is not loopback-only; refusing to expose profiling", addr)
+	}
+	return nil
 }

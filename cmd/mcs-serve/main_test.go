@@ -1,0 +1,85 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mcspeedup/internal/server"
+)
+
+// TestPprofAbsentFromServingMux is the guard behind the -pprof design:
+// this test binary links net/http/pprof (the blank import in main.go), so
+// its handlers ARE registered on http.DefaultServeMux — and the service
+// mux must still know nothing about them. If server.Handler() ever
+// reaches DefaultServeMux (e.g. someone "simplifies" it to http.Handle),
+// these requests start returning profiles and this test fails.
+func TestPprofAbsentFromServingMux(t *testing.T) {
+	svc := server.New(server.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for _, p := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s on the serving mux: status %d, want 404", p, resp.StatusCode)
+		}
+	}
+
+	// Sanity: the same mux still serves its real endpoints.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestStartPprofLoopback exercises the real -pprof code path: a loopback
+// listener serves the profile index, while non-loopback and
+// all-interfaces addresses are refused before any listener is opened.
+func TestStartPprofLoopback(t *testing.T) {
+	ln, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "profile") {
+		t.Errorf("pprof index: status %d, body %q", resp.StatusCode, body)
+	}
+
+	for _, bad := range []string{"0.0.0.0:6060", ":6060", "10.1.2.3:6060", "example.com:6060", "127.0.0.1"} {
+		if _, err := startPprof(bad); err == nil {
+			t.Errorf("startPprof(%q) accepted a non-loopback address", bad)
+		}
+	}
+}
+
+// TestRequireLoopback pins the address classification.
+func TestRequireLoopback(t *testing.T) {
+	for _, ok := range []string{"127.0.0.1:6060", "localhost:0", "[::1]:6060", "127.0.0.2:80"} {
+		if err := requireLoopback(ok); err != nil {
+			t.Errorf("requireLoopback(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"0.0.0.0:6060", ":6060", "192.168.0.1:6060", "[::]:6060", "no-port", ""} {
+		if err := requireLoopback(bad); err == nil {
+			t.Errorf("requireLoopback(%q) = nil, want error", bad)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"mcspeedup/internal/lint"
 	"mcspeedup/internal/lint/determcheck"
 	"mcspeedup/internal/lint/metricscheck"
+	"mcspeedup/internal/lint/prunecheck"
 	"mcspeedup/internal/lint/ratcheck"
 	"mcspeedup/internal/lint/scratchcheck"
 )
@@ -26,5 +27,6 @@ func main() {
 		determcheck.Analyzer,
 		scratchcheck.Analyzer,
 		metricscheck.Analyzer,
+		prunecheck.Analyzer,
 	)
 }

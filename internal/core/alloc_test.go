@@ -49,6 +49,25 @@ func TestAnalysesZeroAllocSteadyState(t *testing.T) {
 	})
 }
 
+// TestMinimalYAllocSteadyState pins the design-search allocation budget:
+// with a caller Scratch, the whole MinimalY bisection — candidate set
+// shaping included — must perform exactly one allocation per call, the
+// caller-owned clone of the winning set. The candidate buffers live in
+// Scratch (scratch.candidate), so they are free after the first call.
+func TestMinimalYAllocSteadyState(t *testing.T) {
+	s := allocProofSet()
+	o := Options{Scratch: new(Scratch)}
+	fn := func() {
+		if _, _, err := MinimalYOpts(s, rat.Two, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fn()
+	if got := testing.AllocsPerRun(100, fn); got != 1 {
+		t.Errorf("MinimalYOpts with Scratch: %v allocs/op in steady state, want exactly 1 (the returned clone)", got)
+	}
+}
+
 // TestPooledPathZeroAllocSteadyState covers the nil-Scratch route through
 // the package pool. The pool can in principle be drained by a GC between
 // runs, so this asserts a near-zero average rather than exactly zero —

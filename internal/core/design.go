@@ -30,6 +30,13 @@ type SpeedForResetResult struct {
 	// reached, so any speed strictly above Speed works while Speed
 	// itself does not.
 	Attained bool
+	// Events is the number of slope-change events examined one by one.
+	// With pruning on (the default) it is never higher — and usually far
+	// lower — than with Options.NoPrune.
+	Events int
+	// Jumps is the number of incumbent bulk skips the pruned walk took.
+	// Always 0 under Options.NoPrune.
+	Jumps int
 }
 
 // MinSpeedForReset computes the infimum HI-mode speed factor s such that
@@ -57,6 +64,19 @@ func MinSpeedForReset(s task.Set, budget task.Time) (SpeedForResetResult, error)
 // of events E below the budget — but with a Scratch (or the package
 // pool) it is allocation-free, so sweeping many budgets over one set
 // costs no heap traffic beyond the first query.
+//
+// Unless Options.NoPrune is set, the walk bulk-skips runs of events the
+// running infimum proves irrelevant: the curve is non-decreasing, so with
+// v = ΣADB_HI(pos) every position Δ in (pos, b] has ratio
+// value(Δ)/Δ ≥ v/Δ ≥ v/b — and the same holds for the left limits, whose
+// values are also ≥ v. When b is chosen so that b·best < v (the largest
+// such integer, rat.MaxIntBelowRatio), every skipped ratio and left limit
+// is therefore strictly above the incumbent: none can lower the infimum
+// or flip Attained (which only changes on ratios ≤ best), so the result
+// is bit-identical to the unpruned walk.
+//
+// The walk honors Options.MaxEvents: a budget dense enough to exceed the
+// event cap yields an error rather than an unbounded walk.
 func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForResetResult, error) {
 	if err := s.Validate(); err != nil {
 		return SpeedForResetResult{}, err
@@ -68,6 +88,7 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 	defer o.releaseWalker(w)
 	best := rat.PosInf
 	attained := false
+	events, jumps := 0, 0
 	consider := func(r rat.Rat, pointAttained bool) {
 		switch r.Cmp(best) {
 		case -1:
@@ -81,6 +102,17 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 		if !ok || next > budget {
 			break
 		}
+		// Incumbent bulk skip (see the function comment for the proof).
+		if !o.NoPrune && best.Sign() > 0 && !best.IsInf() {
+			if v := w.Value(); v > 0 {
+				b := task.Time(rat.MaxIntBelowRatio(int64(v), best, int64(budget)))
+				if b > next {
+					w.SkipTo(b)
+					jumps++
+					continue
+				}
+			}
+		}
 		// Left limit just before the event: the segment's infimum when
 		// the curve jumps upward there. It is attained only in the
 		// limit, hence pointAttained = false — unless the curve is
@@ -89,13 +121,19 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 		leftLimit := w.Value() + w.Slope()*(next-w.Pos())
 		consider(rat.New(int64(leftLimit), int64(next)), false)
 		w.Next()
+		events++
+		if events > o.maxEvents() {
+			return SpeedForResetResult{}, fmt.Errorf(
+				"core: speed-for-reset walk exceeded %d events before budget %d; raise Options.MaxEvents or lower the budget",
+				o.maxEvents(), budget)
+		}
 		consider(rat.New(int64(w.Value()), int64(w.Pos())), true)
 	}
 	// The final partial segment up to B (linear, value at B included:
 	// any upward jump exactly at B only raises the ratio).
 	vAtB := w.Value() + w.Slope()*(budget-w.Pos())
 	consider(rat.New(int64(vAtB), int64(budget)), true)
-	return SpeedForResetResult{Speed: best, Attained: attained}, nil
+	return SpeedForResetResult{Speed: best, Attained: attained, Events: events, Jumps: jumps}, nil
 }
 
 // capProbe answers "does this candidate's minimum speedup stay within a
@@ -143,10 +181,20 @@ func (p *capProbe) atLeast(set task.Set, bound rat.Rat, strict bool) bool {
 	return false
 }
 
-// speedup runs the full Theorem-2 walk and refreshes the witness.
+// speedup runs the full Theorem-2 walk and refreshes the witness. The
+// previous walk's witness also warm-starts the new walk's incumbent
+// pruning (Options.WarmWitness): adjacent candidates share their decisive
+// Δ, so even the walks the rejection certificate could not avoid start
+// with a near-supremum skip cutoff. Sound for any witness — the ratio at
+// one Δ of *this* set lower-bounds this set's own supremum — and the
+// result is bit-identical regardless (see Options.WarmWitness).
 func (p *capProbe) speedup(set task.Set) (SpeedupResult, error) {
 	p.walks++
-	res, err := MinSpeedupOpts(set, p.opts)
+	opts := p.opts
+	if !opts.NoWarmStart {
+		opts.WarmWitness = p.witness
+	}
+	res, err := MinSpeedupOpts(set, opts)
 	if err == nil && res.WitnessDelta > 0 {
 		p.witness = res.WitnessDelta
 	}
@@ -193,12 +241,27 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 	if speedCap.Sign() <= 0 {
 		return rat.Rat{}, nil, fmt.Errorf("core: speed cap %v must be positive", speedCap)
 	}
+	o, borrowed := borrowScratch(o)
+	defer releaseScratch(borrowed)
 	probe := newCapProbe(o)
 	meets := func(set task.Set) (bool, error) {
 		return probe.meets(set, speedCap)
 	}
+	// Every candidate degradation is materialized in the Scratch's
+	// candidate buffer (newCapProbe guarantees a Scratch), so the whole
+	// search allocates no per-candidate copies; only the winning set is
+	// cloned out of the arena on return.
+	sc := probe.opts.Scratch
+	defer func() { sc.candidate = sc.candidate[:0] }() // drop task refs, keep capacity
 
-	if len(s.ByCrit(task.LO)) == 0 {
+	hasLO := false
+	for i := range s {
+		if s[i].Crit == task.LO {
+			hasLO = true
+			break
+		}
+	}
+	if !hasLO {
 		ok, err := meets(s)
 		if err != nil {
 			return rat.Rat{}, nil, err
@@ -210,7 +273,8 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 	}
 
 	// Feasibility ceiling: termination is the demand limit of y → ∞.
-	if ok, err := meets(s.TerminateLO()); err != nil {
+	sc.candidate = s.TerminateLOInto(sc.candidate)
+	if ok, err := meets(sc.candidate); err != nil {
 		return rat.Rat{}, nil, err
 	} else if !ok {
 		return rat.Rat{}, nil, fmt.Errorf("core: even terminating LO tasks needs more than %v speedup", speedCap)
@@ -224,14 +288,22 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 			q = s[i].Period[task.LO]
 		}
 	}
-	degradeK := func(k int64) (task.Set, error) { return s.DegradeLO(rat.New(k, int64(q))) }
+	// degradeK materializes candidate k in the arena; it stays valid only
+	// until the next degradeK call.
+	degradeK := func(k int64) (task.Set, error) {
+		set, err := s.DegradeLOInto(sc.candidate, rat.New(k, int64(q)))
+		if err == nil {
+			sc.candidate = set
+		}
+		return set, err
+	}
 
 	// y = 1 might already suffice.
 	if set, err := degradeK(int64(q)); err == nil {
 		if ok, err := meets(set); err != nil {
 			return rat.Rat{}, nil, err
 		} else if ok {
-			return rat.One, set, nil
+			return rat.One, set.Clone(), nil
 		}
 	}
 
@@ -258,7 +330,6 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 			return rat.Rat{}, nil, fmt.Errorf("core: no finite degradation factor up to 2^20 meets %v", speedCap)
 		}
 	}
-	var bestSet task.Set
 	for hiK-loK > 1 {
 		mid := loK + (hiK-loK)/2
 		set, err := degradeK(mid)
@@ -270,17 +341,17 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 			return rat.Rat{}, nil, err
 		}
 		if ok {
-			hiK, bestSet = mid, set
+			hiK = mid
 		} else {
 			loK = mid
 		}
 	}
-	if bestSet == nil {
-		set, err := degradeK(hiK)
-		if err != nil {
-			return rat.Rat{}, nil, err
-		}
-		bestSet = set
+	// Rebuild the winner as a caller-owned set (the arena buffer is
+	// reused across calls). DegradeLO is deterministic, so this is the
+	// same set the bisection accepted at hiK.
+	bestSet, err := s.DegradeLO(rat.New(hiK, int64(q)))
+	if err != nil {
+		return rat.Rat{}, nil, err
 	}
 	return rat.New(hiK, int64(q)), bestSet, nil
 }
@@ -318,6 +389,8 @@ func FeasibleXWindowOpts(s task.Set, speedCap rat.Rat, o Options) (xLo, xHi rat.
 			dMax = s[i].Deadline[task.HI]
 		}
 	}
+	o, borrowed := borrowScratch(o)
+	defer releaseScratch(borrowed)
 	probe := newCapProbe(o)
 	meets := func(k int64) (bool, error) {
 		set, err := s.ShortenHIDeadlines(rat.New(k, int64(dMax)))

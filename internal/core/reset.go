@@ -17,8 +17,14 @@ type ResetResult struct {
 	// exceed the HI-mode utilization (the backlog then never provably
 	// drains).
 	Reset rat.Rat
-	// Events is the number of slope-change events examined.
+	// Events is the number of slope-change events examined one by one.
+	// With pruning on (the default) it is never higher — and usually far
+	// lower — than with Options.NoPrune.
 	Events int
+	// Jumps is the number of QPA-style bulk skips the pruned walk took
+	// (each fast-forwarded the walker past events that provably precede
+	// the crossing). Always 0 under Options.NoPrune.
+	Jumps int
 }
 
 // ResetTime computes the service resetting time of Corollary 5:
@@ -36,6 +42,16 @@ type ResetResult struct {
 // unsatisfiable and Δ_R = +∞. Conversely, for speed > U_HI the bound
 // ADB ≤ U_HI·Δ + 2ΣC(HI) guarantees a crossing no later than
 // 2ΣC(HI)/(speed − U_HI), so the walk always terminates.
+//
+// Unless Options.NoPrune is set, the walk additionally fast-forwards in
+// the style of Zhang & Burns' QPA iteration (see qpaLO): the curve is
+// non-decreasing, so with v = ΣADB_HI(pos) the condition fails strictly
+// for every Δ < v/speed — supply speed·Δ < v ≤ demand(Δ) — which proves
+// the crossing lies at or beyond floor(v/speed). When that target clears
+// the next event the walker jumps straight to it instead of popping the
+// intermediate events one by one. The returned Reset is bit-identical
+// either way: the skipped range contains no crossing, and the landing
+// re-enters the same left-endpoint / segment-crossing logic.
 func ResetTime(s task.Set, speed rat.Rat) (ResetResult, error) {
 	return ResetTimeOpts(s, speed, Options{})
 }
@@ -59,12 +75,19 @@ func ResetTimeOpts(s task.Set, speed rat.Rat, o Options) (ResetResult, error) {
 
 	w := o.acquireWalker(s, dbf.KindADB)
 	defer o.releaseWalker(w)
-	events := 0
+	// Honor an explicit event budget; the historical defensive cap (far
+	// beyond the analytical termination bound) remains the default so
+	// legacy callers keep their behavior.
+	budget := o.MaxEvents
+	if budget <= 0 {
+		budget = 50_000_000
+	}
+	events, jumps := 0, 0
 	for {
 		pos, v := w.Pos(), w.Value()
 		supply := speed.MulInt(int64(pos))
 		if rat.FromInt64(int64(v)).Cmp(supply) <= 0 {
-			return ResetResult{Reset: rat.FromInt64(int64(pos)), Events: events}, nil
+			return ResetResult{Reset: rat.FromInt64(int64(pos)), Events: events, Jumps: jumps}, nil
 		}
 		next, ok := w.PeekNext()
 		if !ok {
@@ -73,6 +96,7 @@ func ResetTimeOpts(s task.Set, speed rat.Rat, o Options) (ResetResult, error) {
 			return ResetResult{
 				Reset:  rat.FromInt64(int64(v)).Div(speed),
 				Events: events,
+				Jumps:  jumps,
 			}, nil
 		}
 		// Within (pos, next) the curve is v + m·(Δ − pos); solve
@@ -83,14 +107,24 @@ func ResetTimeOpts(s task.Set, speed rat.Rat, o Options) (ResetResult, error) {
 			// v > speed·pos.
 			cross := rat.FromInt64(int64(v)).Sub(m.MulInt(int64(pos))).Div(speed.Sub(m))
 			if cross.Cmp(rat.FromInt64(int64(next))) < 0 {
-				return ResetResult{Reset: cross, Events: events}, nil
+				return ResetResult{Reset: cross, Events: events, Jumps: jumps}, nil
+			}
+		}
+		// QPA jump: no Δ below v/speed can satisfy the condition (see
+		// the function comment), so when floor(v/speed) clears the next
+		// event, fast-forward there instead of popping events singly.
+		if !o.NoPrune {
+			if t0 := task.Time(rat.FromInt64(int64(v)).Div(speed).Floor()); t0 > next {
+				w.SkipTo(t0)
+				jumps++
+				continue
 			}
 		}
 		w.Next()
 		events++
 		// Defensive: the analytical bound guarantees termination well
 		// before this.
-		if events > 50_000_000 {
+		if events > budget {
 			return ResetResult{}, fmt.Errorf("core: ResetTime walk did not converge (speed %v, U_HI %v)", speed, uHI)
 		}
 	}

@@ -22,6 +22,12 @@ import (
 type Scratch struct {
 	walker hiWalker
 	inUse  bool
+
+	// candidate is the design searches' task-set buffer: the MinimalY
+	// search writes each probed degradation into it
+	// (task.Set.DegradeLOInto / TerminateLOInto) instead of cloning per
+	// candidate. Only the final winner is built as a caller-owned set.
+	candidate task.Set
 }
 
 // walkerPool recycles walker state across analyses that were not handed
@@ -29,6 +35,35 @@ type Scratch struct {
 // MinSpeedup/ResetTime/MinSpeedForReset calls reaches 0 allocs/op once
 // the pool is warm.
 var walkerPool = sync.Pool{New: func() any { return new(hiWalker) }}
+
+// scratchPool recycles whole Scratch arenas for the design-space searches
+// (MinimalY, FeasibleXWindow, TuneDeadlines), whose capProbe needs one
+// arena for its entire run of walks. Pair every acquire with
+// releaseScratch, which drops task references so a pooled arena never
+// pins a caller's set.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// borrowScratch attaches a Scratch to o when the caller did not bring
+// one, taking it from the package pool. It returns the possibly-updated
+// options plus the arena to hand to releaseScratch (nil when the caller's
+// own Scratch is used and nothing must be returned).
+func borrowScratch(o Options) (Options, *Scratch) {
+	if o.Scratch != nil {
+		return o, nil
+	}
+	sc := scratchPool.Get().(*Scratch)
+	o.Scratch = sc
+	return o, sc
+}
+
+// releaseScratch returns a pool-borrowed arena. Safe on nil.
+func releaseScratch(sc *Scratch) {
+	if sc == nil {
+		return
+	}
+	sc.candidate = sc.candidate[:0]
+	scratchPool.Put(sc)
+}
 
 // acquireWalker returns a walker positioned at Δ = 0 over (s, kind),
 // borrowing the caller's Scratch arena when one is set and falling back

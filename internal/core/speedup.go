@@ -43,6 +43,30 @@ type Options struct {
 	// whose outcome it has already proved — so the flag exists for
 	// differential tests and for benchmarking the cold path.
 	NoWarmStart bool
+
+	// NoPrune disables the incumbent bulk-skip pruning inside the event
+	// walks themselves (MinSpeedup, ResetTime, MinSpeedForReset): every
+	// slope-change event is then examined one by one, as the paper's
+	// plain Theorem-2/Corollary-5 walks do. Exact results are
+	// bit-identical either way — the skip certificates discard only
+	// events they have proved cannot move the supremum, the crossing, or
+	// the infimum (see the proofs at each skip site) — so the flag exists
+	// for the differential property/fuzz tests and for benchmarking.
+	// Inexact (MaxEvents-capped) results may differ: the pruned walk gets
+	// further along the curve with the same event budget, so its safe
+	// bracket is never wider.
+	NoPrune bool
+
+	// WarmWitness, when positive, is an interval length Δ whose
+	// demand/length ratio primes the pruned Theorem-2 walk's skip cutoff
+	// before the walk's own running maximum has caught up — typically the
+	// WitnessDelta of an adjacent design point's walk. Soundness does not
+	// depend on the value: the ratio at any single Δ > 0 lower-bounds the
+	// supremum, and the skip certificate is strict, so the result
+	// (including WitnessDelta) is identical for every choice; a witness
+	// near the true supremum merely skips more. Ignored when NoPrune is
+	// set.
+	WarmWitness task.Time
 }
 
 func (o Options) maxEvents() int {
@@ -69,8 +93,15 @@ type SpeedupResult struct {
 	// when the supremum is only approached in the Δ→∞ limit (where the
 	// ratio tends to the HI-mode utilization).
 	WitnessDelta task.Time
-	// Events is the number of slope-change events examined.
+	// Events is the number of slope-change events examined one by one.
+	// With pruning on (the default) it is never higher — and usually far
+	// lower — than with Options.NoPrune, which is the measurable win the
+	// benchmarks track.
 	Events int
+	// Jumps is the number of bulk skips the pruned walk took: each jump
+	// fast-forwarded the walker past a run of events the incumbent
+	// certificate proved irrelevant. Always 0 under Options.NoPrune.
+	Jumps int
 }
 
 // MinSpeedup computes the minimum HI-mode processor speedup factor of
@@ -95,6 +126,25 @@ func MinSpeedup(s task.Set) (SpeedupResult, error) {
 // max(best, U_HI) exactly. Only if both stopping rules are out of reach
 // within MaxEvents is the result inexact, in which case Speedup is the
 // safe envelope max(best, U_HI + ΣC/Δ_last).
+//
+// Unless Options.NoPrune is set, the walk additionally skips whole runs
+// of events it can prove irrelevant. Let bound ≤ s_min be a proven lower
+// bound on the supremum (the running maximum, primed by seedBound). The
+// summed curve is non-decreasing, so for every Δ in (a, b]
+//
+//	value(Δ)/Δ ≤ value(b)/Δ < value(b)/a ,
+//
+// strictly because Δ > a. Hence a single O(n) evaluation showing
+// value(b) ≤ bound·a certifies that every event in (a, b] has ratio
+// strictly below bound ≤ s_min: none can become the running maximum, so
+// the walker fast-forwards to b (hiWalker.SkipTo) without visiting them.
+// The strictness is what keeps the result bit-identical: the first event
+// attaining any new maximum — in particular the supremum's WitnessDelta —
+// has ratio ≥ bound and therefore always fails the certificate and is
+// examined. Skips are capped at hyperperiod−1 so that stopping rule 2
+// still fires at exactly the same event with exactly the same running
+// maximum as the unpruned walk (seedBound's probe positions stay below
+// the hyperperiod for the same reason; see its comment).
 func MinSpeedupOpts(s task.Set, o Options) (SpeedupResult, error) {
 	if err := s.Validate(); err != nil {
 		return SpeedupResult{}, err
@@ -119,11 +169,16 @@ func MinSpeedupOpts(s task.Set, o Options) (SpeedupResult, error) {
 	var pos task.Time
 	w := o.acquireWalker(s, dbf.KindDBF)
 	defer o.releaseWalker(w)
-	events := 0
+	seed := rat.Zero
+	if !o.NoPrune {
+		seed = seedBound(s, o.WarmWitness, hyper, hyperOK)
+	}
+	events, jumps := 0, 0
+	var chunk task.Time
 	for ; events < o.maxEvents(); events++ {
 		if !w.Next() {
 			// Every task is terminated: no HI-mode demand at all.
-			return SpeedupResult{Speedup: rat.Zero, LowerBound: rat.Zero, Exact: true, Events: events}, nil
+			return SpeedupResult{Speedup: rat.Zero, LowerBound: rat.Zero, Exact: true, Events: events, Jumps: jumps}, nil
 		}
 		pos = w.Pos()
 		v := w.Value()
@@ -140,7 +195,7 @@ func MinSpeedupOpts(s task.Set, o Options) (SpeedupResult, error) {
 		if best.Cmp(uHi.Add(rat.New(int64(totalC), int64(pos)))) >= 0 {
 			return SpeedupResult{
 				Speedup: best, LowerBound: best, Exact: true,
-				WitnessDelta: witness, Events: events + 1,
+				WitnessDelta: witness, Events: events + 1, Jumps: jumps,
 			}, nil
 		}
 		// Stopping rule 2: one full hyperperiod walked; the supremum is
@@ -149,20 +204,58 @@ func MinSpeedupOpts(s task.Set, o Options) (SpeedupResult, error) {
 			if best.Cmp(uHi) >= 0 {
 				return SpeedupResult{
 					Speedup: best, LowerBound: best, Exact: true,
-					WitnessDelta: witness, Events: events + 1,
+					WitnessDelta: witness, Events: events + 1, Jumps: jumps,
 				}, nil
 			}
 			if uLo.Eq(uHi) {
 				return SpeedupResult{
 					Speedup: uHi, LowerBound: uHi, Exact: true,
-					WitnessDelta: 0, Events: events + 1, // supremum only in the limit
+					WitnessDelta: 0, Events: events + 1, Jumps: jumps, // supremum only in the limit
 				}, nil
 			}
 			// U_HI itself is only known to 2^-20; report the bracket.
 			return SpeedupResult{
 				Speedup: uHi, LowerBound: rat.Max(best, uLo), Exact: false,
-				WitnessDelta: 0, Events: events + 1,
+				WitnessDelta: 0, Events: events + 1, Jumps: jumps,
 			}, nil
+		}
+		// Incumbent bulk skip: probe b beyond the next event and certify
+		// the whole run (pos, b] irrelevant with a single O(n)
+		// evaluation (see the function comment for the proof). The probe
+		// distance adapts geometrically — doubling after a successful
+		// certificate, halving after a failed one — so the walk pays at
+		// most one extra evaluation per examined event yet can clear
+		// arbitrarily long uneventful stretches in O(1) evaluations.
+		if o.NoPrune || pos >= skipHorizon {
+			continue
+		}
+		bound := rat.Max(best, seed)
+		if bound.Sign() <= 0 {
+			continue
+		}
+		next, ok := w.PeekNext()
+		if !ok {
+			continue
+		}
+		b := pos + chunk
+		if b <= next {
+			b = next + 1
+		}
+		if hyperOK && b > hyper-1 {
+			b = hyper - 1
+		}
+		if b > skipHorizon {
+			b = skipHorizon
+		}
+		if b <= next {
+			continue
+		}
+		if rat.New(int64(dbf.SetValue(s, dbf.KindDBF, b)), int64(pos)).Cmp(bound) <= 0 {
+			w.SkipTo(b)
+			jumps++
+			chunk = (b - pos) * 2
+		} else {
+			chunk /= 2
 		}
 	}
 	// Inexact: report the safe envelope.
@@ -173,7 +266,48 @@ func MinSpeedupOpts(s task.Set, o Options) (SpeedupResult, error) {
 		Exact:        false,
 		WitnessDelta: witness,
 		Events:       events,
+		Jumps:        jumps,
 	}, nil
+}
+
+// skipHorizon caps how far the bulk skips may carry any pruned walk. It
+// matches hiHyperperiod's walking horizon, keeping positions (and hence
+// the int64 rationals built from them) in the same range the unpruned
+// walks already inhabit.
+const skipHorizon = task.Time(1) << 40
+
+// seedBound returns a proven lower bound on the Theorem-2 supremum used
+// to prime the pruned walk's skip cutoff before the running maximum has
+// caught up: the largest demand/length ratio over a handful of probe
+// points — the caller's WarmWitness plus, when the hyperperiod is known,
+// seven evenly spaced interior points. Soundness: the ratio at any single
+// Δ > 0 never exceeds the supremum. Witness safety needs one refinement
+// when the hyperperiod walk (stopping rule 2) applies: the supremum over
+// (0, hyper] is attained at an event (the ratio is monotone between
+// events), so any probe strictly inside (0, hyper) is bounded by the
+// maximum event ratio the walk itself will record — whereas a probe at or
+// beyond the hyperperiod could exceed it (the tail ratios climb toward
+// U_HI, which rule 2 accounts for separately). Probes are therefore
+// discarded there, so the seeded cutoff can never certify away the event
+// that attains the walk's maximum.
+func seedBound(s task.Set, warm task.Time, hyper task.Time, hyperOK bool) rat.Rat {
+	seed := rat.Zero
+	consider := func(p task.Time) {
+		if p <= 0 || p > skipHorizon {
+			return
+		}
+		if hyperOK && p >= hyper {
+			return
+		}
+		seed = rat.Max(seed, rat.New(int64(dbf.SetHIMode(s, p)), int64(p)))
+	}
+	consider(warm)
+	if hyperOK {
+		for j := task.Time(1); j < 8; j++ {
+			consider(j * hyper / 8)
+		}
+	}
+	return seed
 }
 
 // sumActiveCHI sums C_i(HI) over tasks that are not terminated (terminated

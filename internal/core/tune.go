@@ -61,6 +61,8 @@ func TuneDeadlinesOpts(s task.Set, step rat.Rat, o Options) (TuneResult, error) 
 	if err != nil {
 		return TuneResult{}, err
 	}
+	o, borrowed := borrowScratch(o)
+	defer releaseScratch(borrowed)
 	probe := newCapProbe(o)
 	base, err := probe.speedup(cur)
 	if err != nil {

@@ -160,6 +160,45 @@ func (w *hiWalker) PeekNext() (task.Time, bool) {
 	return w.events.times[0], true
 }
 
+// SkipTo repositions the walker at target > Pos() without visiting the
+// events in between — the periodic-tail fast-forward behind the pruned
+// walks. The target need not be an event point. Per task the new value
+// comes from the O(1) closed form: when the jump from the task's last
+// update position is a whole number of HI-mode periods, dbf.Advance adds
+// the exact per-period increment k·C(HI); otherwise the curve is
+// re-evaluated directly (also O(1)). The event heap is rebuilt with each
+// task's first event beyond target, so a subsequent Next() continues the
+// walk exactly as if every intermediate event had been popped.
+//
+// Callers are responsible for proving the skipped events irrelevant (see
+// the incumbent certificates in speedup.go / reset.go / design.go);
+// SkipTo itself is exact for any forward target. Targets ≤ Pos() are
+// ignored.
+func (w *hiWalker) SkipTo(target task.Time) {
+	if target <= w.pos {
+		return
+	}
+	w.pos, w.value, w.slope = target, 0, 0
+	w.events.reset(len(w.set))
+	for i := range w.set {
+		t := &w.set[i]
+		v := task.Time(0)
+		if d := target - w.taskPos[i]; !t.Terminated() && d%t.Period[task.HI] == 0 {
+			v = dbf.Advance(t, w.taskVal[i], d/t.Period[task.HI])
+		} else {
+			v = w.eval(i, target)
+		}
+		w.taskVal[i] = v
+		w.taskPos[i] = target
+		w.taskSlope[i] = dbf.RightSlope(t, w.kind, target)
+		w.value += v
+		w.slope += w.taskSlope[i]
+		if next, ok := dbf.NextEvent(t, w.kind, target); ok {
+			w.events.push(next, i)
+		}
+	}
+}
+
 // Next advances to the next event point. ok is false when no task has
 // events (every task terminated — the curves are constant).
 func (w *hiWalker) Next() (ok bool) {

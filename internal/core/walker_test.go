@@ -107,7 +107,7 @@ func TestMinSpeedupMatchesReference(t *testing.T) {
 	rnd := rand.New(rand.NewSource(302))
 	for iter := 0; iter < 400; iter++ {
 		s := randomSet(rnd, 1+rnd.Intn(5), 25)
-		got, err1 := MinSpeedup(s)
+		got, err1 := MinSpeedupOpts(s, Options{NoPrune: true})
 		want, err2 := referenceMinSpeedup(s, Options{})
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("error mismatch: %v vs %v", err1, err2)
@@ -118,6 +118,21 @@ func TestMinSpeedupMatchesReference(t *testing.T) {
 		if !got.Speedup.Eq(want.Speedup) || got.Exact != want.Exact ||
 			got.WitnessDelta != want.WitnessDelta || got.Events != want.Events {
 			t.Fatalf("walker result %+v != reference %+v for:\n%s", got, want, s.Table())
+		}
+		// The pruned walk (the default) must agree on every payload field;
+		// only the event/jump accounting may differ, and never upward.
+		pruned, err3 := MinSpeedup(s)
+		if err3 != nil {
+			t.Fatalf("pruned walk error: %v", err3)
+		}
+		if want.Exact {
+			if !pruned.Speedup.Eq(want.Speedup) || !pruned.LowerBound.Eq(want.LowerBound) ||
+				pruned.Exact != want.Exact || pruned.WitnessDelta != want.WitnessDelta {
+				t.Fatalf("pruned result %+v != reference %+v for:\n%s", pruned, want, s.Table())
+			}
+		}
+		if pruned.Events > want.Events {
+			t.Fatalf("pruned walk examined %d events, unpruned %d for:\n%s", pruned.Events, want.Events, s.Table())
 		}
 	}
 }

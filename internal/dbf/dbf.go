@@ -235,6 +235,25 @@ func NextEvent(t *task.Task, kind Kind, delta task.Time) (next task.Time, ok boo
 	panic("dbf: NextEvent found no candidate")
 }
 
+// Advance returns the task's curve value at Δ + k·T(HI) in O(1), given
+// the value at Δ. Both HI-mode curves repeat exactly with the task's
+// HI-mode period: from the closed forms of Lemma 1 / Theorem 4 the
+// window term w depends only on Δ mod T(HI), so
+//
+//	curve(Δ + k·T) = curve(Δ) + k·C(HI)
+//
+// for every Δ ≥ 0 and k ≥ 0 (each extra period contributes exactly one
+// full job). This is the certificate behind the walker's periodic-tail
+// fast-forward: whole runs of a task's events can be jumped without
+// re-evaluating the carry-over geometry. Terminated tasks have constant
+// curves (and no period), so their value is returned unchanged.
+func Advance(t *task.Task, value task.Time, k task.Time) task.Time {
+	if t.Terminated() {
+		return value
+	}
+	return value + k*t.WCET[task.HI]
+}
+
 // SetNextEvent returns the smallest event position strictly greater than
 // delta across all tasks in the set, or ok=false if no task has events.
 func SetNextEvent(s task.Set, kind Kind, delta task.Time) (next task.Time, ok bool) {

@@ -52,31 +52,42 @@ func Fig5(steps, workers int) (Fig5Result, error) {
 		res.XGrid = append(res.XGrid, 0.2+0.7*float64(i)/float64(steps-1))
 		res.YGrid = append(res.YGrid, 1.5+2.5*float64(i)/float64(steps-1))
 	}
-	// One exact speedup analysis per (y, x) grid cell.
-	smin, err := par.Map(len(res.YGrid)*len(res.XGrid), workers, func(k int) (float64, error) {
-		y := res.YGrid[k/len(res.XGrid)]
-		x := res.XGrid[k%len(res.XGrid)]
-		shaped, err := base.ShortenHIDeadlines(rat.FromFloat(x, 1<<16))
-		if err != nil {
-			return 0, err
+	// One exact speedup analysis per (y, x) grid cell, fanned out one row
+	// (fixed y) per work item: adjacent x cells share their decisive
+	// witness Δ, so each cell warm-starts the next one's pruned walk
+	// (core.Options.WarmWitness — results are bit-identical to cold
+	// walks, so -workers invariance is preserved). The Scratch and the
+	// witness both live inside the work item, never across items.
+	smin, err := par.Map(len(res.YGrid), workers, func(yi int) ([]float64, error) {
+		y := res.YGrid[yi]
+		scratch := new(core.Scratch)
+		var warm core.SpeedupResult
+		row := make([]float64, len(res.XGrid))
+		for xi, x := range res.XGrid {
+			shaped, err := base.ShortenHIDeadlines(rat.FromFloat(x, 1<<16))
+			if err != nil {
+				return nil, err
+			}
+			shaped, err = shaped.DegradeLO(rat.FromFloat(y, 1<<16))
+			if err != nil {
+				return nil, err
+			}
+			sp, err := core.MinSpeedupOpts(shaped, core.Options{
+				Scratch:     scratch,
+				WarmWitness: warm.WitnessDelta,
+			})
+			if err != nil {
+				return nil, err
+			}
+			warm = sp
+			row[xi] = sp.Speedup.Float64()
 		}
-		shaped, err = shaped.DegradeLO(rat.FromFloat(y, 1<<16))
-		if err != nil {
-			return 0, err
-		}
-		sp, err := core.MinSpeedup(shaped)
-		if err != nil {
-			return 0, err
-		}
-		return sp.Speedup.Float64(), nil
+		return row, nil
 	})
 	if err != nil {
 		return res, err
 	}
-	res.SMin = make([][]float64, len(res.YGrid))
-	for yi := range res.YGrid {
-		res.SMin[yi] = smin[yi*len(res.XGrid) : (yi+1)*len(res.XGrid)]
-	}
+	res.SMin = smin
 
 	// Panel (b): Δ_R over s ∈ [1.2, 3], γ ∈ [1, 5], with minimal x and
 	// y = 2. One row of reset analyses per γ (the prepared set is shared
@@ -87,6 +98,7 @@ func Fig5(steps, workers int) (Fig5Result, error) {
 	}
 	rows, err := par.Map(len(res.GammaGrid), workers, func(gi int) ([]float64, error) {
 		row := make([]float64, len(res.SpeedGrid))
+		scratch := new(core.Scratch)
 		set, err := fms.Tasks(rat.FromFloat(res.GammaGrid[gi], 1<<16))
 		if err != nil {
 			return nil, err
@@ -100,7 +112,7 @@ func Fig5(steps, workers int) (Fig5Result, error) {
 			return nil, err
 		}
 		for si, s := range res.SpeedGrid {
-			rr, err := core.ResetTime(prepared, rat.FromFloat(s, 1<<16))
+			rr, err := core.ResetTimeOpts(prepared, rat.FromFloat(s, 1<<16), core.Options{Scratch: scratch})
 			if err != nil {
 				return nil, err
 			}

@@ -109,6 +109,25 @@ func Fig6(cfg Fig6Config) (Fig6Result, error) {
 
 	analyzeSet := func(pi, n int) (fig6SetResult, error) {
 		rnd := gen.SubRand(cfg.Seed, pi, n)
+		// One walker arena per set, and each Theorem-2 walk warm-starts
+		// the next with its witness Δ (the per-y preparations of one set
+		// share their decisive interval). Both stay inside this work
+		// item, so the reduction order — and hence the -workers N output
+		// — is untouched; the results themselves are bit-identical to
+		// cold walks (core.Options.WarmWitness).
+		scratch := new(core.Scratch)
+		var warm core.SpeedupResult
+		speedup := func(set task.Set) (core.SpeedupResult, error) {
+			sp, err := core.MinSpeedupOpts(set, core.Options{
+				Scratch:     scratch,
+				WarmWitness: warm.WitnessDelta,
+			})
+			if err == nil {
+				warm = sp
+			}
+			return sp, err
+		}
+		withScratch := core.Options{Scratch: scratch}
 		out := fig6SetResult{
 			sminByY:   make([]float64, len(ys)),
 			resetBySY: make([]float64, len(sy)),
@@ -131,12 +150,12 @@ func Fig6(cfg Fig6Config) (Fig6Result, error) {
 		}
 
 		// Panels (a) and (c) at y = 2 (and s = 3 for Δ_R).
-		sp, err := core.MinSpeedup(base.y2)
+		sp, err := speedup(base.y2)
 		if err != nil {
 			return out, err
 		}
 		out.smin = sp.Speedup.Float64()
-		rr, err := core.ResetTime(base.y2, rat.FromInt64(3))
+		rr, err := core.ResetTimeOpts(base.y2, rat.FromInt64(3), withScratch)
 		if err != nil {
 			return out, err
 		}
@@ -152,7 +171,7 @@ func Fig6(cfg Fig6Config) (Fig6Result, error) {
 			if err != nil {
 				continue // this y infeasible for this set
 			}
-			spy, err := core.MinSpeedup(prepared)
+			spy, err := speedup(prepared)
 			if err != nil {
 				return out, err
 			}
@@ -165,7 +184,7 @@ func Fig6(cfg Fig6Config) (Fig6Result, error) {
 			if err != nil {
 				continue
 			}
-			rry, err := core.ResetTime(prepared, c.s)
+			rry, err := core.ResetTimeOpts(prepared, c.s, withScratch)
 			if err != nil {
 				return out, err
 			}

@@ -92,49 +92,64 @@ func Fig7(cfg Fig7Config) (Fig7Result, error) {
 	limit := rat.FromInt64(int64(cfg.ResetLimit))
 	cells := len(cfg.Grid) * len(cfg.Grid)
 
-	analyzeDraw := func(cell, n int) (fig7DrawResult, error) {
+	// One work item per grid cell: the cell's draws run sequentially so
+	// each exact speedup walk can warm-start the next with its witness Δ
+	// and share one walker arena (same-cell sets target the same
+	// utilizations and tend to share their decisive interval). Witness
+	// and Scratch never cross work items, and random substreams are still
+	// per (cell, draw), so the output stays identical for every worker
+	// count — warm-started walks return bit-identical results
+	// (core.Options.WarmWitness).
+	analyzeCell := func(cell int) ([]fig7DrawResult, error) {
 		li, hi := cell/len(cfg.Grid), cell%len(cfg.Grid)
 		uLO, uHI := cfg.Grid[li], cfg.Grid[hi]
-		rnd := gen.SubRand(cfg.Seed, cell, n)
-		var out fig7DrawResult
-		base, ok := params.SetWithTargets(rnd, uHI, uLO, 0.025)
-		if !ok {
-			out.genFail = true
-			return out, nil
+		scratch := new(core.Scratch)
+		var warm core.SpeedupResult
+		outs := make([]fig7DrawResult, cfg.SetsPerPoint)
+		for n := range outs {
+			rnd := gen.SubRand(cfg.Seed, cell, n)
+			out := &outs[n]
+			base, ok := params.SetWithTargets(rnd, uHI, uLO, 0.025)
+			if !ok {
+				out.genFail = true
+				continue
+			}
+			if vd, err := edfvd.Analyze(base); err == nil && vd.Schedulable {
+				out.okVD = true
+			}
+			terminated := base.TerminateLO()
+			_, prepared, err := core.MinimalX(terminated)
+			if err != nil {
+				continue // not even LO-mode feasible
+			}
+			sp, err := core.MinSpeedupOpts(prepared, core.Options{
+				Scratch:     scratch,
+				WarmWitness: warm.WitnessDelta,
+			})
+			if err != nil {
+				return nil, err
+			}
+			warm = sp
+			if sp.Speedup.Cmp(rat.One) <= 0 {
+				out.okPlain = true
+				out.okSpeed = true // speedup subsumes the no-speedup case
+				continue
+			}
+			if sp.Speedup.Cmp(cfg.Speed) > 0 {
+				continue
+			}
+			rr, err := core.ResetTimeOpts(prepared, cfg.Speed, core.Options{Scratch: scratch})
+			if err != nil {
+				return nil, err
+			}
+			if !rr.Reset.IsInf() && rr.Reset.Cmp(limit) <= 0 {
+				out.okSpeed = true
+			}
 		}
-		if vd, err := edfvd.Analyze(base); err == nil && vd.Schedulable {
-			out.okVD = true
-		}
-		terminated := base.TerminateLO()
-		_, prepared, err := core.MinimalX(terminated)
-		if err != nil {
-			return out, nil // not even LO-mode feasible
-		}
-		sp, err := core.MinSpeedup(prepared)
-		if err != nil {
-			return out, err
-		}
-		if sp.Speedup.Cmp(rat.One) <= 0 {
-			out.okPlain = true
-			out.okSpeed = true // speedup subsumes the no-speedup case
-			return out, nil
-		}
-		if sp.Speedup.Cmp(cfg.Speed) > 0 {
-			return out, nil
-		}
-		rr, err := core.ResetTime(prepared, cfg.Speed)
-		if err != nil {
-			return out, err
-		}
-		if !rr.Reset.IsInf() && rr.Reset.Cmp(limit) <= 0 {
-			out.okSpeed = true
-		}
-		return out, nil
+		return outs, nil
 	}
 
-	draws, err := par.Map(cells*cfg.SetsPerPoint, cfg.Workers, func(k int) (fig7DrawResult, error) {
-		return analyzeDraw(k/cfg.SetsPerPoint, k%cfg.SetsPerPoint)
-	})
+	cellDraws, err := par.Map(cells, cfg.Workers, analyzeCell)
 	if err != nil {
 		return res, err
 	}
@@ -150,7 +165,7 @@ func Fig7(cfg Fig7Config) (Fig7Result, error) {
 			cell := li*len(cfg.Grid) + hi
 			var okSpeed, okPlain, okVD, total int
 			for n := 0; n < cfg.SetsPerPoint; n++ {
-				d := draws[cell*cfg.SetsPerPoint+n]
+				d := cellDraws[cell][n]
 				if d.genFail {
 					res.GenFailures++
 					continue

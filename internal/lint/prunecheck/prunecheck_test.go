@@ -1,0 +1,12 @@
+package prunecheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/linttest"
+	"mcspeedup/internal/lint/prunecheck"
+)
+
+func TestPrunecheck(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/core", prunecheck.Analyzer)
+}

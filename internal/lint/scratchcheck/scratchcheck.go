@@ -154,7 +154,11 @@ func checkLitCapture(pass *lint.Pass, lit *ast.FuncLit) {
 		if obj == nil || local[obj] {
 			return true
 		}
-		if v, ok := obj.(*types.Var); ok && isScratchType(v.Type()) {
+		// Fields are not captures: a keyed composite literal's
+		// `Scratch: x` key (and a field selector) resolves to the
+		// Scratch-typed field object, but the captured variable — if
+		// any — is the value expression, which is inspected separately.
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && isScratchType(v.Type()) {
 			pass.Reportf(id.Pos(), "core.Scratch %s captured by a concurrently-launched function: a Scratch must not be shared between goroutines; allocate one per worker", id.Name)
 		}
 		return true

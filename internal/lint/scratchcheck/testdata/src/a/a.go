@@ -50,6 +50,19 @@ func perWorker(n int) {
 	})
 }
 
+func perWorkerKeyedOptions(n int) {
+	_ = par.ForEach(n, 0, func(i int) error {
+		sc := new(core.Scratch)
+		// The `Scratch:` key names the Options field, not a captured
+		// variable — must stay clean (the experiments' warm-start
+		// callbacks are built exactly like this).
+		analyze(core.Options{Scratch: sc})
+		return nil
+	})
+}
+
+func analyze(core.Options) {}
+
 func sequential() {
 	sc := new(core.Scratch)
 	touch(sc) // same-goroutine use: clean

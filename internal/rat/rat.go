@@ -405,6 +405,36 @@ func (r Rat) Floor() int64 {
 	return q
 }
 
+// MaxIntBelowRatio returns the largest integer n in [0, limit] such that
+// n·r < v. r must be positive and finite, v positive, and limit
+// nonnegative; the intermediate v·den product is carried in 128 bits
+// (math/bits), so the computation cannot overflow for any int64 inputs.
+// It backs the demand walks' incumbent skip certificates: n is the
+// furthest integer position whose supply line n·r provably stays below a
+// demand value v already reached.
+func MaxIntBelowRatio(v int64, r Rat, limit int64) int64 {
+	if r.num <= 0 || r.den == 0 || v <= 0 || limit < 0 {
+		panic(fmt.Errorf("rat: MaxIntBelowRatio(%d, %v, %d) out of domain", v, r, limit))
+	}
+	// n·num/den < v  ⇔  n < v·den/num, so n is the largest integer
+	// strictly below the 128-bit quotient.
+	hi, lo := bits.Mul64(uint64(v), uint64(r.den))
+	num := uint64(r.num)
+	if hi >= num {
+		// Quotient ≥ 2^64: every representable n qualifies.
+		return limit
+	}
+	quo, rem := bits.Div64(hi, lo, num)
+	n := quo
+	if rem == 0 {
+		n = quo - 1 // v·den/num is an integer; strictly below means one less
+	}
+	if n > uint64(limit) {
+		return limit
+	}
+	return int64(n)
+}
+
 // Ceil returns the smallest integer >= r. Panics on infinities.
 func (r Rat) Ceil() int64 {
 	if r.den == 0 {

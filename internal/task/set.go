@@ -161,14 +161,34 @@ func (s Set) MaxPeriod() Time {
 // TerminateLO returns a copy in which every LO-criticality task is
 // terminated in HI mode (eq. (3)): T(HI) = D(HI) = ∞.
 func (s Set) TerminateLO() Set {
-	out := s.Clone()
-	for i := range out {
-		if out[i].Crit == LO {
-			out[i].Period[HI] = Unbounded
-			out[i].Deadline[HI] = Unbounded
+	return s.TerminateLOInto(nil)
+}
+
+// TerminateLOInto is TerminateLO writing into dst's backing array when
+// its capacity suffices (allocating otherwise), for callers that probe
+// many candidate sets and want to reuse one buffer. s is never modified;
+// the returned slice aliases dst, not s.
+func (s Set) TerminateLOInto(dst Set) Set {
+	dst = s.cloneInto(dst)
+	for i := range dst {
+		if dst[i].Crit == LO {
+			dst[i].Period[HI] = Unbounded
+			dst[i].Deadline[HI] = Unbounded
 		}
 	}
-	return out
+	return dst
+}
+
+// cloneInto copies s into dst's backing array, growing it only when the
+// capacity falls short.
+func (s Set) cloneInto(dst Set) Set {
+	if cap(dst) < len(s) {
+		dst = make(Set, len(s))
+	} else {
+		dst = dst[:len(s)]
+	}
+	copy(dst, s)
+	return dst
 }
 
 // ShortenHIDeadlines returns a copy in which every HI-criticality task's
@@ -205,10 +225,18 @@ func (s Set) ShortenHIDeadlines(x rat.Rat) (Set, error) {
 // service is degraded by the uniform factor y ≥ 1 of eq. (14):
 // D(HI) = floor(y·D(LO)) and T(HI) = floor(y·T(LO)).
 func (s Set) DegradeLO(y rat.Rat) (Set, error) {
+	return s.DegradeLOInto(nil, y)
+}
+
+// DegradeLOInto is DegradeLO writing into dst's backing array when its
+// capacity suffices (allocating otherwise), for searches that evaluate
+// many candidate degradations and want to reuse one buffer. s is never
+// modified; the returned slice aliases dst, not s.
+func (s Set) DegradeLOInto(dst Set, y rat.Rat) (Set, error) {
 	if y.Cmp(rat.One) < 0 {
 		return nil, fmt.Errorf("task: degradation factor y = %v < 1", y)
 	}
-	out := s.Clone()
+	out := s.cloneInto(dst)
 	for i := range out {
 		if out[i].Crit != LO {
 			continue

@@ -23,7 +23,7 @@ go build ./...
 go vet ./...
 
 # mcs-vet: the custom analyzer suite (ratcheck, determcheck,
-# scratchcheck, metricscheck) — see docs/STATIC_ANALYSIS.md.
+# scratchcheck, metricscheck, prunecheck) — see docs/STATIC_ANALYSIS.md.
 gobin="$(go env GOPATH)/bin"
 go build -o "$gobin/mcs-vet" ./cmd/mcs-vet
 go vet -vettool="$gobin/mcs-vet" ./...
@@ -33,6 +33,11 @@ go vet -vettool="$gobin/mcs-vet" ./...
 # race detector's allocations would falsify.
 go test -race ./...
 go test -run Alloc ./internal/core/...
+
+# Fuzz smoke: the pruned and unpruned demand walks must stay equivalent
+# under a short randomized run (the checked-in seed corpus alone already
+# ran as part of the suite above).
+go test -fuzz FuzzWalkEquivalence -fuzztime 10s -run '^$' ./internal/core/
 
 # Bench smoke: every core benchmark must still compile and complete one
 # iteration (allocation regressions are pinned by internal/core's
