@@ -200,6 +200,21 @@ func fmsPrepared() mcspeedup.Set {
 	return prepared
 }
 
+// deltaEdits picks an FMS HI task whose C(HI) can be lowered by one
+// without violating C(LO) <= C(HI) and returns the two alternating
+// single-parameter edits the session-delta benchmark flips between.
+func deltaEdits(set mcspeedup.Set) (up, down mcspeedup.Edit) {
+	for _, tk := range set {
+		if tk.Crit == mcspeedup.HI && tk.WCET[mcspeedup.HI] > tk.WCET[mcspeedup.LO] {
+			c := tk.WCET[mcspeedup.HI]
+			return mcspeedup.SetParam(tk.Name, mcspeedup.ParamCHI, c),
+				mcspeedup.SetParam(tk.Name, mcspeedup.ParamCHI, c-1)
+		}
+	}
+	log.Fatal("no FMS HI task with C(HI) > C(LO)")
+	return
+}
+
 // genPrepared mirrors the root benchmarks' synthetic corpus: a
 // generator set at the given seed and utilization, minimally prepared.
 func genPrepared(seed int64, uBound float64) mcspeedup.Set {
@@ -265,6 +280,47 @@ func main() {
 				log.Fatal(err)
 			}
 		}),
+		measure("FeasibleXWindowFMS", func() {
+			if _, _, err := mcspeedup.FeasibleXWindow(fms, mcspeedup.RatTwo); err != nil {
+				log.Fatal(err)
+			}
+		}),
+		measure("AnalyzeColdFMS", func() {
+			if _, err := mcspeedup.AnalyzeSet(fms, mcspeedup.RatTwo); err != nil {
+				log.Fatal(err)
+			}
+		}),
+	}
+
+	// SessionDeltaEditFMS: one single-parameter C(HI) edit plus the
+	// delta re-analysis it triggers, against AnalyzeColdFMS above — the
+	// delta-vs-cold ratio docs/PERF.md quotes. The session persists
+	// across iterations (that is the point of the incremental path); the
+	// edit alternates between two valid values so every iteration really
+	// changes the set.
+	{
+		up, down := deltaEdits(fms)
+		sess, err := mcspeedup.NewAnalysisSession(fms, mcspeedup.RatTwo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := sess.Report(); err != nil { // absorb the cold analysis
+			log.Fatal(err)
+		}
+		flip := false
+		doc.Benchmarks = append(doc.Benchmarks, measure("SessionDeltaEditFMS", func() {
+			e := down
+			if flip {
+				e = up
+			}
+			flip = !flip
+			if err := sess.Apply(e); err != nil {
+				log.Fatal(err)
+			}
+			if _, _, err := sess.Report(); err != nil {
+				log.Fatal(err)
+			}
+		}))
 	}
 
 	start := time.Now()

@@ -16,14 +16,16 @@
 //	-cache int              result-cache capacity in entries (default 1024)
 //	-max-body int           request-body cap in bytes (default 8 MiB)
 //	-max-sim-horizon int    /v1/simulate horizon cap in ticks (default 2e6)
+//	-max-sessions int       live /v1/session cap, LRU-evicted (default 64)
 //	-drain dur              graceful-shutdown drain budget (default 10s)
 //	-pprof string           serve net/http/pprof on this extra LOOPBACK
 //	                        address (e.g. 127.0.0.1:6060); empty = off.
 //	                        Refused for non-loopback addresses; the
 //	                        profiling handlers never join the public mux.
 //
-// Endpoints: POST /v1/analyze, /v1/speedup, /v1/reset, /v1/simulate;
-// GET /healthz, /metrics. See internal/server for the request formats.
+// Endpoints: POST /v1/analyze, /v1/session, /v1/speedup, /v1/reset,
+// /v1/simulate; GET /healthz, /metrics. See internal/server for the
+// request formats.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to the -drain budget before exiting.
@@ -59,6 +61,7 @@ func main() {
 		maxBody       = flag.Int64("max-body", 8<<20, "request-body cap in bytes")
 		maxSimHorizon = flag.Int64("max-sim-horizon", 2_000_000, "simulate-horizon cap in ticks")
 		maxBatch      = flag.Int("max-batch", 256, "max task sets per /v1/batch request")
+		maxSessions   = flag.Int("max-sessions", 64, "max live /v1/session sessions (LRU-evicted beyond)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		pprofAddr     = flag.String("pprof", "", "serve /debug/pprof on this extra loopback address (empty = off)")
 	)
@@ -81,6 +84,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		MaxSimHorizon:  task.Time(*maxSimHorizon),
 		MaxBatchItems:  *maxBatch,
+		MaxSessions:    *maxSessions,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -14,6 +14,7 @@ package main
 
 import (
 	"mcspeedup/internal/lint"
+	"mcspeedup/internal/lint/deltacheck"
 	"mcspeedup/internal/lint/determcheck"
 	"mcspeedup/internal/lint/metricscheck"
 	"mcspeedup/internal/lint/prunecheck"
@@ -28,5 +29,6 @@ func main() {
 		scratchcheck.Analyzer,
 		metricscheck.Analyzer,
 		prunecheck.Analyzer,
+		deltacheck.Analyzer,
 	)
 }

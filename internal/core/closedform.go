@@ -3,6 +3,7 @@ package core
 import (
 	"math/big"
 
+	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/task"
 )
@@ -12,42 +13,9 @@ import (
 //	σ_i = sup_{Δ > 0} DBF_HI(τ_i, Δ)/Δ,
 //
 // the smallest slope of a line through the origin dominating the task's
-// HI-mode demand curve. By the exact periodicity
-// DBF_HI(Δ+T) = DBF_HI(Δ)+C(HI), the supremum equals
-//
-//	max{ U_i(HI), (C(HI)−C(LO))/gap, C(HI)/min(gap+C(LO), T(HI)) }
-//
-// where gap = D(HI)−D(LO) is the carry-over window offset: the three
-// candidates are the ratio limit Δ→∞, the jump at the ramp start, and the
-// ramp end (clipped to the period). A zero gap with C(HI) > C(LO) yields
-// +Inf — the paper's observation that HI tasks whose deadlines are not
-// shortened in LO mode force infinite speedup. Terminated tasks have
-// σ_i = 0.
-func TaskSigma(t *task.Task) rat.Rat {
-	if t.Terminated() {
-		return rat.Zero
-	}
-	period := t.Period[task.HI]
-	cLO, cHI := t.WCET[task.LO], t.WCET[task.HI]
-	gap := t.Deadline[task.HI] - t.Deadline[task.LO]
-
-	sigma := rat.New(int64(cHI), int64(period)) // U_i(HI)
-	if gap == 0 {
-		if cHI > cLO {
-			return rat.PosInf
-		}
-	} else {
-		sigma = rat.Max(sigma, rat.New(int64(cHI-cLO), int64(gap)))
-	}
-	rampEnd := gap + cLO
-	if rampEnd > period {
-		rampEnd = period
-	}
-	if rampEnd > 0 {
-		sigma = rat.Max(sigma, rat.New(int64(cHI), int64(rampEnd)))
-	}
-	return sigma
-}
+// HI-mode demand curve; see dbf.TaskSigma (where the closed form lives so
+// dbf.SetState can maintain the Lemma-6 sum Σσ_i incrementally).
+func TaskSigma(t *task.Task) rat.Rat { return dbf.TaskSigma(t) }
 
 // ClosedFormSpeedup is the Lemma-6 closed-form upper bound on the minimum
 // HI-mode speedup: the sum Σ_i σ_i of the per-task demand-curve slopes.
@@ -94,4 +62,27 @@ func ClosedFormReset(s task.Set, speed rat.Rat) rat.Rat {
 		return rat.PosInf
 	}
 	return rat.FromInt64(int64(s.TotalCHI())).Div(speed.Sub(smin))
+}
+
+// closedFormSpeedupState is ClosedFormSpeedup over the state's maintained
+// Σσ_i aggregate: O(1) per call instead of an O(n) rational fold.
+// Bit-identical to the cold form because exact rational addition is
+// order-independent and exactly invertible (SetState's contract), and the
+// final rounding is the same rat.FromBig call.
+func closedFormSpeedupState(st *dbf.SetState) rat.Rat {
+	sum, inf := st.SigmaSum()
+	if inf > 0 {
+		return rat.PosInf
+	}
+	return rat.FromBig(sum, true)
+}
+
+// closedFormResetState is ClosedFormReset given an already-computed
+// Lemma-6 closed-form speedup (avoiding its recomputation) and the
+// state's maintained ΣC(HI).
+func closedFormResetState(st *dbf.SetState, speed, smin rat.Rat) rat.Rat {
+	if smin.IsInf() || speed.Cmp(smin) <= 0 {
+		return rat.PosInf
+	}
+	return rat.FromInt64(int64(st.TotalCHI())).Div(speed.Sub(smin))
 }

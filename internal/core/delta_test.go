@@ -1,0 +1,389 @@
+package core
+
+// Differential tests for the incremental (delta) analysis path: a
+// Session that absorbs edits and re-analyzes over its warm
+// dbf.SetState must produce Reports byte-identical to a cold Analyze of
+// the same set at the same speed — MarshalIndent bytes compared, so any
+// divergence in any payload field (including witnesses) fails. The same
+// discipline as prune_test.go: the warm path may only skip work it has
+// proved irrelevant, never change an answer.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// randomEdit proposes a random edit against s — a small perturbation of
+// one task parameter (paired where the cross-mode invariants couple
+// parameters), an add, or a remove — and validity-filters it through a
+// shadow ApplyEdits. ok is false when the proposal happened to violate
+// an invariant; callers just retry.
+func randomEdit(rnd *rand.Rand, s task.Set, nextName *int) (task.Edit, bool) {
+	var e task.Edit
+	switch k := rnd.Intn(12); {
+	case k == 10: // add a fresh random task
+		one := randomSet(rnd, 1, 40)
+		tk := one[0]
+		tk.Name = fmt.Sprintf("z%02d", *nextName)
+		*nextName++
+		e = task.Edit{Op: task.OpAdd, Task: &tk}
+	case k == 11 && len(s) > 1:
+		e = task.Edit{Op: task.OpRemove, Name: s[rnd.Intn(len(s))].Name}
+	default:
+		tk := s[rnd.Intn(len(s))]
+		delta := task.Time(1 + rnd.Int63n(3))
+		if rnd.Intn(2) == 0 {
+			delta = -delta
+		}
+		switch rnd.Intn(6) {
+		case 0: // C(LO); LO-criticality tasks must keep C(HI) = C(LO)
+			v := tk.WCET[task.LO] + delta
+			if tk.Crit == task.LO {
+				e = task.Edit{Op: task.OpSet, Name: tk.Name, Params: []task.ParamValue{
+					{Param: task.ParamCLO, Value: v}, {Param: task.ParamCHI, Value: v}}}
+			} else {
+				e = task.SetParam(tk.Name, task.ParamCLO, v)
+			}
+		case 1: // C(HI), HI tasks only (LO tasks pin C(HI) = C(LO))
+			if tk.Crit != task.HI {
+				return task.Edit{}, false
+			}
+			e = task.SetParam(tk.Name, task.ParamCHI, tk.WCET[task.HI]+delta)
+		case 2: // D(LO) — the virtual-deadline knob
+			e = task.SetParam(tk.Name, task.ParamDLO, tk.Deadline[task.LO]+delta)
+		case 3: // D(HI); meaningless on terminated tasks
+			if tk.Deadline[task.HI] == task.Unbounded {
+				return task.Edit{}, false
+			}
+			e = task.SetParam(tk.Name, task.ParamDHI, tk.Deadline[task.HI]+delta)
+		case 4: // T(LO); HI tasks must keep T(HI) = T(LO) (eq. (1))
+			v := tk.Period[task.LO] + delta
+			if tk.Crit == task.HI {
+				e = task.Edit{Op: task.OpSet, Name: tk.Name, Params: []task.ParamValue{
+					{Param: task.ParamTLO, Value: v}, {Param: task.ParamTHI, Value: v}}}
+			} else {
+				e = task.SetParam(tk.Name, task.ParamTLO, v)
+			}
+		case 5: // T(HI) of a degraded LO task
+			if tk.Crit != task.LO || tk.Period[task.HI] == task.Unbounded {
+				return task.Edit{}, false
+			}
+			e = task.SetParam(tk.Name, task.ParamTHI, tk.Period[task.HI]+delta)
+		}
+	}
+	if _, err := s.ApplyEdits(e); err != nil {
+		return task.Edit{}, false
+	}
+	return e, true
+}
+
+// deltaSets is the differential corpus: generator sets, their prepared
+// variants, and the flight-management set of Fig. 5b.
+func deltaSets(t *testing.T) []task.Set {
+	sets := prunedSets(t, 8)
+	return append(sets, fmsPreparedSet(t))
+}
+
+// TestSessionDeltaMatchesColdAnalysis drives random edit streams through
+// a Session and asserts after every edit that the incrementally
+// re-analyzed Report is byte-identical to a cold Analyze of the same set.
+func TestSessionDeltaMatchesColdAnalysis(t *testing.T) {
+	for si, s := range deltaSets(t) {
+		speed := rat.New(3, 2)
+		ss, err := NewSession(s, speed)
+		if err != nil {
+			t.Fatalf("set %d: NewSession: %v", si, err)
+		}
+		rnd := rand.New(rand.NewSource(int64(9000 + si)))
+		next := 0
+		assertMatch := func(step int) {
+			t.Helper()
+			got, _, err := ss.Report()
+			if err != nil {
+				t.Fatalf("set %d step %d: session report: %v", si, step, err)
+			}
+			cold, err := Analyze(ss.Set(), speed)
+			if err != nil {
+				t.Fatalf("set %d step %d: cold analyze: %v", si, step, err)
+			}
+			gb, err := got.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := cold.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gb, cb) {
+				t.Fatalf("set %d step %d: delta report != cold report\ndelta:\n%s\ncold:\n%s",
+					si, step, gb, cb)
+			}
+		}
+		assertMatch(-1) // the first, cold report
+		applied := 0
+		for try := 0; try < 80 && applied < 10; try++ {
+			e, ok := randomEdit(rnd, ss.Set(), &next)
+			if !ok {
+				continue
+			}
+			if err := ss.Apply(e); err != nil {
+				t.Fatalf("set %d: apply %+v: %v", si, e, err)
+			}
+			applied++
+			assertMatch(try)
+		}
+		if applied < 5 {
+			t.Fatalf("set %d: only %d random edits applied — generator too weak", si, applied)
+		}
+	}
+}
+
+// TestSessionReportLifecycle pins the session bookkeeping: recomputed
+// flags, edit and delta counters, and the fingerprint round-trip that
+// lets a reverted session hit the same cache entry as the original set
+// (the serving layer keys its LRU on this fingerprint).
+func TestSessionReportLifecycle(t *testing.T) {
+	s := fmsPreparedSet(t)
+	fp := s.Fingerprint()
+	ss, err := NewSession(s, rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Fingerprint(); got != fp {
+		t.Fatalf("fresh session fingerprint %q != set fingerprint %q", got, fp)
+	}
+	r1, recomputed, err := ss.Report()
+	if err != nil || !recomputed {
+		t.Fatalf("first report: recomputed=%v err=%v, want true, nil", recomputed, err)
+	}
+	if ss.DeltaAnalyses() != 0 {
+		t.Fatalf("first (cold) analysis counted as delta: %d", ss.DeltaAnalyses())
+	}
+	r2, recomputed, err := ss.Report()
+	if err != nil || recomputed {
+		t.Fatalf("cached report: recomputed=%v err=%v, want false, nil", recomputed, err)
+	}
+	b1, _ := r1.MarshalIndent()
+	b2, _ := r2.MarshalIndent()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cached report differs from the report it caches")
+	}
+
+	// Find a HI task whose C(HI) can grow by one, bump it, then revert.
+	var name string
+	var old task.Time
+	for _, tk := range ss.Set() {
+		if tk.Crit == task.HI && tk.WCET[task.HI]+1 <= tk.Deadline[task.HI] {
+			name, old = tk.Name, tk.WCET[task.HI]
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no HI task with C(HI) headroom in the FMS set")
+	}
+	if err := ss.Apply(task.SetParam(name, task.ParamCHI, old+1)); err != nil {
+		t.Fatal(err)
+	}
+	if ss.EditsApplied() != 1 {
+		t.Fatalf("EditsApplied = %d, want 1", ss.EditsApplied())
+	}
+	if ss.Fingerprint() == fp {
+		t.Fatal("edited session kept the original fingerprint")
+	}
+	if _, recomputed, err = ss.Report(); err != nil || !recomputed {
+		t.Fatalf("post-edit report: recomputed=%v err=%v, want true, nil", recomputed, err)
+	}
+	if ss.DeltaAnalyses() != 1 {
+		t.Fatalf("DeltaAnalyses = %d, want 1", ss.DeltaAnalyses())
+	}
+
+	// Reverting the edit must restore the original fingerprint exactly —
+	// the property that lets the serving layer reuse the original set's
+	// cached report.
+	if err := ss.Apply(task.SetParam(name, task.ParamCHI, old)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Fingerprint(); got != fp {
+		t.Fatalf("reverted session fingerprint %q != original %q", got, fp)
+	}
+	r3, _, err := ss.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, _ := r3.MarshalIndent()
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("reverted session report differs from the original report")
+	}
+}
+
+// TestSetStateAggregatesMatchCold holds a SetState under a random edit
+// stream and after every edit compares each incrementally maintained
+// aggregate against a freshly constructed state over a clone of the same
+// set — the "cache equals cold recomputation" contract noteChange's
+// invalidation map must uphold for every parameter class.
+func TestSetStateAggregatesMatchCold(t *testing.T) {
+	for si, s := range deltaSets(t) {
+		st, err := dbf.NewSetState(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd := rand.New(rand.NewSource(int64(7000 + si)))
+		next := 0
+		applied := 0
+		for try := 0; try < 120 && applied < 15; try++ {
+			e, ok := randomEdit(rnd, st.Tasks(), &next)
+			if !ok {
+				continue
+			}
+			if err := st.Apply(e); err != nil {
+				t.Fatalf("set %d: apply: %v", si, e)
+			}
+			applied++
+			fresh, err := dbf.NewSetState(st.Tasks().Clone())
+			if err != nil {
+				t.Fatalf("set %d: edited set invalid: %v", si, err)
+			}
+			for _, m := range []task.Crit{task.LO, task.HI} {
+				// Compare against BOTH the fresh state and the task-level
+				// cold functions: the maintained big.Rat sums must produce
+				// the exact bits task.Set's int64 fast path rounds to.
+				if !st.Util(m).Eq(fresh.Util(m)) || !st.Util(m).Eq(st.Tasks().Util(m)) {
+					t.Fatalf("set %d mode %v: Util %v != cold %v / %v",
+						si, m, st.Util(m), fresh.Util(m), st.Tasks().Util(m))
+				}
+				lo1, hi1 := st.UtilBounds(m)
+				lo2, hi2 := fresh.UtilBounds(m)
+				lo3, hi3 := st.Tasks().UtilBounds(m)
+				if !lo1.Eq(lo2) || !hi1.Eq(hi2) || !lo1.Eq(lo3) || !hi1.Eq(hi3) {
+					t.Fatalf("set %d mode %v: UtilBounds (%v,%v) != cold (%v,%v) / (%v,%v)",
+						si, m, lo1, hi1, lo2, hi2, lo3, hi3)
+				}
+			}
+			sum1, inf1 := st.SigmaSum()
+			sum2, inf2 := fresh.SigmaSum()
+			if sum1.Cmp(sum2) != 0 || inf1 != inf2 {
+				t.Fatalf("set %d: SigmaSum (%v,%d) != cold (%v,%d)", si, sum1, inf1, sum2, inf2)
+			}
+			if st.SumActiveCHI() != fresh.SumActiveCHI() || st.TotalCHI() != fresh.TotalCHI() {
+				t.Fatalf("set %d: ΣC(HI) %d/%d != cold %d/%d",
+					si, st.SumActiveCHI(), st.TotalCHI(), fresh.SumActiveCHI(), fresh.TotalCHI())
+			}
+			h1, ok1 := st.HIHyperperiod()
+			h2, ok2 := fresh.HIHyperperiod()
+			if h1 != h2 || ok1 != ok2 {
+				t.Fatalf("set %d: hyperperiod (%d,%v) != cold (%d,%v)", si, h1, ok1, h2, ok2)
+			}
+			if st.Fingerprint() != fresh.Fingerprint() {
+				t.Fatalf("set %d: fingerprint %q != cold %q", si, st.Fingerprint(), fresh.Fingerprint())
+			}
+			if st.LOUtil().Cmp(fresh.LOUtil()) != 0 {
+				t.Fatalf("set %d: LO util %v != cold %v", si, st.LOUtil(), fresh.LOUtil())
+			}
+			if st.LODemandSum().Cmp(fresh.LODemandSum()) != 0 {
+				t.Fatalf("set %d: LO demand sum %v != cold %v", si, st.LODemandSum(), fresh.LODemandSum())
+			}
+		}
+		if applied < 8 {
+			t.Fatalf("set %d: only %d edits applied", si, applied)
+		}
+	}
+}
+
+// TestMinSpeedForResetWarmWitnessInvariance pins the warm-seed soundness
+// of the Corollary-5 inverse: any WarmResetWitness — the previous
+// decisive Δ, a random position, or the budget itself — must leave the
+// entire payload (Speed, Attained, WitnessDelta) bit-identical to the
+// cold walk, and never make the walk examine more events.
+func TestMinSpeedForResetWarmWitnessInvariance(t *testing.T) {
+	budgets := []task.Time{7, 64, 500}
+	for si, s := range deltaSets(t) {
+		for _, b := range budgets {
+			cold, errC := MinSpeedForResetOpts(s, b, Options{NoPrune: true})
+			if _, errB := MinSpeedForResetOpts(s, b, Options{}); (errC == nil) != (errB == nil) {
+				t.Fatalf("set %d budget %d: error mismatch %v vs %v", si, b, errC, errB)
+			}
+			if errC != nil {
+				continue
+			}
+			for _, w := range []task.Time{1, b/2 + 1, b, 3*b + 7, cold.WitnessDelta} {
+				if w <= 0 {
+					continue
+				}
+				warm, err := MinSpeedForResetOpts(s, b, Options{WarmResetWitness: w})
+				if err != nil {
+					t.Fatalf("set %d budget %d witness %d: %v", si, b, w, err)
+				}
+				if !warm.Speed.Eq(cold.Speed) || warm.Attained != cold.Attained ||
+					warm.WitnessDelta != cold.WitnessDelta {
+					t.Fatalf("set %d budget %d witness %d: warm %+v != cold %+v\n%s",
+						si, b, w, warm, cold, s.Table())
+				}
+				if warm.Events > cold.Events {
+					t.Fatalf("set %d budget %d witness %d: warm examined %d events > cold %d",
+						si, b, w, warm.Events, cold.Events)
+				}
+			}
+		}
+	}
+}
+
+// FuzzDeltaEquivalence fuzzes the whole delta pipeline: a random set, a
+// random edit stream, and after every applied edit the session's
+// incrementally re-analyzed Report must be byte-identical to the cold
+// analysis of the same set. Divergence in any field — a stale aggregate,
+// an unsound warm skip, a fingerprint mismatch — fails the property.
+func FuzzDeltaEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(30), uint8(6))
+	f.Add(int64(42), uint8(1), uint8(5), uint8(1))
+	f.Add(int64(20260805), uint8(5), uint8(80), uint8(8))
+	f.Add(int64(-99), uint8(3), uint8(11), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, maxPRaw, editsRaw uint8) {
+		rnd := rand.New(rand.NewSource(seed))
+		s := randomSet(rnd, 1+int(nRaw%5), 5+int64(maxPRaw%80))
+		if s.Validate() != nil {
+			t.Skip() // randomSet can emit degenerate tasks for tiny periods
+		}
+		speed := rat.New(int64(nRaw%30)+10, 10) // 1.0 .. 3.9
+		ss, err := NewSession(s, speed)
+		if err != nil {
+			t.Skip()
+		}
+		next := 0
+		steps := 1 + int(editsRaw%8)
+		for step := 0; step < steps; step++ {
+			e, ok := randomEdit(rnd, ss.Set(), &next)
+			if !ok {
+				continue
+			}
+			if err := ss.Apply(e); err != nil {
+				t.Fatalf("step %d: shadow-validated edit rejected: %v", step, err)
+			}
+			got, _, errS := ss.Report()
+			cold, errC := Analyze(ss.Set(), speed)
+			if errS != nil || errC != nil {
+				// An event-cap error can hit one path before the other
+				// (the warm walk legitimately examines fewer events);
+				// there is no report to compare then.
+				continue
+			}
+			gb, err := got.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := cold.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gb, cb) {
+				t.Fatalf("step %d: delta report != cold report\ndelta:\n%s\ncold:\n%s\n%s",
+					step, gb, cb, ss.Set().Table())
+			}
+		}
+	})
+}

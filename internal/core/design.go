@@ -30,6 +30,11 @@ type SpeedForResetResult struct {
 	// reached, so any speed strictly above Speed works while Speed
 	// itself does not.
 	Attained bool
+	// WitnessDelta is the position of the last strict improvement of the
+	// running infimum — the Δ whose ratio (or left limit) decided Speed.
+	// Feeding it back as Options.WarmResetWitness warm-starts an
+	// adjacent configuration's walk.
+	WitnessDelta task.Time
 	// Events is the number of slope-change events examined one by one.
 	// With pruning on (the default) it is never higher — and usually far
 	// lower — than with Options.NoPrune.
@@ -69,11 +74,18 @@ func MinSpeedForReset(s task.Set, budget task.Time) (SpeedForResetResult, error)
 // running infimum proves irrelevant: the curve is non-decreasing, so with
 // v = ΣADB_HI(pos) every position Δ in (pos, b] has ratio
 // value(Δ)/Δ ≥ v/Δ ≥ v/b — and the same holds for the left limits, whose
-// values are also ≥ v. When b is chosen so that b·best < v (the largest
+// values are also ≥ v. When b is chosen so that b·cutoff < v (the largest
 // such integer, rat.MaxIntBelowRatio), every skipped ratio and left limit
-// is therefore strictly above the incumbent: none can lower the infimum
-// or flip Attained (which only changes on ratios ≤ best), so the result
-// is bit-identical to the unpruned walk.
+// is therefore strictly above the cutoff: with cutoff = best none can
+// lower the infimum or flip Attained (which only changes on ratios
+// ≤ best), so the result is bit-identical to the unpruned walk. An
+// Options.WarmResetWitness tightens the cutoff to min(best, seed) before
+// the running infimum has caught up; the seed is itself a ratio of the
+// current curve at one position, hence ≥ the true infimum, and the skip
+// stays strict — every position whose ratio ties or beats the infimum
+// (in particular the decisive WitnessDelta and every Attained-deciding
+// point) is still examined, which is what keeps warm results
+// bit-identical to cold ones.
 //
 // The walk honors Options.MaxEvents: a budget dense enough to exceed the
 // event cap yields an error rather than an unbounded walk.
@@ -88,14 +100,25 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 	defer o.releaseWalker(w)
 	best := rat.PosInf
 	attained := false
+	var witness task.Time
 	events, jumps := 0, 0
-	consider := func(r rat.Rat, pointAttained bool) {
+	consider := func(r rat.Rat, at task.Time, pointAttained bool) {
 		switch r.Cmp(best) {
 		case -1:
-			best, attained = r, pointAttained
+			best, attained, witness = r, pointAttained, at
 		case 0:
 			attained = attained || pointAttained
 		}
+	}
+	// Warm seed: the ratio at the prior decisive Δ (clamped to the
+	// budget) primes the skip cutoff; see the function comment.
+	cutoffSeed := rat.PosInf
+	if !o.NoPrune && o.WarmResetWitness > 0 {
+		p := o.WarmResetWitness
+		if p > budget {
+			p = budget
+		}
+		cutoffSeed = rat.New(int64(dbf.SetADB(s, p)), int64(p))
 	}
 	for {
 		next, ok := w.PeekNext()
@@ -103,13 +126,15 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 			break
 		}
 		// Incumbent bulk skip (see the function comment for the proof).
-		if !o.NoPrune && best.Sign() > 0 && !best.IsInf() {
-			if v := w.Value(); v > 0 {
-				b := task.Time(rat.MaxIntBelowRatio(int64(v), best, int64(budget)))
-				if b > next {
-					w.SkipTo(b)
-					jumps++
-					continue
+		if !o.NoPrune {
+			if cutoff := rat.Min(best, cutoffSeed); cutoff.Sign() > 0 && !cutoff.IsInf() {
+				if v := w.Value(); v > 0 {
+					b := task.Time(rat.MaxIntBelowRatio(int64(v), cutoff, int64(budget)))
+					if b > next {
+						w.SkipTo(b)
+						jumps++
+						continue
+					}
 				}
 			}
 		}
@@ -119,7 +144,7 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 		// continuous at the event, in which case the identical ratio is
 		// recorded as attained right below.
 		leftLimit := w.Value() + w.Slope()*(next-w.Pos())
-		consider(rat.New(int64(leftLimit), int64(next)), false)
+		consider(rat.New(int64(leftLimit), int64(next)), next, false)
 		w.Next()
 		events++
 		if events > o.maxEvents() {
@@ -127,13 +152,13 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 				"core: speed-for-reset walk exceeded %d events before budget %d; raise Options.MaxEvents or lower the budget",
 				o.maxEvents(), budget)
 		}
-		consider(rat.New(int64(w.Value()), int64(w.Pos())), true)
+		consider(rat.New(int64(w.Value()), int64(w.Pos())), w.Pos(), true)
 	}
 	// The final partial segment up to B (linear, value at B included:
 	// any upward jump exactly at B only raises the ratio).
 	vAtB := w.Value() + w.Slope()*(budget-w.Pos())
-	consider(rat.New(int64(vAtB), int64(budget)), true)
-	return SpeedForResetResult{Speed: best, Attained: attained, Events: events, Jumps: jumps}, nil
+	consider(rat.New(int64(vAtB), int64(budget)), budget, true)
+	return SpeedForResetResult{Speed: best, Attained: attained, WitnessDelta: witness, Events: events, Jumps: jumps}, nil
 }
 
 // capProbe answers "does this candidate's minimum speedup stay within a
@@ -213,6 +238,51 @@ func (p *capProbe) meets(set task.Set, cap rat.Rat) (bool, error) {
 	return res.Speedup.Cmp(cap) <= 0, nil
 }
 
+// atLeastState, speedupState and meetsState are the probe over an
+// incrementally maintained SetState instead of a materialized candidate
+// set: the searches that edit one parameter per candidate (TuneDeadlines,
+// FeasibleXWindow, MinimalY) keep a single state and probe it in place.
+// The certificate evaluates the same summed DBF at the same witness, and
+// the full walk runs minSpeedupState over the same set values, so
+// decisions are bit-identical to the materialized path.
+
+func (p *capProbe) atLeastState(st *dbf.SetState, bound rat.Rat, strict bool) bool {
+	if p.opts.NoWarmStart || p.witness <= 0 {
+		return false
+	}
+	v := dbf.SetValue(st.Tasks(), dbf.KindDBF, p.witness)
+	c := rat.New(int64(v), int64(p.witness)).Cmp(bound)
+	if c > 0 || (c == 0 && !strict) {
+		p.pruned++
+		return true
+	}
+	return false
+}
+
+func (p *capProbe) speedupState(st *dbf.SetState) (SpeedupResult, error) {
+	p.walks++
+	opts := p.opts
+	if !opts.NoWarmStart {
+		opts.WarmWitness = p.witness
+	}
+	res, err := minSpeedupState(st, opts)
+	if err == nil && res.WitnessDelta > 0 {
+		p.witness = res.WitnessDelta
+	}
+	return res, err
+}
+
+func (p *capProbe) meetsState(st *dbf.SetState, cap rat.Rat) (bool, error) {
+	if p.atLeastState(st, cap, true) {
+		return false, nil
+	}
+	res, err := p.speedupState(st)
+	if err != nil {
+		return false, err
+	}
+	return res.Speedup.Cmp(cap) <= 0, nil
+}
+
 // MinimalY finds the smallest uniform service-degradation factor y ≥ 1
 // (eq. (14)) such that the degraded set's minimum HI-mode speedup does
 // not exceed speedCap. HI-criticality virtual deadlines are kept as they
@@ -233,7 +303,12 @@ func MinimalY(s task.Set, speedCap rat.Rat) (rat.Rat, task.Set, error) {
 // MinimalYOpts is MinimalY with explicit walk options. The search probes
 // O(log) candidate degradations through a witness-warm-started capProbe:
 // rejected candidates are usually dismissed by the O(n) certificate at
-// the previous decisive Δ instead of a full event walk.
+// the previous decisive Δ instead of a full event walk. Candidates are
+// not materialized: a single dbf.SetState carries the analyzed demand
+// structure from candidate to candidate, and each transition applies one
+// atomic {D(HI), T(HI)} edit per LO task — consecutive candidates differ
+// in nothing else, so the state's HI aggregates are updated in O(changed
+// tasks) and the set probed at step k is exactly DegradeLO(s, k/q).
 func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, error) {
 	if err := s.Validate(); err != nil {
 		return rat.Rat{}, nil, err
@@ -244,25 +319,22 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 	o, borrowed := borrowScratch(o)
 	defer releaseScratch(borrowed)
 	probe := newCapProbe(o)
-	meets := func(set task.Set) (bool, error) {
-		return probe.meets(set, speedCap)
-	}
-	// Every candidate degradation is materialized in the Scratch's
-	// candidate buffer (newCapProbe guarantees a Scratch), so the whole
-	// search allocates no per-candidate copies; only the winning set is
-	// cloned out of the arena on return.
-	sc := probe.opts.Scratch
-	defer func() { sc.candidate = sc.candidate[:0] }() // drop task refs, keep capacity
 
-	hasLO := false
+	// The LO tasks to degrade; their LO-mode parameters never change, so
+	// each candidate's floor(y·D(LO)), floor(y·T(LO)) values derive from
+	// these captured originals exactly as DegradeLO computes them.
+	type loTask struct {
+		name   string
+		dLO, t task.Time
+	}
+	var los []loTask
 	for i := range s {
 		if s[i].Crit == task.LO {
-			hasLO = true
-			break
+			los = append(los, loTask{s[i].Name, s[i].Deadline[task.LO], s[i].Period[task.LO]})
 		}
 	}
-	if !hasLO {
-		ok, err := meets(s)
+	if len(los) == 0 {
+		ok, err := probe.meets(s, speedCap)
 		if err != nil {
 			return rat.Rat{}, nil, err
 		}
@@ -272,9 +344,28 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 		return rat.One, s.Clone(), nil
 	}
 
+	st, err := dbf.NewSetState(s)
+	if err != nil {
+		return rat.Rat{}, nil, err
+	}
+	// One preallocated two-parameter edit, reused for every transition:
+	// D(HI) and T(HI) move together atomically (their intermediate
+	// states could violate the constrained-deadline invariant).
+	e := task.Edit{Op: task.OpSet, Params: []task.ParamValue{{Param: task.ParamDHI}, {Param: task.ParamTHI}}}
+	degrade := func(name string, d, t task.Time) error {
+		e.Name = name
+		e.Params[0].Value = d
+		e.Params[1].Value = t
+		return st.Apply(e)
+	}
+
 	// Feasibility ceiling: termination is the demand limit of y → ∞.
-	sc.candidate = s.TerminateLOInto(sc.candidate)
-	if ok, err := meets(sc.candidate); err != nil {
+	for _, lt := range los {
+		if err := degrade(lt.name, task.Unbounded, task.Unbounded); err != nil {
+			return rat.Rat{}, nil, err
+		}
+	}
+	if ok, err := probe.meetsState(st, speedCap); err != nil {
 		return rat.Rat{}, nil, err
 	} else if !ok {
 		return rat.Rat{}, nil, fmt.Errorf("core: even terminating LO tasks needs more than %v speedup", speedCap)
@@ -283,38 +374,45 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 	// Granularity: y = k/q with q = max LO-task period realizes every
 	// reachable (floor(y·T), floor(y·D)) vector.
 	var q task.Time
-	for i := range s {
-		if s[i].Crit == task.LO && s[i].Period[task.LO] > q {
-			q = s[i].Period[task.LO]
+	for _, lt := range los {
+		if lt.t > q {
+			q = lt.t
 		}
 	}
-	// degradeK materializes candidate k in the arena; it stays valid only
-	// until the next degradeK call.
-	degradeK := func(k int64) (task.Set, error) {
-		set, err := s.DegradeLOInto(sc.candidate, rat.New(k, int64(q)))
-		if err == nil {
-			sc.candidate = set
+	// degradeK moves the state to candidate k — the same floor/clamp
+	// arithmetic as task.Set.DegradeLO, per LO task.
+	degradeK := func(k int64) error {
+		y := rat.New(k, int64(q))
+		for _, lt := range los {
+			d := task.Time(y.MulInt(int64(lt.dLO)).Floor())
+			t := task.Time(y.MulInt(int64(lt.t)).Floor())
+			if d > t {
+				d = t // keep deadlines constrained after rounding
+			}
+			if err := degrade(lt.name, d, t); err != nil {
+				return err
+			}
 		}
-		return set, err
+		return nil
+	}
+	meetsK := func(k int64) (bool, error) {
+		if err := degradeK(k); err != nil {
+			return false, err
+		}
+		return probe.meetsState(st, speedCap)
 	}
 
 	// y = 1 might already suffice.
-	if set, err := degradeK(int64(q)); err == nil {
-		if ok, err := meets(set); err != nil {
-			return rat.Rat{}, nil, err
-		} else if ok {
-			return rat.One, set.Clone(), nil
-		}
+	if ok, err := meetsK(int64(q)); err != nil {
+		return rat.Rat{}, nil, err
+	} else if ok {
+		return rat.One, st.Tasks().Clone(), nil
 	}
 
 	// Exponential search for a feasible ceiling, then bisect.
 	loK, hiK := int64(q), int64(q)*2
 	for {
-		set, err := degradeK(hiK)
-		if err != nil {
-			return rat.Rat{}, nil, err
-		}
-		ok, err := meets(set)
+		ok, err := meetsK(hiK)
 		if err != nil {
 			return rat.Rat{}, nil, err
 		}
@@ -332,11 +430,7 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 	}
 	for hiK-loK > 1 {
 		mid := loK + (hiK-loK)/2
-		set, err := degradeK(mid)
-		if err != nil {
-			return rat.Rat{}, nil, err
-		}
-		ok, err := meets(set)
+		ok, err := meetsK(mid)
 		if err != nil {
 			return rat.Rat{}, nil, err
 		}
@@ -346,8 +440,8 @@ func MinimalYOpts(s task.Set, speedCap rat.Rat, o Options) (rat.Rat, task.Set, e
 			loK = mid
 		}
 	}
-	// Rebuild the winner as a caller-owned set (the arena buffer is
-	// reused across calls). DegradeLO is deterministic, so this is the
+	// Rebuild the winner as a caller-owned set. DegradeLO is
+	// deterministic and matches degradeK's arithmetic, so this is the
 	// same set the bisection accepted at hiK.
 	bestSet, err := s.DegradeLO(rat.New(hiK, int64(q)))
 	if err != nil {
@@ -370,7 +464,11 @@ func FeasibleXWindow(s task.Set, speedCap rat.Rat) (xLo, xHi rat.Rat, err error)
 
 // FeasibleXWindowOpts is FeasibleXWindow with explicit walk options;
 // like MinimalYOpts it prunes rejected bisection candidates through the
-// witness certificate.
+// witness certificate and carries one dbf.SetState across the bisection
+// instead of materializing each candidate: consecutive candidates differ
+// only in the HI tasks' LO-mode virtual deadlines, and a D(LO) edit
+// leaves every HI-mode aggregate (utilization bounds, ΣC(HI),
+// hyperperiod) valid, so each probe pays only its warm-started walk.
 func FeasibleXWindowOpts(s task.Set, speedCap rat.Rat, o Options) (xLo, xHi rat.Rat, err error) {
 	if speedCap.Sign() <= 0 {
 		return rat.Rat{}, rat.Rat{}, fmt.Errorf("core: speed cap %v must be positive", speedCap)
@@ -392,12 +490,56 @@ func FeasibleXWindowOpts(s task.Set, speedCap rat.Rat, o Options) (xLo, xHi rat.
 	o, borrowed := borrowScratch(o)
 	defer releaseScratch(borrowed)
 	probe := newCapProbe(o)
-	meets := func(k int64) (bool, error) {
-		set, err := s.ShortenHIDeadlines(rat.New(k, int64(dMax)))
-		if err != nil {
-			return false, nil
+	st, err := dbf.NewSetState(s)
+	if err != nil {
+		return rat.Rat{}, rat.Rat{}, err
+	}
+	// The HI tasks' fixed parameters, from which every candidate's
+	// virtual deadline derives exactly as ShortenHIDeadlines computes it.
+	type hiTask struct {
+		name     string
+		cLO, dHI task.Time
+	}
+	var his []hiTask
+	for i := range s {
+		if s[i].Crit == task.HI {
+			his = append(his, hiTask{s[i].Name, s[i].WCET[task.LO], s[i].Deadline[task.HI]})
 		}
-		return probe.meets(set, speedCap)
+	}
+	e := task.Edit{Op: task.OpSet, Params: []task.ParamValue{{Param: task.ParamDLO}}}
+	meets := func(k int64) (bool, error) {
+		x := rat.New(k, int64(dMax))
+		// Mirror ShortenHIDeadlines' per-task floor/clamp arithmetic,
+		// including its all-or-nothing error semantics: a candidate that
+		// leaves some task no room is rejected before the state is
+		// touched (the cold path never built such a set either).
+		for _, ht := range his {
+			d := task.Time(x.MulInt(int64(ht.dHI)).Floor())
+			if d < ht.cLO {
+				d = ht.cLO
+			}
+			if d >= ht.dHI {
+				d = ht.dHI - 1
+			}
+			if d <= 0 {
+				return false, nil
+			}
+		}
+		for _, ht := range his {
+			d := task.Time(x.MulInt(int64(ht.dHI)).Floor())
+			if d < ht.cLO {
+				d = ht.cLO
+			}
+			if d >= ht.dHI {
+				d = ht.dHI - 1
+			}
+			e.Name = ht.name
+			e.Params[0].Value = d
+			if err := st.Apply(e); err != nil {
+				return false, err
+			}
+		}
+		return probe.meetsState(st, speedCap)
 	}
 
 	// Increasing x raises the HI-mode demand pointwise, so the set of

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/task"
 )
@@ -37,10 +38,19 @@ func SchedulableLO(s task.Set) (bool, error) {
 	for i := range s {
 		u.Add(u, big.NewRat(int64(s[i].WCET[task.LO]), int64(s[i].Period[task.LO])))
 	}
+	return schedulableLOWithSums(s, u, nil), nil
+}
+
+// schedulableLOWithSums is the shared decision body of SchedulableLO and
+// schedulableLOState: the utilization trichotomy plus the QPA run, given
+// the exact LO-utilization sum and (optionally) the precomputed QPA
+// horizon numerator Σ(T−D)·C/T. Neither big.Rat is mutated. sum may be
+// nil, in which case it is derived from s.
+func schedulableLOWithSums(s task.Set, u, sum *big.Rat) bool {
 	one := big.NewRat(1, 1)
 	switch u.Cmp(one) {
 	case 1:
-		return false, nil
+		return false
 	case 0:
 		for i := range s {
 			if s[i].Deadline[task.LO] != s[i].Period[task.LO] {
@@ -48,15 +58,34 @@ func SchedulableLO(s task.Set) (bool, error) {
 				// deadline generally overloads some interval; an
 				// exact decision would require walking a full
 				// hyperperiod.
-				return false, nil
+				return false
 			}
 		}
-		return true, nil
+		return true
 	}
 
 	// Any Δ violating the PDC satisfies Δ < Σ(T_i−D_i)·U_i/(1−U); run
 	// the QPA downward iteration (see qpa.go) over that horizon.
-	return qpaLO(s, loHorizon(s, u)), nil
+	if sum == nil {
+		sum = loDemandSumBig(s)
+	}
+	return qpaLO(s, loHorizonFrom(s, sum, u))
+}
+
+// schedulableLOState is SchedulableLO over an incrementally maintained
+// demand state: the verdict is cached until an LO-mode parameter
+// changes, and a recomputation reuses the state's exact incremental
+// utilization and horizon sums instead of resumming the set — the
+// allocation source that dominated the old per-candidate cost in
+// TuneDeadlines. Bit-identical to the cold test by SetState's contract
+// (exact rational arithmetic is independent of the summation order).
+func schedulableLOState(st *dbf.SetState) bool {
+	if v, ok := st.LOSchedCache(); ok {
+		return v
+	}
+	v := schedulableLOWithSums(st.Tasks(), st.LOUtil(), st.LODemandSum())
+	st.StoreLOSched(v)
+	return v
 }
 
 // MinimalX finds the smallest uniform overrun-preparation factor x

@@ -115,21 +115,36 @@ func demandWalkLO(s task.Set, limit int64) bool {
 // sums of large sets overflow fixed-width rationals). Precondition:
 // U < 1 (u is the precomputed utilization sum).
 func loHorizon(s task.Set, u *big.Rat) int64 {
-	one := big.NewRat(1, 1)
-	horizon := new(big.Rat)
-	maxD := task.Time(0)
+	return loHorizonFrom(s, loDemandSumBig(s), u)
+}
+
+// loDemandSumBig sums the horizon numerator Σ(T−D)·C/T over the LO-mode
+// parameters. dbf.SetState maintains the same sum incrementally; the two
+// must stay term-for-term identical for the delta path's bit-identity.
+func loDemandSumBig(s task.Set) *big.Rat {
+	sum := new(big.Rat)
 	for i := range s {
 		ti, di := s[i].Period[task.LO], s[i].Deadline[task.LO]
-		if di > maxD {
-			maxD = di
-		}
 		term := new(big.Rat).Mul(
 			big.NewRat(int64(ti-di), 1),
 			big.NewRat(int64(s[i].WCET[task.LO]), int64(ti)))
-		horizon.Add(horizon, term)
+		sum.Add(sum, term)
 	}
-	horizon.Quo(horizon, new(big.Rat).Sub(one, u))
+	return sum
+}
+
+// loHorizonFrom finishes the horizon from a precomputed numerator.
+// Neither big.Rat argument is mutated (state callers retain theirs).
+func loHorizonFrom(s task.Set, sum, u *big.Rat) int64 {
+	one := big.NewRat(1, 1)
+	horizon := new(big.Rat).Quo(sum, new(big.Rat).Sub(one, u))
 	limit := ceilBig(horizon)
+	var maxD task.Time
+	for i := range s {
+		if d := s[i].Deadline[task.LO]; d > maxD {
+			maxD = d
+		}
+	}
 	if task.Time(limit) < maxD {
 		limit = int64(maxD)
 	}

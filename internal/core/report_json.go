@@ -27,17 +27,21 @@ type reportExport struct {
 	Safe          bool          `json:"safe"`
 }
 
+// speedupExport and resetExport carry the analysis payload only — not
+// the Events/Jumps walk accounting, which depends on how the result was
+// reached (cold walk vs warm-started delta re-analysis) and would break
+// the byte-identity between cold and incremental Reports that the
+// session layer's cache sharing relies on. The /v1/speedup and /v1/reset
+// endpoints expose their own event counts for callers who want them.
 type speedupExport struct {
 	Value        rat.Rat   `json:"value"`
 	LowerBound   rat.Rat   `json:"lowerBound"`
 	Exact        bool      `json:"exact"`
 	WitnessDelta task.Time `json:"witnessDelta"`
-	Events       int       `json:"events"`
 }
 
 type resetExport struct {
-	Value  rat.Rat `json:"value"`
-	Events int     `json:"events"`
+	Value rat.Rat `json:"value"`
 }
 
 // MarshalIndent renders the report as indented JSON. The output is
@@ -55,12 +59,10 @@ func (r Report) MarshalIndent() ([]byte, error) {
 			LowerBound:   r.Speedup.LowerBound,
 			Exact:        r.Speedup.Exact,
 			WitnessDelta: r.Speedup.WitnessDelta,
-			Events:       r.Speedup.Events,
 		},
 		SchedulableHI: r.SchedulableHI,
 		Reset: resetExport{
-			Value:  r.Reset.Reset,
-			Events: r.Reset.Events,
+			Value: r.Reset.Reset,
 		},
 		ClosedSpeedup: r.ClosedSpeedup,
 		ClosedReset:   r.ClosedReset,

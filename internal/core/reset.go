@@ -69,6 +69,25 @@ func ResetTimeOpts(s task.Set, speed rat.Rat, o Options) (ResetResult, error) {
 	// (sub-2^-20-wide) window between the bounds, a finite Δ_R is
 	// reported as +Inf rather than risking a non-terminating walk.
 	_, uHI := s.UtilBounds(task.HI)
+	return resetTimeWalk(s, speed, uHI, o)
+}
+
+// resetTimeState is ResetTimeOpts over an incrementally maintained
+// demand state: the Validate pass and the O(n) utilization recomputation
+// are replaced by the state's cached values (bit-identical by SetState's
+// contract).
+func resetTimeState(st *dbf.SetState, speed rat.Rat, o Options) (ResetResult, error) {
+	if err := validateSpeed(speed); err != nil {
+		return ResetResult{}, err
+	}
+	_, uHI := st.UtilBounds(task.HI)
+	return resetTimeWalk(st.Tasks(), speed, uHI, o)
+}
+
+// resetTimeWalk is the shared body of ResetTimeOpts and resetTimeState:
+// the Corollary-5 crossing walk given the already-derived HI-utilization
+// upper bound.
+func resetTimeWalk(s task.Set, speed, uHI rat.Rat, o Options) (ResetResult, error) {
 	if speed.Cmp(uHI) <= 0 {
 		return ResetResult{Reset: rat.PosInf}, nil
 	}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"mcspeedup/internal/dbf"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// Session is an analyzed task-set state that absorbs edits and
+// re-analyzes incrementally: the interactive "what if" loop of the
+// design-space exploration surface, and the engine behind the server's
+// /v1/session endpoint. It couples a dbf.SetState (the incrementally
+// maintained demand aggregates), a private Scratch arena (so the
+// session's walks are allocation-free after the first), and the decisive
+// witness Δ of the previous analysis (so the next analysis's Theorem-2
+// walk starts with a near-supremum skip cutoff).
+//
+// Reports are bit-identical to Analyze on the same set and speed: the
+// state's cached aggregates equal the cold recomputation by SetState's
+// contract, and the warm witness never changes a walk's result (see
+// Options.WarmWitness). The differential and fuzz tests pin this.
+//
+// A Session is not safe for concurrent use; callers serialize access.
+type Session struct {
+	st      *dbf.SetState
+	speed   rat.Rat
+	scratch Scratch
+	witness task.Time // prior decisive Theorem-2 Δ, 0 before the first analysis
+	curve   speedupCurve
+
+	report Report
+	fresh  bool // report describes the current state
+	cold   bool // the first (cold) analysis has run
+
+	edits, deltas int
+}
+
+// NewSession validates the inputs and returns a session whose first
+// Report call performs the cold analysis.
+func NewSession(s task.Set, speed rat.Rat) (*Session, error) {
+	if err := validateSpeed(speed); err != nil {
+		return nil, err
+	}
+	st, err := dbf.NewSetState(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{st: st, speed: speed}, nil
+}
+
+// Set returns the session's current task set (read-only view).
+func (ss *Session) Set() task.Set { return ss.st.Tasks() }
+
+// Speed returns the HI-mode speed factor the session analyzes at.
+func (ss *Session) Speed() rat.Rat { return ss.speed }
+
+// Fingerprint returns the current set's content address (cached across
+// calls until an edit changes the set).
+func (ss *Session) Fingerprint() string { return ss.st.Fingerprint() }
+
+// EditsApplied returns the number of edits absorbed so far.
+func (ss *Session) EditsApplied() int { return ss.edits }
+
+// DeltaAnalyses returns the number of warm (delta) re-analyses run: every
+// Report recomputation after the first, cold one.
+func (ss *Session) DeltaAnalyses() int { return ss.deltas }
+
+// Apply absorbs the edits in order, updating the demand aggregates in
+// O(changed tasks) per edit and marking the report stale. Edits apply as
+// a stream: a failing edit returns its error with all prior edits
+// applied and the session consistent (callers wanting all-or-nothing
+// semantics dry-run with task.Set.ApplyEdits first).
+func (ss *Session) Apply(edits ...task.Edit) error {
+	for i := range edits {
+		tc, err := ss.st.ApplyTouched(edits[i])
+		if err != nil {
+			return err
+		}
+		ss.curve.noteEdit(tc)
+		ss.edits++
+		ss.fresh = false
+	}
+	return nil
+}
+
+// Report returns the analysis of the current state, re-analyzing only
+// when an edit invalidated the previous report. recomputed reports
+// whether this call ran the analyses (false on the pure cache hit).
+func (ss *Session) Report() (r Report, recomputed bool, err error) {
+	if ss.fresh {
+		return ss.report, false, nil
+	}
+	if err := ss.reanalyze(); err != nil {
+		return Report{}, false, err
+	}
+	if ss.cold {
+		ss.deltas++
+	}
+	ss.cold = true
+	return ss.report, true, nil
+}
+
+// reanalyze runs the full suite over the state: the same pipeline as
+// Analyze, with the O(n) preambles replaced by the state's cached
+// aggregates and the Theorem-2 walk warm-started at the prior witness.
+func (ss *Session) reanalyze() error {
+	st := ss.st
+	r := Report{
+		Set:    st.Tasks().Clone(),
+		Speed:  ss.speed,
+		UtilLO: st.Util(task.LO),
+		UtilHI: st.Util(task.HI),
+	}
+	r.SchedulableLO = schedulableLOState(st)
+	var err error
+	r.Speedup, err = ss.minSpeedup()
+	if err != nil {
+		return err
+	}
+	r.SchedulableHI = ss.speed.Cmp(r.Speedup.Speedup) >= 0
+	r.Reset, err = resetTimeState(st, ss.speed, Options{Scratch: &ss.scratch})
+	if err != nil {
+		return err
+	}
+	r.ClosedSpeedup = closedFormSpeedupState(st)
+	r.ClosedReset = closedFormResetState(st, ss.speed, r.ClosedSpeedup)
+	ss.report = r
+	ss.fresh = true
+	if r.Speedup.WitnessDelta > 0 {
+		ss.witness = r.Speedup.WitnessDelta
+	}
+	return nil
+}
+
+// minSpeedup runs the Theorem-2 analysis the cheapest sound way
+// available: over the session's recorded event curve when the edits since
+// recording were value-only (O(examined events), most of them
+// block-skipped), otherwise the canonical warm walk — re-recording the
+// curve first when the set's event stream is recordable, so the NEXT
+// value edit gets the fast path. All three paths return bit-identical
+// payloads (delta.go proves the curve paths; WarmWitness never changes a
+// result by Options' contract).
+func (ss *Session) minSpeedup() (SpeedupResult, error) {
+	o := Options{Scratch: &ss.scratch, WarmWitness: ss.witness}
+	if ss.curve.valid {
+		if r, ok := ss.curve.walk(ss.st, o); ok {
+			return r, nil
+		}
+		ss.curve.valid = false
+	}
+	if hyper, hyperOK := ss.st.HIHyperperiod(); hyperOK && ss.curve.record(ss.st.Tasks(), hyper, o) {
+		if r, ok := ss.curve.walk(ss.st, o); ok {
+			return r, nil
+		}
+		ss.curve.valid = false
+	}
+	return minSpeedupState(ss.st, o)
+}

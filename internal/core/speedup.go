@@ -67,6 +67,19 @@ type Options struct {
 	// near the true supremum merely skips more. Ignored when NoPrune is
 	// set.
 	WarmWitness task.Time
+
+	// WarmResetWitness, when positive, is a position Δ whose
+	// arrived-demand ratio primes the pruned MinSpeedForReset walk's
+	// bulk-skip cutoff — typically the WitnessDelta of an adjacent
+	// configuration's walk (see SpeedForResetResult.WitnessDelta). Like
+	// WarmWitness, soundness is independent of the value: the ADB ratio
+	// at any single Δ ∈ (0, budget] upper-bounds nothing and
+	// lower-bounds nothing it shouldn't — it is itself one of the
+	// candidate ratios the infimum ranges over, so the seeded cutoff
+	// only ever skips positions whose ratio is strictly above the
+	// infimum, and the result (including Attained and WitnessDelta) is
+	// identical for every choice. Ignored when NoPrune is set.
+	WarmResetWitness task.Time
 }
 
 func (o Options) maxEvents() int {
@@ -153,16 +166,33 @@ func MinSpeedupOpts(s task.Set, o Options) (SpeedupResult, error) {
 	// the stopping rules sound, the lower bound keeps LowerBound honest.
 	// They coincide except for very large sets with coprime periods.
 	uLo, uHi := s.UtilBounds(task.HI)
-	totalC := sumActiveCHI(s)
+	hyper, hyperOK := hiHyperperiod(s)
+	return minSpeedupWalk(s, uLo, uHi, sumActiveCHI(s), hyper, hyperOK, o)
+}
 
+// minSpeedupState is the Theorem-2 walk over an incrementally maintained
+// demand state: the per-call Validate pass and the O(n) aggregate
+// recomputations of MinSpeedupOpts are replaced by the state's cached
+// (delta-updated) values — bit-identical to the cold recomputation by
+// SetState's contract — so a single-parameter edit pays only the walk,
+// which the warm witness in o prunes to a handful of events.
+func minSpeedupState(st *dbf.SetState, o Options) (SpeedupResult, error) {
+	uLo, uHi := st.UtilBounds(task.HI)
+	hyper, hyperOK := st.HIHyperperiod()
+	return minSpeedupWalk(st.Tasks(), uLo, uHi, st.SumActiveCHI(), hyper, hyperOK, o)
+}
+
+// minSpeedupWalk is the shared body of MinSpeedupOpts and
+// minSpeedupState: the event walk of eq. (8) given the already-derived
+// aggregates (HI-utilization bounds, ΣC(HI) over active tasks, and the
+// HI hyperperiod).
+func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyperOK bool, o Options) (SpeedupResult, error) {
 	// Demand in a zero-length interval forces infinite speedup (the
 	// paper's discussion under eq. (8)). Validation rules this out
 	// (D(LO) < D(HI) for HI tasks), but guard anyway.
 	if v := dbf.SetHIMode(s, 0); v > 0 {
 		return SpeedupResult{Speedup: rat.PosInf, LowerBound: rat.PosInf, Exact: true}, nil
 	}
-
-	hyper, hyperOK := hiHyperperiod(s)
 
 	best := rat.Zero
 	var witness task.Time
@@ -310,39 +340,16 @@ func seedBound(s task.Set, warm task.Time, hyper task.Time, hyperOK bool) rat.Ra
 	return seed
 }
 
-// sumActiveCHI sums C_i(HI) over tasks that are not terminated (terminated
-// tasks contribute zero HI-mode demand, so they do not enter the DBF
-// envelope bound).
-func sumActiveCHI(s task.Set) task.Time {
-	var total task.Time
-	for i := range s {
-		if !s[i].Terminated() {
-			total += s[i].WCET[task.HI]
-		}
-	}
-	return total
-}
+// sumActiveCHI sums C_i(HI) over tasks that are not terminated. The
+// implementation lives in package dbf so the incremental SetState and
+// the cold path here derive the aggregate from the same code.
+func sumActiveCHI(s task.Set) task.Time { return dbf.SumActiveCHI(s) }
 
 // hiHyperperiod returns the least common multiple of the HI-mode periods
 // of the non-terminated tasks, with ok=false on overflow or when it
-// exceeds a practical walking horizon.
-func hiHyperperiod(s task.Set) (task.Time, bool) {
-	const horizon = task.Time(1) << 40
-	l := task.Time(1)
-	for i := range s {
-		if s[i].Terminated() {
-			continue
-		}
-		p := s[i].Period[task.HI]
-		g := gcdTime(l, p)
-		l = l / g
-		if l > horizon/p {
-			return 0, false
-		}
-		l *= p
-	}
-	return l, true
-}
+// exceeds a practical walking horizon; shared with dbf.SetState like
+// sumActiveCHI.
+func hiHyperperiod(s task.Set) (task.Time, bool) { return dbf.HIHyperperiod(s) }
 
 func gcdTime(a, b task.Time) task.Time {
 	for b != 0 {

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/task"
 )
@@ -48,8 +49,15 @@ func TuneDeadlines(s task.Set, step rat.Rat) (TuneResult, error) {
 // candidate move is screened by the witness certificate first: a summed
 // DBF ratio at the previous decisive Δ that already reaches the round's
 // best speedup proves the move cannot improve it, skipping the full
-// Theorem-2 walk. One candidate buffer is reused across the inner loop,
-// so a round allocates only when it finds an improving move.
+// Theorem-2 walk.
+//
+// The search carries one dbf.SetState instead of materializing candidate
+// sets: each probe applies a single D(LO) edit, evaluates, and reverts.
+// A virtual-deadline edit leaves every HI-mode aggregate valid and
+// adjusts the LO-mode demand sums in O(1), so a candidate pays only the
+// (usually certificate-pruned) walk and an incremental QPA test — the
+// big.Rat utilization resummation that dominated the old per-candidate
+// cost is gone entirely.
 func TuneDeadlinesOpts(s task.Set, step rat.Rat, o Options) (TuneResult, error) {
 	if step.Sign() <= 0 {
 		step = rat.New(1, 16)
@@ -64,64 +72,76 @@ func TuneDeadlinesOpts(s task.Set, step rat.Rat, o Options) (TuneResult, error) 
 	o, borrowed := borrowScratch(o)
 	defer releaseScratch(borrowed)
 	probe := newCapProbe(o)
-	base, err := probe.speedup(cur)
+	st, err := dbf.NewSetState(cur)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	base, err := probe.speedupState(st)
 	if err != nil {
 		return TuneResult{}, err
 	}
 	res := TuneResult{UniformSpeedup: base.Speedup}
 	best := base.Speedup
 
-	cand := make(task.Set, len(cur))
-	for rounds := 0; rounds < 64*len(s); rounds++ {
+	e := task.Edit{Op: task.OpSet, Params: []task.ParamValue{{Param: task.ParamDLO}}}
+	setDLO := func(name string, d task.Time) error {
+		e.Name = name
+		e.Params[0].Value = d
+		return st.Apply(e)
+	}
+	n := len(cur)
+	for rounds := 0; rounds < 64*n; rounds++ {
 		bestIdx := -1
-		var bestSet task.Set
+		var bestD task.Time
 		bestVal := best
-		for i := range cur {
-			if cur[i].Crit != task.HI {
+		tasks := st.Tasks()
+		for i := 0; i < n; i++ {
+			t := tasks[i] // copy: the probe edits mutate the state in place
+			if t.Crit != task.HI {
 				continue
 			}
 			// Shorten τ_i's virtual deadline by step·D(HI), floored at
 			// C(LO).
-			delta := task.Time(step.MulInt(int64(cur[i].Deadline[task.HI])).Floor())
+			delta := task.Time(step.MulInt(int64(t.Deadline[task.HI])).Floor())
 			if delta < 1 {
 				delta = 1
 			}
-			d := cur[i].Deadline[task.LO] - delta
-			if d < cur[i].WCET[task.LO] {
-				d = cur[i].WCET[task.LO]
+			d := t.Deadline[task.LO] - delta
+			if d < t.WCET[task.LO] {
+				d = t.WCET[task.LO]
 			}
-			if d >= cur[i].Deadline[task.LO] {
+			if d >= t.Deadline[task.LO] {
 				continue // already at the floor
 			}
-			copy(cand, cur)
-			cand[i].Deadline[task.LO] = d
-			okLO, err := SchedulableLO(cand)
-			if err != nil {
+			if err := setDLO(t.Name, d); err != nil {
 				return TuneResult{}, err
 			}
-			if !okLO {
-				continue
+			// LO-mode feasibility first, then the certificate:
+			// s_min(cand) ≥ bestVal already proves the move cannot
+			// strictly improve this round.
+			if schedulableLOState(st) && !probe.atLeastState(st, bestVal, false) {
+				sp, err := probe.speedupState(st)
+				if err != nil {
+					return TuneResult{}, err
+				}
+				if sp.Speedup.Cmp(bestVal) < 0 {
+					bestIdx, bestD, bestVal = i, d, sp.Speedup
+				}
 			}
-			// Certificate: s_min(cand) ≥ bestVal already proves the
-			// move cannot strictly improve this round.
-			if probe.atLeast(cand, bestVal, false) {
-				continue
-			}
-			sp, err := probe.speedup(cand)
-			if err != nil {
-				return TuneResult{}, err
-			}
-			if sp.Speedup.Cmp(bestVal) < 0 {
-				bestIdx, bestSet, bestVal = i, cand.Clone(), sp.Speedup
+			if err := setDLO(t.Name, t.Deadline[task.LO]); err != nil {
+				return TuneResult{}, err // revert the probe edit
 			}
 		}
 		if bestIdx < 0 {
 			break
 		}
-		cur, best = bestSet, bestVal
+		if err := setDLO(tasks[bestIdx].Name, bestD); err != nil {
+			return TuneResult{}, err
+		}
+		best = bestVal
 		res.Rounds++
 	}
-	res.Set = cur
+	res.Set = st.Tasks().Clone()
 	res.Speedup = best
 	return res, nil
 }

@@ -254,6 +254,49 @@ func Advance(t *task.Task, value task.Time, k task.Time) task.Time {
 	return value + k*t.WCET[task.HI]
 }
 
+// TaskSigma returns the per-task supremum
+//
+//	σ_i = sup_{Δ > 0} DBF_HI(τ_i, Δ)/Δ,
+//
+// the smallest slope of a line through the origin dominating the task's
+// HI-mode demand curve. By the exact periodicity
+// DBF_HI(Δ+T) = DBF_HI(Δ)+C(HI), the supremum equals
+//
+//	max{ U_i(HI), (C(HI)−C(LO))/gap, C(HI)/min(gap+C(LO), T(HI)) }
+//
+// where gap = D(HI)−D(LO) is the carry-over window offset: the three
+// candidates are the ratio limit Δ→∞, the jump at the ramp start, and the
+// ramp end (clipped to the period). A zero gap with C(HI) > C(LO) yields
+// +Inf — the paper's observation that HI tasks whose deadlines are not
+// shortened in LO mode force infinite speedup. Terminated tasks have
+// σ_i = 0. It lives here (rather than in core, which re-exports it) so
+// SetState can maintain the Lemma-6 sum Σσ_i incrementally.
+func TaskSigma(t *task.Task) rat.Rat {
+	if t.Terminated() {
+		return rat.Zero
+	}
+	period := t.Period[task.HI]
+	cLO, cHI := t.WCET[task.LO], t.WCET[task.HI]
+	gap := t.Deadline[task.HI] - t.Deadline[task.LO]
+
+	sigma := rat.New(int64(cHI), int64(period)) // U_i(HI)
+	if gap == 0 {
+		if cHI > cLO {
+			return rat.PosInf
+		}
+	} else {
+		sigma = rat.Max(sigma, rat.New(int64(cHI-cLO), int64(gap)))
+	}
+	rampEnd := gap + cLO
+	if rampEnd > period {
+		rampEnd = period
+	}
+	if rampEnd > 0 {
+		sigma = rat.Max(sigma, rat.New(int64(cHI), int64(rampEnd)))
+	}
+	return sigma
+}
+
 // SetNextEvent returns the smallest event position strictly greater than
 // delta across all tasks in the set, or ok=false if no task has events.
 func SetNextEvent(s task.Set, kind Kind, delta task.Time) (next task.Time, ok bool) {

@@ -1,0 +1,16 @@
+package deltacheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/deltacheck"
+	"mcspeedup/internal/lint/linttest"
+)
+
+func TestDeltacheckServer(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/server", deltacheck.Analyzer)
+}
+
+func TestDeltacheckDBF(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/dbf", deltacheck.Analyzer)
+}

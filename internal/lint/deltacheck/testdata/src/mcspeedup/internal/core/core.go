@@ -1,0 +1,9 @@
+// Package core is a minimal stub of mcspeedup/internal/core for the
+// deltacheck testdata: just the Session surface the server stub touches.
+package core
+
+// Session mirrors the real incremental-analysis session.
+type Session struct{ n int }
+
+func (s *Session) Apply()              { s.n++ }
+func (s *Session) Fingerprint() string { return "" }

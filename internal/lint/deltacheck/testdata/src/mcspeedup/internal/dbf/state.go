@@ -1,0 +1,57 @@
+// Package dbf is a minimal stub of mcspeedup/internal/dbf for the
+// deltacheck testdata: the SetState cache-coherence rules in their
+// flagged and clean forms.
+package dbf
+
+type taskSet []int
+
+// SetState mirrors the real incremental demand state: live task data
+// plus caches that must be reconciled on every mutation.
+type SetState struct {
+	set          taskSet
+	sumActiveCHI int64
+	utilValid    [2]bool
+	fp           string
+}
+
+// NewSetState is the constructor — its field writes are the one
+// exemption (they ARE the cold computation).
+func NewSetState(s taskSet) *SetState {
+	st := &SetState{set: s}
+	st.sumActiveCHI = 0
+	return st
+}
+
+// noteChange is the invalidation hook; its own field writes are method
+// writes like any other.
+func (st *SetState) noteChange(delta int64) {
+	st.sumActiveCHI += delta
+	st.fp = ""
+}
+
+// Apply replaces the set and reconciles the caches — clean.
+func (st *SetState) Apply(s taskSet) {
+	st.set = s
+	st.noteChange(1)
+}
+
+// rawReplace swaps the set with no invalidation.
+func (st *SetState) rawReplace(s taskSet) {
+	st.set = s // want `without calling noteChange`
+}
+
+// cacheFill lazily fills a cache inside a method — clean.
+func (st *SetState) cacheFill() {
+	st.utilValid[0] = true
+}
+
+// externalPoke writes a cache field from a plain function.
+func externalPoke(st *SetState) {
+	st.fp = "" // want `outside SetState's methods`
+}
+
+// externalIncrement bumps an aggregate from outside, bypassing the
+// before/after bookkeeping.
+func externalIncrement(st *SetState) {
+	st.sumActiveCHI++ // want `outside SetState's methods`
+}

@@ -1,0 +1,51 @@
+// Package server is a minimal stub of mcspeedup/internal/server for the
+// deltacheck testdata: the session wrapper and one function per locking
+// rule in both its flagged and its clean form.
+package server
+
+import (
+	"sync"
+
+	"mcspeedup/internal/core"
+)
+
+// session mirrors the real registry entry: mu guards core.
+type session struct {
+	mu      sync.Mutex
+	id      string
+	core    *core.Session
+	lastUse uint64
+}
+
+// lockedEdit locks before touching the session's analyzed state — clean.
+func lockedEdit(sn *session) {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.core.Apply()
+}
+
+// lockedRead reads under the lock — clean.
+func lockedRead(sn *session) string {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.core.Fingerprint()
+}
+
+// unlockedPeek reads the analyzed state with no lock in sight.
+func unlockedPeek(sn *session) string {
+	return sn.core.Fingerprint() // want `without locking its mu`
+}
+
+// unlockedEdit mutates with no lock.
+func unlockedEdit(sn *session) {
+	sn.core.Apply() // want `without locking its mu`
+}
+
+// idOnly touches only fields outside the lock's protection — clean.
+func idOnly(sn *session) string { return sn.id }
+
+// construct builds a session; composite-literal initialization is not a
+// guarded access — clean.
+func construct(cs *core.Session) *session {
+	return &session{id: "s-1", core: cs}
+}

@@ -157,6 +157,16 @@ type analyzeRequest struct {
 	transformOpts
 }
 
+// analyzeCacheKey is the result-cache key of one full analysis:
+// fingerprint, speed, and the canonical transform string. /v1/analyze,
+// each /v1/batch item, and /v1/session reports all derive their keys
+// here, which is what makes their cached bytes interchangeable — a
+// session whose edit stream reaches a set some /v1/analyze call already
+// analyzed (transforms defaulted) serves that call's exact bytes.
+func analyzeCacheKey(fingerprint string, speed rat.Rat, transformKey string) string {
+	return fmt.Sprintf("analyze|%s|speed=%s|%s", fingerprint, speed, transformKey)
+}
+
 // analyzeJob validates an analyze request and returns its cache key and
 // compute closure. /v1/analyze and each /v1/batch item go through this
 // one path, so a batch item's key — and therefore its cached bytes — is
@@ -173,7 +183,7 @@ func analyzeJob(req analyzeRequest) (string, func() ([]byte, error), error) {
 	if req.Speed != nil {
 		speed = req.Speed.Rat
 	}
-	key := fmt.Sprintf("analyze|%s|speed=%s|%s", set.Fingerprint(), speed, req.keyPart())
+	key := analyzeCacheKey(set.Fingerprint(), speed, req.keyPart())
 	return key, func() ([]byte, error) {
 		transformed, err := req.apply(set)
 		if err != nil {

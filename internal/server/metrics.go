@@ -50,6 +50,13 @@ type metrics struct {
 	latency  map[string]*histogram
 	// /v1/batch item counters, by outcome.
 	batchItems, batchHits, batchErrors uint64
+	// /v1/session counters: lifecycle, edit volume, and how reports were
+	// produced (warm delta re-analysis vs first cold analysis vs served
+	// straight from the shared result cache).
+	sessionsCreated, sessionsEvicted uint64
+	sessionEdits                     uint64
+	sessionDeltas, sessionColds      uint64
+	sessionCacheHits                 uint64
 }
 
 func newMetrics() *metrics {
@@ -87,9 +94,47 @@ func (m *metrics) recordBatch(items, hits, errors int) {
 	m.batchErrors += uint64(errors)
 }
 
+// recordSessionCreate registers a session creation and, when the
+// registry was full, the LRU eviction that made room for it.
+func (m *metrics) recordSessionCreate(evicted bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionsCreated++
+	if evicted {
+		m.sessionsEvicted++
+	}
+}
+
+// recordSessionEdits registers n applied session edits.
+func (m *metrics) recordSessionEdits(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionEdits += uint64(n)
+}
+
+// recordSessionAnalysis registers one session report computation: a
+// warm delta re-analysis or the session's first, cold analysis.
+func (m *metrics) recordSessionAnalysis(delta bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if delta {
+		m.sessionDeltas++
+	} else {
+		m.sessionColds++
+	}
+}
+
+// recordSessionCacheHit registers a session report served from the
+// shared result cache with no analysis run.
+func (m *metrics) recordSessionCacheHit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sessionCacheHits++
+}
+
 // render emits the Prometheus text exposition format. Families and label
 // values are emitted in sorted order so the output is deterministic.
-func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity int) string {
+func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity, sessionsLive int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -136,6 +181,24 @@ func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity int) string 
 	fmt.Fprintf(&b, "mcs_batch_item_cache_hits_total %d\n", m.batchHits)
 	b.WriteString("# TYPE mcs_batch_item_errors_total counter\n")
 	fmt.Fprintf(&b, "mcs_batch_item_errors_total %d\n", m.batchErrors)
+
+	b.WriteString("# HELP mcs_sessions_live Incremental-analysis sessions currently registered.\n")
+	b.WriteString("# TYPE mcs_sessions_live gauge\n")
+	fmt.Fprintf(&b, "mcs_sessions_live %d\n", sessionsLive)
+	b.WriteString("# TYPE mcs_sessions_created_total counter\n")
+	fmt.Fprintf(&b, "mcs_sessions_created_total %d\n", m.sessionsCreated)
+	b.WriteString("# TYPE mcs_sessions_evicted_total counter\n")
+	fmt.Fprintf(&b, "mcs_sessions_evicted_total %d\n", m.sessionsEvicted)
+	b.WriteString("# HELP mcs_session_edits_total Task-set edits applied across sessions.\n")
+	b.WriteString("# TYPE mcs_session_edits_total counter\n")
+	fmt.Fprintf(&b, "mcs_session_edits_total %d\n", m.sessionEdits)
+	b.WriteString("# HELP mcs_session_delta_reanalyses_total Session reports produced by warm delta re-analysis.\n")
+	b.WriteString("# TYPE mcs_session_delta_reanalyses_total counter\n")
+	fmt.Fprintf(&b, "mcs_session_delta_reanalyses_total %d\n", m.sessionDeltas)
+	b.WriteString("# TYPE mcs_session_cold_analyses_total counter\n")
+	fmt.Fprintf(&b, "mcs_session_cold_analyses_total %d\n", m.sessionColds)
+	b.WriteString("# TYPE mcs_session_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "mcs_session_cache_hits_total %d\n", m.sessionCacheHits)
 
 	b.WriteString("# HELP mcs_cache_hits_total Result-cache lookups served from cache.\n")
 	b.WriteString("# TYPE mcs_cache_hits_total counter\n")

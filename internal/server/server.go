@@ -61,6 +61,9 @@ type Config struct {
 	// MaxBatchItems bounds the number of task sets per /v1/batch
 	// request. 0 = 256.
 	MaxBatchItems int
+	// MaxSessions bounds the live /v1/session registry; beyond it the
+	// least-recently-used session is evicted. 0 = 64.
+	MaxSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,29 +88,35 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 256
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
 	return c
 }
 
 // Server is the mcs-serve HTTP handler set.
 type Server struct {
-	cfg     Config
-	pool    *par.Pool
-	results *cache.Cache[[]byte]
-	metrics *metrics
-	mux     *http.ServeMux
+	cfg      Config
+	pool     *par.Pool
+	results  *cache.Cache[[]byte]
+	metrics  *metrics
+	sessions *sessionRegistry
+	mux      *http.ServeMux
 }
 
 // New builds a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		pool:    par.NewPool(cfg.MaxInFlight),
-		results: cache.New[[]byte](cfg.CacheEntries),
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
+		cfg:      cfg,
+		pool:     par.NewPool(cfg.MaxInFlight),
+		results:  cache.New[[]byte](cfg.CacheEntries),
+		metrics:  newMetrics(),
+		sessions: newSessionRegistry(cfg.MaxSessions),
+		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.instrument("/v1/analyze", s.requirePOST(s.handleAnalyze)))
+	s.mux.HandleFunc("/v1/session", s.instrument("/v1/session", s.requirePOST(s.handleSession)))
 	s.mux.HandleFunc("/v1/batch", s.instrument("/v1/batch", s.requirePOST(s.handleBatch)))
 	s.mux.HandleFunc("/v1/speedup", s.instrument("/v1/speedup", s.requirePOST(s.handleSpeedup)))
 	s.mux.HandleFunc("/v1/reset", s.instrument("/v1/reset", s.requirePOST(s.handleReset)))
@@ -250,7 +259,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.render(s.results.Stats(), s.pool.InFlight(), s.pool.Capacity()))
+	fmt.Fprint(w, s.metrics.render(s.results.Stats(), s.pool.InFlight(), s.pool.Capacity(), s.sessions.live()))
 }
 
 // errorStatus maps a compute error to its HTTP status: saturation → 429,

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// sessionDoc mirrors sessionResponse for decoding in tests.
+type sessionDoc struct {
+	Session       string          `json:"session"`
+	Fingerprint   string          `json:"fingerprint"`
+	EditsApplied  int             `json:"editsApplied"`
+	DeltaAnalyses int             `json:"deltaAnalyses"`
+	Recomputed    bool            `json:"recomputed"`
+	Cache         string          `json:"cache"`
+	Report        json.RawMessage `json:"report"`
+}
+
+func decodeSession(t *testing.T, body []byte) sessionDoc {
+	t.Helper()
+	var doc sessionDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("decoding session response: %v\n%s", err, body)
+	}
+	return doc
+}
+
+// compactJSON normalizes indentation (MarshalIndent re-indents nested
+// raw messages relative to their position, so embedded report bytes
+// differ from standalone ones by leading whitespace only).
+func compactJSON(t *testing.T, b []byte) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, bytes.TrimSpace(b)); err != nil {
+		t.Fatalf("compacting: %v\n%s", err, b)
+	}
+	return buf.String()
+}
+
+func TestSessionCreateEditRevertClose(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	// The session report for the initial set must match /v1/analyze.
+	_, analyzeBody := post(t, ts.URL+"/v1/analyze", tableIJSON)
+	resp, body := post(t, ts.URL+"/v1/session", tableIJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create status %d: %s", resp.StatusCode, body)
+	}
+	created := decodeSession(t, body)
+	if created.Session == "" {
+		t.Fatal("create returned no session id")
+	}
+	if got, want := compactJSON(t, created.Report), compactJSON(t, analyzeBody); got != want {
+		t.Fatalf("session report != /v1/analyze report\nsession: %s\nanalyze: %s", got, want)
+	}
+	// /v1/analyze already cached these exact bytes, so the session's
+	// first report is a shared-cache hit: zero analyses run.
+	if created.Cache != "hit" {
+		t.Errorf("create after identical /v1/analyze: cache = %q, want hit", created.Cache)
+	}
+
+	// Edit: bump tau1's C(HI). The report must match a cold /v1/analyze
+	// of the edited set, and the fingerprint must move.
+	editedJSON := strings.Replace(tableIJSON, `"wcet":[2,4]`, `"wcet":[2,5]`, 1)
+	_, analyzeEdited := post(t, ts.URL+"/v1/analyze", editedJSON)
+	resp, body = post(t, ts.URL+"/v1/session",
+		`{"action":"edit","session":"`+created.Session+`","edits":[{"op":"set","name":"tau1","params":[{"param":"cHI","value":5}]}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit status %d: %s", resp.StatusCode, body)
+	}
+	edited := decodeSession(t, body)
+	if edited.EditsApplied != 1 {
+		t.Errorf("editsApplied = %d, want 1", edited.EditsApplied)
+	}
+	if edited.Fingerprint == created.Fingerprint {
+		t.Error("edit did not change the fingerprint")
+	}
+	if got, want := compactJSON(t, edited.Report), compactJSON(t, analyzeEdited); got != want {
+		t.Fatalf("edited session report != /v1/analyze of edited set\nsession: %s\nanalyze: %s", got, want)
+	}
+
+	// Revert: the fingerprint returns to the original, so the report is
+	// served from the original set's cache entry with no analysis.
+	resp, body = post(t, ts.URL+"/v1/session",
+		`{"action":"edit","session":"`+created.Session+`","edits":[{"op":"set","name":"tau1","params":[{"param":"cHI","value":4}]}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("revert status %d: %s", resp.StatusCode, body)
+	}
+	reverted := decodeSession(t, body)
+	if reverted.Fingerprint != created.Fingerprint {
+		t.Errorf("reverted fingerprint %q != original %q", reverted.Fingerprint, created.Fingerprint)
+	}
+	if reverted.Cache != "hit" {
+		t.Errorf("reverted report cache = %q, want hit (fingerprint round-trip)", reverted.Cache)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("reverted X-Cache = %q, want hit", resp.Header.Get("X-Cache"))
+	}
+	if got, want := compactJSON(t, reverted.Report), compactJSON(t, analyzeBody); got != want {
+		t.Fatalf("reverted session report != original\nsession: %s\nanalyze: %s", got, want)
+	}
+
+	// Close, then use-after-close is 404.
+	resp, body = post(t, ts.URL+"/v1/session", `{"action":"close","session":"`+created.Session+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("close status %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = post(t, ts.URL+"/v1/session", `{"action":"report","session":"`+created.Session+`"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("report after close: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSessionEditAllOrNothing(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, body := post(t, ts.URL+"/v1/session", tableIJSON)
+	created := decodeSession(t, body)
+
+	// Second edit is invalid (C(HI) below C(LO)); the first must not
+	// stick either.
+	resp, _ := post(t, ts.URL+"/v1/session",
+		`{"action":"edit","session":"`+created.Session+`","edits":[`+
+			`{"op":"set","name":"tau1","params":[{"param":"cHI","value":5}]},`+
+			`{"op":"set","name":"tau1","params":[{"param":"cHI","value":1}]}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid edit stream: status %d, want 400", resp.StatusCode)
+	}
+	_, body = post(t, ts.URL+"/v1/session", `{"action":"report","session":"`+created.Session+`"}`)
+	after := decodeSession(t, body)
+	if after.Fingerprint != created.Fingerprint {
+		t.Errorf("failed edit stream moved the fingerprint: %q → %q", created.Fingerprint, after.Fingerprint)
+	}
+	if after.EditsApplied != 0 {
+		t.Errorf("failed edit stream applied %d edits, want 0", after.EditsApplied)
+	}
+}
+
+func TestSessionEviction(t *testing.T) {
+	ts := newTestServer(t, Config{MaxSessions: 2})
+	_, b1 := post(t, ts.URL+"/v1/session", tableIJSON)
+	first := decodeSession(t, b1)
+	post(t, ts.URL+"/v1/session", `{"tasks":`+tableIJSON+`,"speed":3}`)
+	post(t, ts.URL+"/v1/session", `{"tasks":`+tableIJSON+`,"speed":4}`)
+
+	// The registry held 2; the third create evicted the LRU (the first).
+	resp, _ := post(t, ts.URL+"/v1/session", `{"action":"report","session":"`+first.Session+`"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted session still reachable: status %d, want 404", resp.StatusCode)
+	}
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"mcs_sessions_live 2",
+		"mcs_sessions_created_total 3",
+		"mcs_sessions_evicted_total 1",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSessionMetrics pins every mcs_session_* family with exact counts
+// for a scripted conversation: one create (cold analysis), one edit
+// (delta re-analysis), one reverting edit (cache hit).
+func TestSessionMetrics(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, body := post(t, ts.URL+"/v1/session", tableIJSON)
+	created := decodeSession(t, body)
+	post(t, ts.URL+"/v1/session",
+		`{"action":"edit","session":"`+created.Session+`","edits":[{"op":"set","name":"tau1","params":[{"param":"cHI","value":5}]}]}`)
+	post(t, ts.URL+"/v1/session",
+		`{"action":"edit","session":"`+created.Session+`","edits":[{"op":"set","name":"tau1","params":[{"param":"cHI","value":4}]}]}`)
+
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	text := string(metricsBody)
+	for _, want := range []string{
+		"mcs_sessions_live 1",
+		"mcs_sessions_created_total 1",
+		"mcs_sessions_evicted_total 0",
+		"mcs_session_edits_total 2",
+		"mcs_session_delta_reanalyses_total 1",
+		"mcs_session_cold_analyses_total 1",
+		"mcs_session_cache_hits_total 1",
+		`mcs_requests_total{endpoint="/v1/session",code="200"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -394,3 +394,48 @@ func TuneDeadlines(s Set, step Rat) (TuneResult, error) { return core.TuneDeadli
 func TuneDeadlinesOpts(s Set, step Rat, o AnalysisOptions) (TuneResult, error) {
 	return core.TuneDeadlinesOpts(s, step, o)
 }
+
+// --- incremental (delta) analysis: edits and sessions ---
+
+// Edit is one task-set edit descriptor: set parameters on a named task
+// (atomically, so coupled parameters like D(HI)/T(HI) can move
+// together), add a task, or remove one. ParamValue names one parameter
+// assignment inside a set-edit.
+type (
+	Edit       = task.Edit
+	ParamValue = task.ParamValue
+)
+
+// Edit operations and editable parameters.
+const (
+	EditSet    = task.OpSet
+	EditAdd    = task.OpAdd
+	EditRemove = task.OpRemove
+
+	ParamCLO = task.ParamCLO
+	ParamCHI = task.ParamCHI
+	ParamDLO = task.ParamDLO
+	ParamDHI = task.ParamDHI
+	ParamTLO = task.ParamTLO
+	ParamTHI = task.ParamTHI
+)
+
+// SetParam builds the common single-parameter edit.
+func SetParam(name, param string, v Time) Edit { return task.SetParam(name, param, v) }
+
+// ApplyEdits applies the edits to a clone of s (all-or-nothing) and
+// returns the edited set.
+func ApplyEdits(s Set, edits ...Edit) (Set, error) { return s.ApplyEdits(edits...) }
+
+// AnalysisSession is an analyzed task-set state that absorbs Edits and
+// re-analyzes incrementally: demand aggregates update in O(changed
+// tasks) per edit, and the next Report's walks warm-start at the prior
+// decisive witness while staying byte-identical to a cold AnalyzeSet.
+// Not safe for concurrent use.
+type AnalysisSession = core.Session
+
+// NewAnalysisSession validates the set and speed and returns a session
+// whose first Report performs the cold analysis.
+func NewAnalysisSession(s Set, speed Rat) (*AnalysisSession, error) {
+	return core.NewSession(s, speed)
+}

@@ -39,6 +39,10 @@ go test -run Alloc ./internal/core/...
 # ran as part of the suite above).
 go test -fuzz FuzzWalkEquivalence -fuzztime 10s -run '^$' ./internal/core/
 
+# Delta fuzz smoke: random edit streams through a Session must reproduce
+# the cold analysis byte for byte (the incremental-analysis contract).
+go test -fuzz FuzzDeltaEquivalence -fuzztime 10s -run '^$' ./internal/core/
+
 # Bench smoke: every core benchmark must still compile and complete one
 # iteration (allocation regressions are pinned by internal/core's
 # zero-allocation tests; this guards the benchmarks themselves).
@@ -93,6 +97,27 @@ grep -q '"errors": 0' "$tmp/b1"
 grep -q '"cache": "hit"' "$tmp/b1"
 grep -q '"safe": true' "$tmp/b1"
 curl -fsS "$base/metrics" | grep -q '^mcs_batch_items_total 2$'
+
+# /v1/session smoke: create a session on the example set (same set+speed
+# the /v1/analyze calls above cached, so even the create is a cache hit),
+# stream a C(HI) edit (miss: a delta re-analysis runs), then revert it —
+# the fingerprint round-trips, so the revert must hit the original
+# cache entry without any analysis run.
+sid=$(curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/v1/session" |
+    sed -n 's/.*"session": "\([^"]*\)".*/\1/p')
+[ -n "$sid" ]
+printf '{"action":"edit","session":"%s","edits":[{"op":"set","name":"tau1","params":[{"param":"cHI","value":5}]}]}' "$sid" >"$tmp/edit.json"
+printf '{"action":"edit","session":"%s","edits":[{"op":"set","name":"tau1","params":[{"param":"cHI","value":4}]}]}' "$sid" >"$tmp/revert.json"
+curl -fsS -D "$tmp/h3" -o "$tmp/s1" -X POST --data-binary @"$tmp/edit.json" "$base/v1/session"
+grep -qi '^x-cache: miss' "$tmp/h3"
+grep -q '"recomputed": true' "$tmp/s1"
+curl -fsS -D "$tmp/h4" -o "$tmp/s2" -X POST --data-binary @"$tmp/revert.json" "$base/v1/session"
+grep -qi '^x-cache: hit' "$tmp/h4"
+grep -q '"editsApplied": 2' "$tmp/s2"
+curl -fsS -X POST --data-binary "{\"action\":\"close\",\"session\":\"$sid\"}" "$base/v1/session" |
+    grep -q '"closed":true'
+curl -fsS "$base/metrics" | grep -q '^mcs_sessions_created_total 1$'
+curl -fsS "$base/metrics" | grep -q '^mcs_session_edits_total 2$'
 
 kill "$serve_pid"
 wait "$serve_pid"
