@@ -143,9 +143,12 @@ func gitRev() string {
 }
 
 // appendTrajectory appends entry to the JSON array at path, creating the
-// file on first use.
-func appendTrajectory(path string, entry trajectoryEntry) error {
-	var hist []trajectoryEntry
+// file on first use. The history is handled as raw messages so entries
+// written by other tools (mcs-load's latency rows share this file) pass
+// through byte-preserved instead of being re-shaped through this tool's
+// entry struct.
+func appendTrajectory(path string, entry any) error {
+	var hist []json.RawMessage
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &hist); err != nil {
 			return fmt.Errorf("%s is not a trajectory array: %v", path, err)
@@ -153,7 +156,11 @@ func appendTrajectory(path string, entry trajectoryEntry) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	hist = append(hist, entry)
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	hist = append(hist, raw)
 	data, err := json.MarshalIndent(hist, "", "  ")
 	if err != nil {
 		return err

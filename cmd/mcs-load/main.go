@@ -1,0 +1,360 @@
+// Command mcs-load drives an mcs-serve replica set with an open-loop,
+// Zipf-skewed analysis workload and reports latency quantiles and the
+// highest offered rate that met the latency SLO.
+//
+// Usage:
+//
+//	mcs-load -addrs 127.0.0.1:7101,127.0.0.1:7102 [flags]
+//
+//	-addrs string      comma-separated replica addresses; requests
+//	                   round-robin across them (required)
+//	-endpoint string   POST endpoint to load (default /v1/analyze)
+//	-rps float         peak offered requests/second (default 200)
+//	-duration dur      total test duration across all stages (default 10s)
+//	-steps int         offered-rate ladder: steps stages at rps·i/steps,
+//	                   each duration/steps long (default 4; 1 = a single
+//	                   stage at the target rate)
+//	-corpus int        distinct task sets in the corpus (default 64)
+//	-util float        corpus task-set utilization bound (default 0.6)
+//	-zipf float        Zipf popularity exponent (default 1.1)
+//	-seed int          corpus + schedule seed (default 1)
+//	-slo dur           latency SLO (default 50ms)
+//	-slo-quantile f    quantile the SLO applies to (default 0.99)
+//	-timeout dur       per-request timeout (default 5s)
+//	-warmup int        cache-priming requests before measuring: each
+//	                   corpus entry is POSTed once per replica when > 0
+//	                   (default 1; 0 = cold start)
+//	-trajectory path   append a dated entry to this JSON-array history
+//	                   (shared with mcs-bench; see docs/PERF.md)
+//	-out path          write the full report JSON here (- = stdout)
+//
+// The load is open-loop: request k of a stage launches at exactly
+// start + k/rate regardless of how slowly earlier requests return, so a
+// replica that falls behind accumulates queueing latency in the
+// measurement instead of silently throttling the client (closed-loop
+// coordinated omission). The arrival schedule and the corpus draw
+// sequence are pure functions of -seed, so two runs against equal
+// deployments offer byte-identical request streams.
+//
+// Latencies are recorded in an HDR-style log-bucketed histogram
+// (internal/stats) spanning 10 µs – 60 s at 100 buckets/decade, so the
+// reported p50/p99/p999 carry ≤ 2.4 % relative error. RPS-at-SLO is the
+// largest stage rate whose -slo-quantile latency met -slo with zero
+// request errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"mcspeedup/internal/gen"
+	"mcspeedup/internal/stats"
+)
+
+// histMin/histMax/histPerDecade are the latency histogram bounds: 10 µs
+// (well under a loopback round-trip) to 60 s (beyond any sane timeout).
+const (
+	histMin       = 10e-6
+	histMax       = 60.0
+	histPerDecade = 100
+)
+
+// stageResult is one rung of the offered-rate ladder.
+type stageResult struct {
+	OfferedRPS  float64 `json:"offeredRPS"`
+	AchievedRPS float64 `json:"achievedRPS"`
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	P50Ms       float64 `json:"p50Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	P999Ms      float64 `json:"p999Ms"`
+	MaxMs       float64 `json:"maxMs"`
+	MetSLO      bool    `json:"metSLO"`
+}
+
+// report is the mcs-load output document; the trajectory entry embeds
+// it under stable field names next to mcs-bench's ns/op entries.
+type report struct {
+	Kind        string        `json:"kind"` // "load" (mcs-bench entries have no kind)
+	Date        string        `json:"date"`
+	GitRev      string        `json:"gitRev"`
+	GoVersion   string        `json:"goVersion"`
+	NumCPU      int           `json:"numCPU"`
+	Addrs       []string      `json:"addrs"`
+	Endpoint    string        `json:"endpoint"`
+	Corpus      int           `json:"corpus"`
+	Zipf        float64       `json:"zipf"`
+	Seed        int64         `json:"seed"`
+	SLOMs       float64       `json:"sloMs"`
+	SLOQuantile float64       `json:"sloQuantile"`
+	Stages      []stageResult `json:"stages"`
+	// Aggregates over every measured stage.
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	P50Ms    float64 `json:"p50Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+	P999Ms   float64 `json:"p999Ms"`
+	MaxMs    float64 `json:"maxMs"`
+	// RPSAtSLO is the largest offered stage rate that met the SLO
+	// (0 when even the lowest stage missed it).
+	RPSAtSLO float64 `json:"rpsAtSLO"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcs-load: ")
+	var (
+		addrsFlag   = flag.String("addrs", "", "comma-separated replica addresses (required)")
+		endpoint    = flag.String("endpoint", "/v1/analyze", "POST endpoint to load")
+		rps         = flag.Float64("rps", 200, "peak offered requests/second")
+		duration    = flag.Duration("duration", 10*time.Second, "total test duration across all stages")
+		steps       = flag.Int("steps", 4, "offered-rate ladder stages (1 = single stage at -rps)")
+		corpusN     = flag.Int("corpus", 64, "distinct task sets in the corpus")
+		util        = flag.Float64("util", 0.6, "corpus task-set utilization bound")
+		zipfS       = flag.Float64("zipf", 1.1, "Zipf popularity exponent")
+		seed        = flag.Int64("seed", 1, "corpus + schedule seed")
+		slo         = flag.Duration("slo", 50*time.Millisecond, "latency SLO")
+		sloQuantile = flag.Float64("slo-quantile", 0.99, "quantile the SLO applies to")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+		warmup      = flag.Int("warmup", 1, "cache-priming passes over the corpus per replica (0 = cold)")
+		trajectory  = flag.String("trajectory", "", "append a dated entry to this JSON-array history file")
+		out         = flag.String("out", "-", "write the report JSON here (- = stdout)")
+	)
+	flag.Parse()
+
+	addrs := splitAddrs(*addrsFlag)
+	if len(addrs) == 0 {
+		log.Fatal("-addrs is required (comma-separated host:port list)")
+	}
+	if *rps <= 0 || *steps <= 0 || *duration <= 0 {
+		log.Fatal("-rps, -steps, and -duration must be positive")
+	}
+	if *sloQuantile <= 0 || *sloQuantile > 1 {
+		log.Fatal("-slo-quantile must be in (0, 1]")
+	}
+
+	bodies := buildCorpus(*seed, *corpusN, *util)
+	sampler := gen.ZipfCorpus(gen.Substream(*seed, 1, 0), *corpusN, *zipfS)
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * runtime.NumCPU(),
+			MaxIdleConnsPerHost: 4 * runtime.NumCPU(),
+		},
+	}
+
+	if *warmup > 0 {
+		primeCaches(client, addrs, *endpoint, bodies, *warmup)
+	}
+
+	rep := report{
+		Kind:        "load",
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GitRev:      gitRev(),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Addrs:       addrs,
+		Endpoint:    *endpoint,
+		Corpus:      *corpusN,
+		Zipf:        *zipfS,
+		Seed:        *seed,
+		SLOMs:       float64(*slo) / float64(time.Millisecond),
+		SLOQuantile: *sloQuantile,
+	}
+
+	total := stats.NewHistogram(histMin, histMax, histPerDecade)
+	stageDur := *duration / time.Duration(*steps)
+	for i := 1; i <= *steps; i++ {
+		rate := *rps * float64(i) / float64(*steps)
+		st, hist := runStage(client, addrs, *endpoint, bodies, sampler, rate, stageDur)
+		st.MetSLO = st.Errors == 0 && hist.Count() > 0 && hist.HistQuantile(*sloQuantile) <= slo.Seconds()
+		if st.MetSLO && rate > rep.RPSAtSLO {
+			rep.RPSAtSLO = rate
+		}
+		total.Merge(hist)
+		rep.Stages = append(rep.Stages, st)
+		rep.Requests += st.Requests
+		rep.Errors += st.Errors
+		log.Printf("stage %d/%d: offered %.0f rps, achieved %.0f, p50 %.2fms p99 %.2fms p999 %.2fms, errors %d, SLO %v",
+			i, *steps, st.OfferedRPS, st.AchievedRPS, st.P50Ms, st.P99Ms, st.P999Ms, st.Errors, st.MetSLO)
+	}
+	if total.Count() > 0 {
+		rep.P50Ms = 1000 * total.HistQuantile(0.50)
+		rep.P99Ms = 1000 * total.HistQuantile(0.99)
+		rep.P999Ms = 1000 * total.HistQuantile(0.999)
+		rep.MaxMs = 1000 * total.Max()
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out == "-" {
+		fmt.Println(string(data))
+	} else {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	if *trajectory != "" {
+		if err := appendTrajectory(*trajectory, rep); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("appended load entry @ %s to %s", rep.GitRev, *trajectory)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildCorpus generates n task-set request bodies (bare JSON arrays, the
+// /v1/analyze body format). Draw i comes from its own substream, so the
+// corpus is a pure function of (seed, n, util) — the same corpus every
+// replica of a differential run sees.
+func buildCorpus(seed int64, n int, util float64) [][]byte {
+	params := gen.Defaults()
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		set := params.MustSet(gen.SubRand(seed, 0, i), util)
+		data, err := json.Marshal(set)
+		if err != nil {
+			log.Fatalf("marshaling corpus set %d: %v", i, err)
+		}
+		bodies[i] = data
+	}
+	return bodies
+}
+
+// primeCaches POSTs every corpus entry to every replica `passes` times,
+// so the measured stages exercise the steady state (cache hits plus the
+// Zipf tail) rather than the one-time cold fill.
+func primeCaches(client *http.Client, addrs []string, endpoint string, bodies [][]byte, passes int) {
+	for p := 0; p < passes; p++ {
+		for _, addr := range addrs {
+			for _, body := range bodies {
+				resp, err := client.Post("http://"+addr+endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					log.Fatalf("warmup request to %s failed: %v", addr, err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+}
+
+// runStage offers `rate` rps for `dur` with a deterministic open-loop
+// schedule: request k launches at start + k/rate. Latencies land in a
+// per-stage histogram; transport errors and non-200 statuses count as
+// errors and are excluded from the latency distribution.
+func runStage(client *http.Client, addrs []string, endpoint string, bodies [][]byte, sampler *gen.Corpus, rate float64, dur time.Duration) (stageResult, *stats.Histogram) {
+	n := int(math.Floor(rate * dur.Seconds()))
+	if n < 1 {
+		n = 1
+	}
+	hist := stats.NewHistogram(histMin, histMax, histPerDecade)
+	var mu sync.Mutex // guards hist
+	var errs uint64
+	var wg sync.WaitGroup
+
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	for k := 0; k < n; k++ {
+		// The draw happens on the schedule goroutine, in schedule order,
+		// so the request stream is deterministic even though requests
+		// complete out of order.
+		body := bodies[sampler.Next()%len(bodies)]
+		addr := addrs[k%len(addrs)]
+		time.Sleep(time.Until(start.Add(time.Duration(k) * interval)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Post("http://"+addr+endpoint, "application/json", bytes.NewReader(body))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			elapsed := time.Since(t0).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				errs++
+				return
+			}
+			hist.Observe(elapsed)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	st := stageResult{
+		OfferedRPS:  rate,
+		AchievedRPS: float64(n) / elapsed,
+		Requests:    uint64(n),
+		Errors:      errs,
+	}
+	if hist.Count() > 0 {
+		st.P50Ms = 1000 * hist.HistQuantile(0.50)
+		st.P99Ms = 1000 * hist.HistQuantile(0.99)
+		st.P999Ms = 1000 * hist.HistQuantile(0.999)
+		st.MaxMs = 1000 * hist.Max()
+	}
+	return st, hist
+}
+
+// appendTrajectory appends entry to the JSON array at path, creating the
+// file on first use. Existing entries (mcs-bench's ns/op rows) pass
+// through as raw messages, byte-preserved.
+func appendTrajectory(path string, entry any) error {
+	var hist []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return fmt.Errorf("%s is not a trajectory array: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	hist = append(hist, raw)
+	data, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// gitRev mirrors mcs-bench's revision stamp.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

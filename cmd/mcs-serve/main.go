@@ -18,17 +18,34 @@
 //	-max-sim-horizon int    /v1/simulate horizon cap in ticks (default 2e6)
 //	-max-sessions int       live /v1/session cap, LRU-evicted (default 64)
 //	-drain dur              graceful-shutdown drain budget (default 10s)
+//	-drain-grace dur        delay between /readyz going 503 and the
+//	                        listener closing, so load balancers observe
+//	                        the flip before connections are refused
+//	                        (default 0)
+//	-peers string           comma-separated replica addresses forming a
+//	                        fingerprint-sharded cluster (empty =
+//	                        single-node). Every replica must get the
+//	                        same list; see docs/SERVING.md.
+//	-self string            this replica's own entry in -peers (default:
+//	                        the resolved listen address). A -self absent
+//	                        from -peers makes this a pure router.
+//	-vnodes int             consistent-hash virtual nodes per member
+//	                        (default 64)
+//	-no-forward             compute every miss locally instead of
+//	                        proxying to the owning replica
+//	-peer-timeout dur       cap on one forwarded peer request (default 10s)
 //	-pprof string           serve net/http/pprof on this extra LOOPBACK
 //	                        address (e.g. 127.0.0.1:6060); empty = off.
 //	                        Refused for non-loopback addresses; the
 //	                        profiling handlers never join the public mux.
 //
 // Endpoints: POST /v1/analyze, /v1/session, /v1/speedup, /v1/reset,
-// /v1/simulate; GET /healthz, /metrics. See internal/server for the
-// request formats.
+// /v1/simulate; GET /healthz, /readyz, /v1/cluster, /metrics. See
+// internal/server for the request formats.
 //
-// On SIGINT/SIGTERM the server stops accepting connections and drains
-// in-flight requests for up to the -drain budget before exiting.
+// On SIGINT/SIGTERM the server flips /readyz to 503, waits the
+// -drain-grace, then stops accepting connections and drains in-flight
+// requests for up to the -drain budget before exiting.
 package main
 
 import (
@@ -42,6 +59,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux only
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,6 +81,12 @@ func main() {
 		maxBatch      = flag.Int("max-batch", 256, "max task sets per /v1/batch request")
 		maxSessions   = flag.Int("max-sessions", 64, "max live /v1/session sessions (LRU-evicted beyond)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		drainGrace    = flag.Duration("drain-grace", 0, "delay between /readyz flipping 503 and the listener closing")
+		peers         = flag.String("peers", "", "comma-separated replica addresses forming a cluster (empty = single-node)")
+		self          = flag.String("self", "", "this replica's entry in -peers (default: the resolved listen address)")
+		vnodes        = flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = 64)")
+		noForward     = flag.Bool("no-forward", false, "compute every miss locally instead of proxying to the owner")
+		peerTimeout   = flag.Duration("peer-timeout", 10*time.Second, "cap on one forwarded peer request")
 		pprofAddr     = flag.String("pprof", "", "serve /debug/pprof on this extra loopback address (empty = off)")
 	)
 	flag.Parse()
@@ -76,6 +100,17 @@ func main() {
 		log.Printf("pprof listening on http://%s (loopback only)", pln.Addr().String())
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	peerList := splitPeers(*peers)
+	clusterSelf := *self
+	if len(peerList) > 0 && clusterSelf == "" {
+		clusterSelf = ln.Addr().String()
+	}
+
 	svc := server.New(server.Config{
 		MaxInFlight:    *inflight,
 		AdmissionWait:  *admissionWait,
@@ -85,12 +120,12 @@ func main() {
 		MaxSimHorizon:  task.Time(*maxSimHorizon),
 		MaxBatchItems:  *maxBatch,
 		MaxSessions:    *maxSessions,
+		ClusterPeers:   peerList,
+		ClusterSelf:    clusterSelf,
+		ClusterVNodes:  *vnodes,
+		NoForward:      *noForward,
+		PeerTimeout:    *peerTimeout,
 	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
 	srv := &http.Server{
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -101,9 +136,14 @@ func main() {
 		IdleTimeout:  2 * time.Minute,
 	}
 
+	if len(peerList) > 0 {
+		log.Printf("cluster of %d replicas, self=%s (vnodes=%d, forward=%t)",
+			len(peerList), clusterSelf, *vnodes, !*noForward)
+	}
 	// The "listening on" line is the startup handshake scripts parse
 	// (scripts/verify.sh, server_e2e_test.go); keep its shape stable.
 	log.Printf("listening on http://%s", ln.Addr().String())
+	svc.SetReady()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -118,6 +158,13 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Flip /readyz to 503 first and give load balancers -drain-grace to
+	// notice before the listener stops accepting.
+	svc.BeginDrain()
+	if *drainGrace > 0 {
+		log.Printf("shutting down: readiness dropped, holding %v before closing the listener", *drainGrace)
+		time.Sleep(*drainGrace)
+	}
 	log.Printf("shutting down: draining in-flight requests (up to %v)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -130,6 +177,18 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("drained; bye")
+}
+
+// splitPeers parses the -peers flag: comma-separated host:port entries,
+// blanks dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // startPprof serves the net/http/pprof handlers — which the blank import

@@ -14,6 +14,7 @@ package main
 
 import (
 	"mcspeedup/internal/lint"
+	"mcspeedup/internal/lint/clustercheck"
 	"mcspeedup/internal/lint/deltacheck"
 	"mcspeedup/internal/lint/determcheck"
 	"mcspeedup/internal/lint/metricscheck"
@@ -30,5 +31,6 @@ func main() {
 		metricscheck.Analyzer,
 		prunecheck.Analyzer,
 		deltacheck.Analyzer,
+		clustercheck.Analyzer,
 	)
 }

@@ -1,0 +1,368 @@
+package cluster_test
+
+// In-process end-to-end tests of the fingerprint-sharded cluster tier:
+// three real internal/server replicas on loopback listeners exchange
+// forwarded requests exactly as deployed binaries would (the binary
+// variant lives in the repo root's cluster_e2e_test.go). In-process
+// replicas make the expensive cases cheap: killing a replica is closing
+// its listener, and the coalescing test can raise the sim-horizon cap
+// to make one analysis long enough to provably coalesce a herd.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcspeedup/internal/cluster"
+	"mcspeedup/internal/server"
+	"mcspeedup/internal/task"
+)
+
+// testSet is a small valid dual-criticality set; variants derive from it
+// by bumping a WCET, which moves the fingerprint (and so the owner).
+const testSet = `[
+  {"name":"a","crit":"HI","period":[10,10],"deadline":[5,10],"wcet":[1,2]},
+  {"name":"b","crit":"LO","period":[5,5],"deadline":[5,5],"wcet":[1,1]}
+]`
+
+// setVariant returns testSet with task b's period scaled by k, a
+// distinct fingerprint per k.
+func setVariant(t *testing.T, k int) (body, fingerprint string) {
+	t.Helper()
+	body = strings.ReplaceAll(testSet, `"period":[5,5],"deadline":[5,5]`,
+		fmt.Sprintf(`"period":[%d,%d],"deadline":[%d,%d]`, 5*k, 5*k, 5*k, 5*k))
+	set, err := task.ParseJSON([]byte(body))
+	if err != nil {
+		t.Fatalf("variant %d does not parse: %v", k, err)
+	}
+	return body, set.Fingerprint()
+}
+
+// replica is one in-process cluster member.
+type replica struct {
+	addr string
+	hs   *http.Server
+	svc  *server.Server
+}
+
+func (r *replica) url(path string) string { return "http://" + r.addr + path }
+
+// startCluster binds n loopback listeners first (so every replica knows
+// the full peer list before serving) and then starts one Server per
+// listener, exactly as n mcs-serve processes with a shared -peers flag.
+func startCluster(t *testing.T, n int, configure func(i int, cfg *server.Config)) []*replica {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	reps := make([]*replica, n)
+	for i := range reps {
+		cfg := server.Config{ClusterPeers: addrs, ClusterSelf: addrs[i]}
+		if configure != nil {
+			configure(i, &cfg)
+		}
+		svc := server.New(cfg)
+		svc.SetReady()
+		hs := &http.Server{Handler: svc.Handler()}
+		go hs.Serve(lns[i])
+		t.Cleanup(func() { hs.Close() })
+		reps[i] = &replica{addr: addrs[i], hs: hs, svc: svc}
+	}
+	return reps
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func metricValue(t *testing.T, metrics []byte, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+				t.Fatalf("bad metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// pickRoles resolves which replica owns fingerprint and returns (owner,
+// a non-owner). Placement is computed from the same ring the replicas
+// built, which TestGoldenPlacement pins.
+func pickRoles(t *testing.T, reps []*replica, fingerprint string) (owner, nonOwner *replica) {
+	t.Helper()
+	addrs := make([]string, len(reps))
+	for i, r := range reps {
+		addrs[i] = r.addr
+	}
+	own, ok := cluster.NewRing(addrs, 0).Owner(fingerprint)
+	if !ok {
+		t.Fatal("ring reported no owner")
+	}
+	for _, r := range reps {
+		if r.addr == own {
+			owner = r
+		} else if nonOwner == nil {
+			nonOwner = r
+		}
+	}
+	if owner == nil || nonOwner == nil {
+		t.Fatalf("could not resolve owner/non-owner for %s among %v", own, addrs)
+	}
+	return owner, nonOwner
+}
+
+// TestClusterForwardsMissesToOwner is the tentpole acceptance test: the
+// same fingerprint resolves to the same owner on every replica, a
+// non-owner proxies the miss and returns bytes identical to the owner's
+// and to a single-node server's, and the forward is visible in the
+// non-owner's metrics.
+func TestClusterForwardsMissesToOwner(t *testing.T) {
+	reps := startCluster(t, 3, nil)
+	body, fp := setVariant(t, 1)
+	owner, nonOwner := pickRoles(t, reps, fp)
+
+	// Every replica must agree on the placement (/v1/cluster?key=).
+	for _, r := range reps {
+		var doc struct {
+			Mode      string `json:"mode"`
+			Placement struct {
+				Owner string `json:"owner"`
+				Local bool   `json:"local"`
+			} `json:"placement"`
+		}
+		if err := json.Unmarshal(getBody(t, r.url("/v1/cluster?key="+fp)), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Mode != "cluster" || doc.Placement.Owner != owner.addr {
+			t.Fatalf("replica %s resolves owner %q (mode %s), want %q", r.addr, doc.Placement.Owner, doc.Mode, owner.addr)
+		}
+		if doc.Placement.Local != (r == owner) {
+			t.Errorf("replica %s local=%v, want %v", r.addr, doc.Placement.Local, r == owner)
+		}
+	}
+
+	// Single-node reference bytes.
+	ref := server.New(server.Config{})
+	ts := httptest.NewServer(ref.Handler())
+	defer ts.Close()
+	_, want := postJSON(t, ts.URL+"/v1/analyze", body)
+
+	// Miss through the non-owner: proxied to the owner, single hop.
+	resp, got := postJSON(t, nonOwner.url("/v1/analyze"), body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded analyze: %d (%s)", resp.StatusCode, got)
+	}
+	if peer := resp.Header.Get(cluster.PeerHeader); peer != owner.addr {
+		t.Errorf("%s header = %q, want the owner %q", cluster.PeerHeader, peer, owner.addr)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("forwarded bytes differ from single-node reference:\n%s\nvs\n%s", got, want)
+	}
+
+	// The owner computed (and cached) it; a direct request is a hit with
+	// identical bytes.
+	resp, direct := postJSON(t, owner.url("/v1/analyze"), body)
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("owner X-Cache = %q after serving a forward, want hit", resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(direct, want) {
+		t.Error("owner bytes differ from single-node reference")
+	}
+
+	// The non-owner cached the owner's bytes too: a repeat is a local hit
+	// with no second forward.
+	resp, again := postJSON(t, nonOwner.url("/v1/analyze"), body)
+	if resp.Header.Get("X-Cache") != "hit" || !bytes.Equal(again, want) {
+		t.Error("repeat through the non-owner was not a byte-identical local hit")
+	}
+	metrics := getBody(t, nonOwner.url("/metrics"))
+	if v := metricValue(t, metrics, "mcs_cluster_forward_total"); v != 1 {
+		t.Errorf("non-owner mcs_cluster_forward_total = %g, want 1", v)
+	}
+	if v := metricValue(t, metrics, "mcs_cluster_forward_errors_total"); v != 0 {
+		t.Errorf("non-owner forward errors = %g, want 0", v)
+	}
+	// The owner served it locally: no forward recorded there.
+	if v := metricValue(t, getBody(t, owner.url("/metrics")), "mcs_cluster_forward_total"); v != 0 {
+		t.Errorf("owner mcs_cluster_forward_total = %g, want 0", v)
+	}
+}
+
+// TestClusterDegradesWhenOwnerDies: killing a replica must degrade its
+// keys to local compute on whichever replica receives them — duplicated
+// work, never an error.
+func TestClusterDegradesWhenOwnerDies(t *testing.T) {
+	reps := startCluster(t, 3, nil)
+	// Find a variant owned by reps[0] so we know who to kill.
+	var body string
+	var fp string
+	for k := 1; k < 64; k++ {
+		b, f := setVariant(t, k)
+		if owner, _ := pickRoles(t, reps, f); owner == reps[0] {
+			body, fp = b, f
+			break
+		}
+	}
+	if body == "" {
+		t.Fatal("no set variant owned by replica 0 in 64 tries")
+	}
+	_, survivor := pickRoles(t, reps, fp)
+
+	ref := server.New(server.Config{})
+	ts := httptest.NewServer(ref.Handler())
+	defer ts.Close()
+	_, want := postJSON(t, ts.URL+"/v1/analyze", body)
+
+	reps[0].hs.Close()
+
+	resp, got := postJSON(t, survivor.url("/v1/analyze"), body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request for a dead owner's key: %d (%s)", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("degraded local compute differs from single-node reference")
+	}
+	metrics := getBody(t, survivor.url("/metrics"))
+	if v := metricValue(t, metrics, "mcs_cluster_forward_errors_total"); v < 1 {
+		t.Errorf("forward errors = %g after owner death, want >= 1", v)
+	}
+	if v := metricValue(t, metrics, "mcs_cache_misses_total"); v < 1 {
+		t.Errorf("local compute after owner death should count a miss, got %g", v)
+	}
+}
+
+// TestClusterNoForwardComputesLocally: the escape hatch disables
+// proxying but keeps placement reporting.
+func TestClusterNoForwardComputesLocally(t *testing.T) {
+	reps := startCluster(t, 3, func(i int, cfg *server.Config) { cfg.NoForward = true })
+	body, fp := setVariant(t, 1)
+	_, nonOwner := pickRoles(t, reps, fp)
+
+	resp, _ := postJSON(t, nonOwner.url("/v1/analyze"), body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("no-forward analyze: %d", resp.StatusCode)
+	}
+	if peer := resp.Header.Get(cluster.PeerHeader); peer != "" {
+		t.Errorf("no-forward response carries %s=%q", cluster.PeerHeader, peer)
+	}
+	metrics := getBody(t, nonOwner.url("/metrics"))
+	if v := metricValue(t, metrics, "mcs_cluster_forward_total"); v != 0 {
+		t.Errorf("forwards = %g with -no-forward, want 0", v)
+	}
+	if v := metricValue(t, metrics, "mcs_cache_misses_total"); v != 1 {
+		t.Errorf("local misses = %g, want 1", v)
+	}
+}
+
+// TestCoalesceThunderingHerd is the singleflight acceptance test: 64
+// concurrent identical misses perform exactly one analysis. The
+// sim-horizon cap is raised so the one walk takes long enough (hundreds
+// of ms) that every follower provably arrives while it runs.
+func TestCoalesceThunderingHerd(t *testing.T) {
+	svc := server.New(server.Config{MaxSimHorizon: 100_000_000})
+	svc.SetReady()
+	mux := svc.Handler()
+
+	// A dense simulate request: 8 tasks at period 20 over a 2e7-tick
+	// horizon is ~2M simulated jobs, far beyond goroutine launch skew.
+	var tasks []string
+	for i := 0; i < 8; i++ {
+		if i%2 == 1 {
+			tasks = append(tasks, fmt.Sprintf(
+				`{"name":"t%d","crit":"HI","period":[20,20],"deadline":[10,20],"wcet":[1,2]}`, i))
+		} else {
+			tasks = append(tasks, fmt.Sprintf(
+				`{"name":"t%d","crit":"LO","period":[20,20],"deadline":[20,20],"wcet":[1,1]}`, i))
+		}
+	}
+	body := `{"tasks":[` + strings.Join(tasks, ",") + `],"workload":"random","seed":3,"horizon":5000000}`
+
+	const herd = 64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	codes := make([]int, herd)
+	wg.Add(herd)
+	for i := 0; i < herd; i++ {
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, req)
+			codes[i] = rec.Code
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("herd member %d: status %d", i, code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	metrics := rec.Body.Bytes()
+
+	flights := metricValue(t, metrics, "mcs_coalesce_flights_total")
+	dedup := metricValue(t, metrics, "mcs_coalesce_dedup_total")
+	hits := metricValue(t, metrics, "mcs_cache_hits_total")
+	misses := metricValue(t, metrics, "mcs_cache_misses_total")
+	if flights != 1 {
+		t.Errorf("mcs_coalesce_flights_total = %g, want exactly 1 analysis for the herd", flights)
+	}
+	if dedup < 1 {
+		t.Errorf("mcs_coalesce_dedup_total = %g, want >= 1 (no coalescing happened)", dedup)
+	}
+	// Every request did exactly one cache lookup and either hit, led, or
+	// joined the flight: the three outcomes partition the herd.
+	if flights+dedup+hits != herd || hits+misses != herd {
+		t.Errorf("flights=%g dedup=%g hits=%g misses=%g do not partition the %d-request herd",
+			flights, dedup, hits, misses, herd)
+	}
+}

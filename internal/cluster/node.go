@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ForwardedHeader marks a request that already crossed one replica hop.
+// A replica receiving it never forwards again, whatever the ring says —
+// forwarding is strictly single-hop, so a stale or asymmetric peer list
+// can cost one extra local compute but can never form a loop.
+const ForwardedHeader = "X-MCS-Forwarded"
+
+// PeerHeader is set on forwarded responses to the address of the replica
+// that actually produced the bytes.
+const PeerHeader = "X-MCS-Peer"
+
+// Config describes one replica's view of the cluster.
+type Config struct {
+	// Self is this replica's advertised address (host:port), matching
+	// its entry in Peers. A Self that is absent from Peers (including
+	// the empty string) makes this node a pure router: it owns no keys
+	// and forwards every miss.
+	Self string
+	// Peers lists the ring members (host:port each). The placement is a
+	// pure function of this list, so every replica must be started with
+	// the same one (order and duplicates do not matter).
+	Peers []string
+	// VNodes is the virtual-node count per member (0 = DefaultVNodes).
+	VNodes int
+	// NoForward disables proxying: misses on keys owned elsewhere are
+	// computed locally. The escape hatch for debugging placement and for
+	// the differential tests (forwarded vs local bytes must be equal).
+	NoForward bool
+	// PeerTimeout caps one forwarded request (0 = 10s). The request
+	// context's own deadline also applies, whichever is sooner.
+	PeerTimeout time.Duration
+	// Transport overrides the forwarding client's transport (tests).
+	Transport http.RoundTripper
+}
+
+// peerHealth is the per-peer failure bookkeeping behind /v1/cluster.
+type peerHealth struct {
+	forwards  uint64
+	failures  uint64
+	lastError string
+}
+
+// PeerStatus is one member's row in the /v1/cluster status document.
+type PeerStatus struct {
+	Addr     string  `json:"addr"`
+	Self     bool    `json:"self"`
+	Share    float64 `json:"share"`
+	Forwards uint64  `json:"forwards"`
+	Failures uint64  `json:"failures"`
+	LastErr  string  `json:"lastError,omitempty"`
+}
+
+// Node is one replica's cluster membership: the shared ring, this
+// replica's identity, and the forwarding client.
+type Node struct {
+	self        string
+	ring        *Ring
+	noForward   bool
+	peerTimeout time.Duration
+	client      *http.Client
+
+	mu     sync.Mutex
+	health map[string]*peerHealth
+}
+
+// NewNode builds the replica's cluster view. It returns nil when cfg has
+// no peers — a nil *Node is valid and means "single-node mode"
+// (Enabled() reports false and Owner always reports local).
+func NewNode(cfg Config) *Node {
+	if len(cfg.Peers) == 0 {
+		return nil
+	}
+	if cfg.PeerTimeout <= 0 {
+		cfg.PeerTimeout = 10 * time.Second
+	}
+	n := &Node{
+		self:        cfg.Self,
+		ring:        NewRing(cfg.Peers, cfg.VNodes),
+		noForward:   cfg.NoForward,
+		peerTimeout: cfg.PeerTimeout,
+		client:      &http.Client{Transport: cfg.Transport},
+		health:      make(map[string]*peerHealth),
+	}
+	return n
+}
+
+// Enabled reports whether this replica participates in a cluster.
+func (n *Node) Enabled() bool { return n != nil && len(n.ring.Members()) > 0 }
+
+// Self returns this replica's advertised address ("" for a router-only
+// node).
+func (n *Node) Self() string {
+	if n == nil {
+		return ""
+	}
+	return n.self
+}
+
+// NoForward reports whether proxying is disabled.
+func (n *Node) NoForward() bool { return n != nil && n.noForward }
+
+// Ring returns the placement ring (nil for a single-node replica).
+func (n *Node) Ring() *Ring {
+	if n == nil {
+		return nil
+	}
+	return n.ring
+}
+
+// Owner resolves the replica owning key. local is true when this
+// replica should compute the key itself: it is the owner, the cluster is
+// disabled, or the ring is empty.
+func (n *Node) Owner(key string) (addr string, local bool) {
+	if !n.Enabled() {
+		return "", true
+	}
+	owner, ok := n.ring.Owner(key)
+	if !ok || owner == n.self {
+		return owner, true
+	}
+	return owner, false
+}
+
+// Forward proxies a request body to the owning replica and returns the
+// response bytes with the trailing newline trimmed, so they are
+// byte-identical to the locally cached form. The request inherits ctx —
+// the serving layer passes the inbound request context, propagating the
+// caller's deadline — additionally capped by PeerTimeout. Any transport
+// error or non-200 status is returned as an error; the caller is
+// expected to degrade to local compute.
+func (n *Node) Forward(ctx context.Context, owner, path, contentType string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.peerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+owner+path, bytes.NewReader(body))
+	if err != nil {
+		n.record(owner, err)
+		return nil, fmt.Errorf("cluster: building forward request: %w", err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set(ForwardedHeader, "1")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.record(owner, err)
+		return nil, fmt.Errorf("cluster: forwarding to %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		n.record(owner, err)
+		return nil, fmt.Errorf("cluster: reading forwarded response from %s: %w", owner, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := fmt.Errorf("cluster: peer %s returned %d: %s", owner, resp.StatusCode, bytes.TrimSpace(data))
+		n.record(owner, err)
+		return nil, err
+	}
+	n.record(owner, nil)
+	return bytes.TrimSuffix(data, []byte("\n")), nil
+}
+
+// record updates the per-peer forward/failure counters.
+func (n *Node) record(owner string, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.health[owner]
+	if h == nil {
+		h = new(peerHealth)
+		n.health[owner] = h
+	}
+	h.forwards++
+	if err != nil {
+		h.failures++
+		h.lastError = err.Error()
+	}
+}
+
+// Status returns the per-member status rows, sorted by address.
+func (n *Node) Status() []PeerStatus {
+	if !n.Enabled() {
+		return nil
+	}
+	shares := n.ring.Shares()
+	members := n.ring.Members()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerStatus, 0, len(members))
+	for _, m := range members {
+		ps := PeerStatus{Addr: m, Self: m == n.self, Share: shares[m]}
+		if h := n.health[m]; h != nil {
+			ps.Forwards = h.forwards
+			ps.Failures = h.failures
+			ps.LastErr = h.lastError
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

@@ -1,0 +1,169 @@
+// Package cluster turns mcs-serve into a multi-replica service. The
+// analyses are pure functions of the task set, and task.Set.Fingerprint
+// is a canonical content address, so a fleet of replicas can partition
+// the result keyspace with nothing but a shared peer list: every replica
+// builds the same consistent-hash ring over the fingerprints, and a
+// replica that does not own a key proxies the miss to the owner instead
+// of burning a local walk on it. Three pieces:
+//
+//   - Ring: a consistent-hash ring with virtual nodes. Placement is a
+//     pure function of (members, vnodes, key) — no coordinator, no
+//     gossip — and is pinned by golden tests so a refactor cannot
+//     silently remap the keyspace and dump every cache warm set.
+//   - Group: a singleflight coalescer. A thundering herd of identical
+//     misses performs exactly one analysis (or one peer fetch)
+//     cluster-wide; the rest wait for the leader's bytes.
+//   - Node: the peer client — forwards a request body to the owning
+//     replica with single-hop loop protection (the X-MCS-Forwarded
+//     header) and per-peer failure accounting, falling back to local
+//     compute when the owner is unreachable.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per member. 64 vnodes over a
+// handful of replicas keeps the keyspace imbalance within a few percent
+// while the ring stays small enough to rebuild instantly.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// and the member it maps to.
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// Ring is a consistent-hash ring over a static member list. Placement
+// depends only on the member addresses (not their order), the vnode
+// count, and the key, so every replica that was started with the same
+// peer list computes the same owner for every fingerprint.
+//
+// The ring is immutable after New; the mutex guards the points slice so
+// a future membership change (or a health-driven rebuild) can swap it
+// without racing Owner lookups.
+type Ring struct {
+	mu      sync.RWMutex
+	members []string // sorted, deduplicated
+	vnodes  int
+	points  []ringPoint // sorted by hash
+}
+
+// NewRing builds a ring over the member addresses with the given
+// virtual-node count (<= 0 selects DefaultVNodes). Duplicate members are
+// folded; the member order does not matter. An empty member list yields
+// a ring that owns nothing (Owner always reports false).
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	var uniq []string
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(m + "#" + strconv.Itoa(v)),
+				member: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		// Ties broken by member index (itself sorted by address) so the
+		// ring is a total order regardless of build order.
+		return p.member < q.member
+	})
+	return r
+}
+
+// hashKey maps a string to its position on the hash circle: FNV-64a —
+// stable across Go releases and platforms, which the golden placement
+// tests rely on — finished with the SplitMix64 avalanche. FNV alone
+// clusters badly on near-identical inputs (vnode labels differ in a
+// suffix digit; fingerprints share the hex alphabet), skewing member
+// shares by >5×; the finalizer restores full-width diffusion.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Owner returns the member owning key: the first virtual node at or
+// after the key's hash, wrapping at the top of the circle. ok is false
+// when the ring has no members.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	h := hashKey(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.members[r.points[i].member], true
+}
+
+// Members returns the sorted member addresses.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.members...)
+}
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.vnodes
+}
+
+// Shares estimates each member's share of the keyspace: the fraction of
+// the hash circle covered by arcs ending at one of its virtual nodes.
+// Shares sum to 1 for a non-empty ring.
+func (r *Ring) Shares() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	shares := make(map[string]float64, len(r.members))
+	if len(r.points) == 0 {
+		return shares
+	}
+	const circle = float64(1<<63) * 2 // 2^64
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		arc := p.hash - prev // wraps correctly in uint64 arithmetic
+		shares[r.members[p.member]] += float64(arc) / circle
+		prev = p.hash
+	}
+	return shares
+}
+
+// String renders the ring compactly for logs.
+func (r *Ring) String() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return fmt.Sprintf("ring(%d members × %d vnodes)", len(r.members), r.vnodes)
+}

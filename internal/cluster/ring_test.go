@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+var goldenPeers = []string{"127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"}
+
+// TestGoldenPlacement pins the ring's placement function. These values
+// may only change with an explicit decision to remap the keyspace —
+// every deployed replica computes owners locally from the peer list, so
+// an accidental change (hash function, vnode labeling, tie-breaking)
+// silently splits the cluster between old and new placements.
+func TestGoldenPlacement(t *testing.T) {
+	r := NewRing(goldenPeers, 0)
+	golden := map[string]string{
+		"a": "127.0.0.1:7101",
+		"b": "127.0.0.1:7101",
+		"c": "127.0.0.1:7103",
+		// Fingerprint-shaped keys: the all-zero and all-f hex digests,
+		// and the fingerprint of the {a: HI(10,2,4), b: LO(5,1)} set.
+		"0000000000000000000000000000000000000000000000000000000000000000": "127.0.0.1:7101",
+		"ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff": "127.0.0.1:7101",
+		"cb01013db8ebfdcf3dbc6aef1e7158db19ef439c477d8d931acbf431074729d4": "127.0.0.1:7102",
+	}
+	for key, want := range golden {
+		owner, ok := r.Owner(key)
+		if !ok || owner != want {
+			t.Errorf("Owner(%q) = %q, %v; want %q (golden placement changed!)", key, owner, ok, want)
+		}
+	}
+}
+
+// TestPlacementIgnoresPeerOrder: replicas may list peers in any order
+// and must still agree on every owner.
+func TestPlacementIgnoresPeerOrder(t *testing.T) {
+	a := NewRing(goldenPeers, 0)
+	b := NewRing([]string{goldenPeers[2], goldenPeers[0], goldenPeers[1], goldenPeers[0]}, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("Owner(%q) differs with peer order: %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+// TestPlacementIsStablePerKey: repeated lookups never move.
+func TestPlacementIsStablePerKey(t *testing.T) {
+	r := NewRing(goldenPeers, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first, _ := r.Owner(key)
+		for j := 0; j < 10; j++ {
+			if o, _ := r.Owner(key); o != first {
+				t.Fatalf("Owner(%q) moved from %q to %q", key, first, o)
+			}
+		}
+	}
+}
+
+// TestKeyspaceBalance: with the default vnode count, no member of a
+// 3-replica ring should own more than half or less than a sixth of a
+// large synthetic keyspace (the mixed hash keeps the skew well inside
+// that; FNV without the finalizer was at 6% / 58%).
+func TestKeyspaceBalance(t *testing.T) {
+	r := NewRing(goldenPeers, 0)
+	counts := make(map[string]int)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		o, _ := r.Owner(fmt.Sprintf("key-%d", i))
+		counts[o]++
+	}
+	for _, p := range goldenPeers {
+		frac := float64(counts[p]) / n
+		if frac < 1.0/6 || frac > 0.5 {
+			t.Errorf("member %s owns %.1f%% of the keyspace (counts %v)", p, 100*frac, counts)
+		}
+	}
+	shares := r.Shares()
+	var total float64
+	for _, s := range shares {
+		total += s
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("shares sum to %g, want 1: %v", total, shares)
+	}
+}
+
+func TestEmptyAndSingleRings(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner("x"); ok {
+		t.Error("empty ring reported an owner")
+	}
+	solo := NewRing([]string{"a:1"}, 4)
+	for _, key := range []string{"x", "y", "z"} {
+		if o, ok := solo.Owner(key); !ok || o != "a:1" {
+			t.Errorf("solo ring Owner(%q) = %q, %v", key, o, ok)
+		}
+	}
+}
+
+func TestNodeOwnerModes(t *testing.T) {
+	var nilNode *Node
+	if !nilNode.Enabled() {
+		if _, local := nilNode.Owner("k"); !local {
+			t.Error("nil node must report every key local")
+		}
+	} else {
+		t.Error("nil node reports Enabled")
+	}
+
+	// A router node (self not in the ring) owns nothing.
+	router := NewNode(Config{Self: "", Peers: goldenPeers})
+	for i := 0; i < 50; i++ {
+		if _, local := router.Owner(fmt.Sprintf("key-%d", i)); local {
+			t.Fatalf("router node claimed ownership of key-%d", i)
+		}
+	}
+
+	// A member node owns exactly the keys the ring maps to it.
+	member := NewNode(Config{Self: goldenPeers[0], Peers: goldenPeers})
+	sawLocal, sawRemote := false, false
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner, local := member.Owner(key)
+		ringOwner, _ := member.Ring().Owner(key)
+		if local != (ringOwner == goldenPeers[0]) || owner != ringOwner {
+			t.Fatalf("Owner(%q) = (%q, %v), ring says %q", key, owner, local, ringOwner)
+		}
+		sawLocal = sawLocal || local
+		sawRemote = sawRemote || !local
+	}
+	if !sawLocal || !sawRemote {
+		t.Errorf("expected both local and remote keys (local=%v remote=%v)", sawLocal, sawRemote)
+	}
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoCoalescesConcurrentCallers is the singleflight contract: 64
+// concurrent calls for one key run the function exactly once and all
+// callers share its result.
+func TestDoCoalescesConcurrentCallers(t *testing.T) {
+	var g Group
+	var executions atomic.Int64
+	gate := make(chan struct{})
+	const callers = 64
+
+	results := make([][]byte, callers)
+	shareds := make([]bool, callers)
+	var started, done sync.WaitGroup
+	started.Add(callers)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer done.Done()
+			started.Done()
+			val, shared, err := g.Do("key", func() ([]byte, error) {
+				executions.Add(1)
+				<-gate // hold the flight open until every caller launched
+				return []byte("result"), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i], shareds[i] = val, shared
+		}(i)
+	}
+	started.Wait()
+	// Every goroutine is launched; the leader is parked on the gate, so
+	// the remaining 63 calls must join its flight. Wait until they have
+	// all registered before releasing the leader.
+	for g.Stats().Dedup < callers-1 {
+		runtime.Gosched()
+	}
+	close(gate)
+	done.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Errorf("fn executed %d times, want exactly 1", n)
+	}
+	leaders := 0
+	for i := range results {
+		if string(results[i]) != "result" {
+			t.Errorf("caller %d got %q", i, results[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders, want 1", leaders)
+	}
+	st := g.Stats()
+	if st.Flights != 1 || st.Dedup != callers-1 {
+		t.Errorf("stats = %+v, want {Flights:1 Dedup:%d}", st, callers-1)
+	}
+}
+
+// TestDoDistinctKeysDoNotCoalesce: different keys run independently.
+func TestDoDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		val, shared, err := g.Do(key, func() ([]byte, error) { return []byte(key), nil })
+		if err != nil || shared || string(val) != key {
+			t.Errorf("Do(%q) = %q, shared=%v, err=%v", key, val, shared, err)
+		}
+	}
+	st := g.Stats()
+	if st.Flights != 8 || st.Dedup != 0 {
+		t.Errorf("stats = %+v, want {Flights:8 Dedup:0}", st)
+	}
+}
+
+// TestDoForgetsKeyAfterCompletion: sequential calls each run their own
+// flight — the Group coalesces herds, it is not a cache.
+func TestDoForgetsKeyAfterCompletion(t *testing.T) {
+	var g Group
+	var executions atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, shared, _ := g.Do("key", func() ([]byte, error) {
+			executions.Add(1)
+			return nil, nil
+		}); shared {
+			t.Errorf("sequential call %d reported shared", i)
+		}
+	}
+	if n := executions.Load(); n != 3 {
+		t.Errorf("fn executed %d times across sequential calls, want 3", n)
+	}
+}
+
+// TestDoSharesErrors: a failing flight fails every waiter identically.
+func TestDoSharesErrors(t *testing.T) {
+	var g Group
+	wantErr := errors.New("boom")
+	gate := make(chan struct{})
+	var done sync.WaitGroup
+	errs := make([]error, 8)
+	done.Add(len(errs))
+	for i := range errs {
+		go func(i int) {
+			defer done.Done()
+			_, _, errs[i] = g.Do("key", func() ([]byte, error) {
+				<-gate
+				return nil, wantErr
+			})
+		}(i)
+	}
+	for g.Stats().Dedup < uint64(len(errs)-1) {
+		runtime.Gosched()
+	}
+	close(gate)
+	done.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, wantErr) {
+			t.Errorf("caller %d: err = %v, want %v", i, err, wantErr)
+		}
+	}
+}
+
+// TestDoPanicReleasesFollowers: a panicking leader re-raises on its own
+// goroutine but must not strand followers — they get a PanicError.
+func TestDoPanicReleasesFollowers(t *testing.T) {
+	var g Group
+	gate := make(chan struct{})
+	followerErr := make(chan error, 1)
+	leaderPanicked := make(chan any, 1)
+
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		g.Do("key", func() ([]byte, error) {
+			<-gate
+			panic("walker bug")
+		})
+	}()
+	for g.Stats().Flights == 0 {
+		runtime.Gosched()
+	}
+	go func() {
+		_, _, err := g.Do("key", func() ([]byte, error) { return nil, nil })
+		followerErr <- err
+	}()
+	for g.Stats().Dedup == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+
+	if r := <-leaderPanicked; r != "walker bug" {
+		t.Errorf("leader recover() = %v, want the original panic value", r)
+	}
+	err := <-followerErr
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "walker bug" {
+		t.Errorf("follower err = %v, want *PanicError{walker bug}", err)
+	}
+}

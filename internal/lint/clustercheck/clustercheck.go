@@ -1,0 +1,156 @@
+// Package clustercheck enforces the contracts of the fingerprint-sharded
+// cluster tier (internal/cluster and its serving integration in
+// internal/server; see the "Forwarding rules" section of
+// docs/SERVING.md). The degrade-to-local story only holds while the
+// forwarding path keeps two promises, and this analyzer makes new
+// cluster code keep them:
+//
+//  1. Deadline propagation: a forwarded request must carry the inbound
+//     request's context so the caller's deadline crosses the replica
+//     hop. Building peer requests with http.NewRequest (no context) or
+//     feeding Forward a fresh context.Background()/context.TODO()
+//     detaches the hop from the caller: a slow peer then pins the
+//     forwarder for the full peer timeout after the client has already
+//     gone away, and drain budgets stop bounding shutdown.
+//
+//  2. No blocking admission under a cluster lock: the per-peer health
+//     and ring bookkeeping mutexes are taken on every request, so
+//     holding one across pool admission (par.Pool.Acquire) or a peer
+//     round-trip (Node.Forward) turns one saturated replica into a
+//     pile-up of every goroutine that touches the bookkeeping — the
+//     exact convoy the singleflight layer exists to prevent.
+//
+// Both rules apply inside mcspeedup/internal/cluster and
+// mcspeedup/internal/server only — the forwarding client does not leave
+// those packages — and exempt test files.
+package clustercheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mcspeedup/internal/lint"
+)
+
+// checkedPkgs are the packages the cluster tier lives in.
+var checkedPkgs = map[string]bool{
+	"mcspeedup/internal/cluster": true,
+	"mcspeedup/internal/server":  true,
+}
+
+// Analyzer is the clustercheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "clustercheck",
+	Doc:  "require forwarded peer requests to propagate the inbound context and forbid blocking admission or peer I/O under a mutex",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !checkedPkgs[lint.CanonicalPath(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc applies both rules to one function body. Lock tracking is an
+// ordered heuristic: a sync Lock/RLock call (or a deferred Unlock, the
+// lock-for-the-rest idiom) marks the mutex held until a plain Unlock is
+// seen, and blocking calls in between are flagged. Nested blocks are
+// visited in source order, which matches how the repo writes critical
+// sections — short, straight-line, unlock in the same function.
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isSyncCall(pass, n.Call, "Unlock", "RUnlock") {
+				held = true
+				// Skip the deferred call itself: it runs at return, so it
+				// must not flip the held flag off here.
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			switch {
+			case isSyncCall(pass, n, "Lock", "RLock"):
+				held = true
+			case isSyncCall(pass, n, "Unlock", "RUnlock"):
+				held = false
+			}
+			callee := calleeFunc(pass, n)
+			if callee == nil {
+				return true
+			}
+			pkg := ""
+			if callee.Pkg() != nil {
+				pkg = lint.CanonicalPath(callee.Pkg().Path())
+			}
+			// Rule 1: deadline propagation across the forward hop.
+			if pkg == "net/http" && callee.Name() == "NewRequest" {
+				pass.Reportf(n.Pos(), "%s builds a peer request with http.NewRequest: use http.NewRequestWithContext so the inbound request's deadline crosses the forward hop", fd.Name.Name)
+			}
+			if pkg == "context" && (callee.Name() == "Background" || callee.Name() == "TODO") {
+				pass.Reportf(n.Pos(), "%s starts a fresh context.%s in the cluster tier: derive from the inbound request context so caller deadlines and drain budgets propagate", fd.Name.Name, callee.Name())
+			}
+			// Rule 2: no blocking admission or peer I/O while a mutex is
+			// held.
+			if held && isBlocking(callee, pkg) {
+				pass.Reportf(n.Pos(), "%s calls %s.%s while holding a mutex: blocking admission or peer I/O under a lock convoys every goroutine touching the cluster bookkeeping", fd.Name.Name, pkg, callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isBlocking reports whether callee can block on admission (the pool
+// semaphore) or the network (a peer round-trip).
+func isBlocking(callee *types.Func, pkg string) bool {
+	switch pkg {
+	case "mcspeedup/internal/par":
+		return callee.Name() == "Acquire" || callee.Name() == "TryAcquire"
+	case "mcspeedup/internal/cluster":
+		return callee.Name() == "Forward"
+	}
+	return false
+}
+
+// isSyncCall reports whether call is m.<name>() for one of names on a
+// sync package receiver (Mutex or RWMutex).
+func isSyncCall(pass *lint.Pass, call *ast.CallExpr, names ...string) bool {
+	callee := calleeFunc(pass, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return false
+	}
+	for _, name := range names {
+		if callee.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method, nil when the callee
+// is not a named function (a func value, conversion, or builtin).
+func calleeFunc(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package clustercheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/clustercheck"
+	"mcspeedup/internal/lint/linttest"
+)
+
+func TestClustercheck(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/cluster", clustercheck.Analyzer)
+}

@@ -1,0 +1,95 @@
+// Package cluster is a minimal stub of mcspeedup/internal/cluster for
+// the clustercheck testdata: the forwarding node, a mutex-guarded
+// bookkeeping block, and one function per rule in both its flagged and
+// its clean form.
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+
+	"mcspeedup/internal/par"
+)
+
+// Node mirrors the real forwarding node: an HTTP client plus
+// mutex-guarded per-peer health counters.
+type Node struct {
+	client *http.Client
+
+	mu       sync.Mutex
+	forwards map[string]uint64
+}
+
+// Forward is the peer round-trip; the analyzer treats calls to it as
+// blocking I/O. Its own body is the clean form of rule 1: the request
+// derives from the caller's ctx.
+func (n *Node) Forward(ctx context.Context, owner, path string, body io.Reader) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+owner+path, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// staleRequest builds the peer request without a context: the caller's
+// deadline never crosses the hop.
+func (n *Node) staleRequest(owner string, body io.Reader) (*http.Request, error) {
+	return http.NewRequest(http.MethodPost, "http://"+owner, body) // want `use http.NewRequestWithContext`
+}
+
+// freshContext detaches the forward from the inbound request: the peer
+// call outlives the caller.
+func (n *Node) freshContext(owner string, data []byte) {
+	n.Forward(context.Background(), owner, "/v1/analyze", nil) // want `starts a fresh context.Background`
+	_ = context.TODO()                                         // want `starts a fresh context.TODO`
+	_ = data
+}
+
+// record is the clean bookkeeping form: the critical section is short,
+// straight-line, and calls nothing that blocks.
+func (n *Node) record(owner string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.forwards == nil {
+		n.forwards = make(map[string]uint64)
+	}
+	n.forwards[owner]++
+}
+
+// admitUnderLock blocks on pool admission inside the critical section.
+func (n *Node) admitUnderLock(ctx context.Context, pool *par.Pool, owner string) error {
+	n.mu.Lock()
+	err := pool.Acquire(ctx) // want `while holding a mutex`
+	n.forwards[owner]++
+	n.mu.Unlock()
+	return err
+}
+
+// forwardUnderDeferredLock holds the mutex (via the deferred unlock) for
+// the whole peer round-trip.
+func (n *Node) forwardUnderDeferredLock(ctx context.Context, owner string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.Forward(ctx, owner, "/v1/analyze", nil) // want `while holding a mutex`
+}
+
+// disciplinedAdmit releases the bookkeeping lock before blocking — the
+// clean form of rule 2.
+func (n *Node) disciplinedAdmit(ctx context.Context, pool *par.Pool, owner string) error {
+	n.mu.Lock()
+	n.forwards[owner]++
+	n.mu.Unlock()
+	if err := pool.Acquire(ctx); err != nil {
+		return err
+	}
+	defer pool.Release()
+	_, err := n.Forward(ctx, owner, "/v1/analyze", nil)
+	return err
+}

@@ -1,0 +1,31 @@
+// Package par is a minimal stub of mcspeedup/internal/par for the
+// clustercheck testdata: the admission-pool surface the analyzer treats
+// as blocking.
+package par
+
+import "context"
+
+// Pool is a counting semaphore bounding concurrent analyses.
+type Pool struct{ slots chan struct{} }
+
+func NewPool(n int) *Pool { return &Pool{slots: make(chan struct{}, n)} }
+
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Pool) Release() { <-p.slots }

@@ -78,7 +78,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			items[i].err = err
 			continue
 		}
-		key, fn, err := analyzeJob(itemReq)
+		// Batch items always compute locally (computeAdmit): fanning a
+		// batch's misses across the cluster would multiply one request
+		// into N peer calls; clients wanting sharded placement use
+		// individual /v1/analyze calls.
+		key, _, fn, err := analyzeJob(itemReq)
 		if err != nil {
 			items[i].err = err
 			continue

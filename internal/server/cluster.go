@@ -1,0 +1,124 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"mcspeedup/internal/cluster"
+)
+
+// This file is the serving side of the fingerprint-sharded cluster tier
+// (internal/cluster): the routed compute path that proxies misses to
+// their owning replica, the /v1/cluster status document, and the
+// readiness probe that distinguishes "process alive" (/healthz) from
+// "safe to route traffic here" (/readyz).
+
+// computeRouted is serveComputed's compute path: cache, then — when the
+// key's fingerprint is owned by another replica — a coalesced peer
+// fetch, falling back to a coalesced local compute. peer is the address
+// of the replica that produced forwarded bytes ("" when served
+// locally). Exactly one cache Get per request, whatever the route.
+func (s *Server) computeRouted(r *http.Request, endpoint, shard string, raw []byte, key string, fn func() ([]byte, error)) (body []byte, hit bool, peer string, err error) {
+	if body, ok := s.results.Get(key); ok {
+		return body, true, "", nil
+	}
+	owner, local := s.shardOwner(r, shard)
+	ctx := r.Context()
+	body, _, err = s.flights.Do(key, func() ([]byte, error) {
+		if !local {
+			b, ferr := s.node.Forward(ctx, owner, endpoint, r.Header.Get("Content-Type"), raw)
+			if ferr == nil {
+				s.metrics.recordForward(true)
+				s.results.Put(key, b)
+				peer = owner
+				return b, nil
+			}
+			// The owner is unreachable or failing: degrade to local
+			// compute. A dead replica costs duplicated work and a cold
+			// cache slice, never an error surfaced to the caller.
+			s.metrics.recordForward(false)
+		}
+		return s.admitAndRun(ctx, s.cfg.AdmissionWait, key, fn)
+	})
+	if err != nil {
+		return nil, false, "", err
+	}
+	return body, false, peer, nil
+}
+
+// shardOwner decides whether this replica computes the key itself.
+// Local when: no shard fingerprint, single-node mode, forwarding
+// disabled, or the request already crossed a replica hop (the
+// X-MCS-Forwarded header — forwarding is strictly single-hop).
+func (s *Server) shardOwner(r *http.Request, shard string) (owner string, local bool) {
+	if shard == "" || !s.node.Enabled() || s.node.NoForward() || r.Header.Get(cluster.ForwardedHeader) != "" {
+		return "", true
+	}
+	return s.node.Owner(shard)
+}
+
+// SetReady marks startup complete; /readyz turns 200. mcs-serve calls
+// this once the listener is accepting.
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// BeginDrain marks the drain phase of shutdown: /readyz turns 503 so
+// load balancers stop routing here, while /healthz and the work
+// endpoints keep serving until the listener closes.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "starting"})
+	default:
+		json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+	}
+}
+
+// clusterDoc is the GET /v1/cluster response.
+type clusterDoc struct {
+	Mode      string               `json:"mode"` // "single" or "cluster"
+	Self      string               `json:"self,omitempty"`
+	VNodes    int                  `json:"vnodes,omitempty"`
+	NoForward bool                 `json:"noForward,omitempty"`
+	Peers     []cluster.PeerStatus `json:"peers,omitempty"`
+	Coalesce  cluster.GroupStats   `json:"coalesce"`
+	Placement *placementDoc        `json:"placement,omitempty"`
+}
+
+// placementDoc answers GET /v1/cluster?key=<fingerprint>.
+type placementDoc struct {
+	Key   string `json:"key"`
+	Owner string `json:"owner,omitempty"`
+	Local bool   `json:"local"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	doc := clusterDoc{Mode: "single", Coalesce: s.flights.Stats()}
+	if s.node.Enabled() {
+		doc.Mode = "cluster"
+		doc.Self = s.node.Self()
+		doc.VNodes = s.node.Ring().VNodes()
+		doc.NoForward = s.node.NoForward()
+		doc.Peers = s.node.Status()
+	}
+	if key := r.URL.Query().Get("key"); key != "" {
+		owner, local := s.node.Owner(key)
+		doc.Placement = &placementDoc{Key: key, Owner: owner, Local: local}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}

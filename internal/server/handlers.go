@@ -56,16 +56,17 @@ type tasksField struct {
 
 func (t *tasksField) setTasks(raw json.RawMessage) { t.Tasks = raw }
 
-// decodeRequest parses the request body into the envelope. Bodies
-// starting with '[' are interpreted as a bare task-set array (the
-// mcs-analyze input format); envelopes are decoded strictly, rejecting
-// unknown fields.
-func decodeRequest(r *http.Request, envelope interface{ setTasks(json.RawMessage) }) error {
+// decodeRequest parses the request body into the envelope and returns
+// the raw body bytes (the cluster tier replays them verbatim when
+// forwarding a miss to its owning replica). Bodies starting with '['
+// are interpreted as a bare task-set array (the mcs-analyze input
+// format); envelopes are decoded strictly, rejecting unknown fields.
+func decodeRequest(r *http.Request, envelope interface{ setTasks(json.RawMessage) }) ([]byte, error) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return fmt.Errorf("reading body: %w", err)
+		return nil, fmt.Errorf("reading body: %w", err)
 	}
-	return decodeBody(body, envelope)
+	return body, decodeBody(body, envelope)
 }
 
 // decodeBody is decodeRequest over raw bytes; /v1/batch reuses it per
@@ -167,24 +168,26 @@ func analyzeCacheKey(fingerprint string, speed rat.Rat, transformKey string) str
 	return fmt.Sprintf("analyze|%s|speed=%s|%s", fingerprint, speed, transformKey)
 }
 
-// analyzeJob validates an analyze request and returns its cache key and
-// compute closure. /v1/analyze and each /v1/batch item go through this
-// one path, so a batch item's key — and therefore its cached bytes — is
-// identical to the equivalent individual call's.
-func analyzeJob(req analyzeRequest) (string, func() ([]byte, error), error) {
+// analyzeJob validates an analyze request and returns its cache key,
+// the set fingerprint (the cluster shard key), and its compute closure.
+// /v1/analyze and each /v1/batch item go through this one path, so a
+// batch item's key — and therefore its cached bytes — is identical to
+// the equivalent individual call's.
+func analyzeJob(req analyzeRequest) (string, string, func() ([]byte, error), error) {
 	if err := req.validate(); err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
 	set, err := parseTasks(req.Tasks)
 	if err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
 	speed := rat.Two
 	if req.Speed != nil {
 		speed = req.Speed.Rat
 	}
-	key := analyzeCacheKey(set.Fingerprint(), speed, req.keyPart())
-	return key, func() ([]byte, error) {
+	fp := set.Fingerprint()
+	key := analyzeCacheKey(fp, speed, req.keyPart())
+	return key, fp, func() ([]byte, error) {
 		transformed, err := req.apply(set)
 		if err != nil {
 			return nil, err
@@ -199,16 +202,17 @@ func analyzeJob(req analyzeRequest) (string, func() ([]byte, error), error) {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req analyzeRequest
-	if err := decodeRequest(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	key, fn, err := analyzeJob(req)
+	raw, err := decodeRequest(r, &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serveComputed(w, r, key, fn)
+	key, fp, fn, err := analyzeJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveComputed(w, r, "/v1/analyze", fp, raw, key, fn)
 }
 
 // --- POST /v1/speedup ---
@@ -233,7 +237,8 @@ type speedupDoc struct {
 
 func (s *Server) handleSpeedup(w http.ResponseWriter, r *http.Request) {
 	var req speedupRequest
-	if err := decodeRequest(r, &req); err != nil {
+	raw, err := decodeRequest(r, &req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -246,8 +251,9 @@ func (s *Server) handleSpeedup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	key := fmt.Sprintf("speedup|%s|%s", set.Fingerprint(), req.keyPart())
-	s.serveComputed(w, r, key, func() ([]byte, error) {
+	fp := set.Fingerprint()
+	key := fmt.Sprintf("speedup|%s|%s", fp, req.keyPart())
+	s.serveComputed(w, r, "/v1/speedup", fp, raw, key, func() ([]byte, error) {
 		transformed, err := req.apply(set)
 		if err != nil {
 			return nil, err
@@ -290,7 +296,8 @@ type resetDoc struct {
 
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	var req resetRequest
-	if err := decodeRequest(r, &req); err != nil {
+	raw, err := decodeRequest(r, &req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -307,8 +314,9 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	if req.Speed != nil {
 		speed = req.Speed.Rat
 	}
-	key := fmt.Sprintf("reset|%s|speed=%s|%s", set.Fingerprint(), speed, req.keyPart())
-	s.serveComputed(w, r, key, func() ([]byte, error) {
+	fp := set.Fingerprint()
+	key := fmt.Sprintf("reset|%s|speed=%s|%s", fp, speed, req.keyPart())
+	s.serveComputed(w, r, "/v1/reset", fp, raw, key, func() ([]byte, error) {
 		transformed, err := req.apply(set)
 		if err != nil {
 			return nil, err
@@ -357,7 +365,8 @@ type simulateRequest struct {
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if err := decodeRequest(r, &req); err != nil {
+	raw, err := decodeRequest(r, &req)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -406,10 +415,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	fp := set.Fingerprint()
 	key := fmt.Sprintf("simulate|%s|speed=%s|horizon=%d|workload=%s|seed=%d|overrun=%g|gap=%d|budget=%d|jobs=%t|trace=%t",
-		set.Fingerprint(), speed, horizon, req.Workload, req.Seed, overrun, req.Gap, req.Budget,
+		fp, speed, horizon, req.Workload, req.Seed, overrun, req.Gap, req.Budget,
 		req.CollectJobs, req.CollectTrace)
-	s.serveComputed(w, r, key, func() ([]byte, error) {
+	s.serveComputed(w, r, "/v1/simulate", fp, raw, key, func() ([]byte, error) {
 		var w sim.Workload
 		switch req.Workload {
 		case "sync":

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mcspeedup/internal/cache"
+	"mcspeedup/internal/cluster"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. The analyses
@@ -57,6 +58,9 @@ type metrics struct {
 	sessionEdits                     uint64
 	sessionDeltas, sessionColds      uint64
 	sessionCacheHits                 uint64
+	// Cluster forwarding: misses proxied to their owning replica, and
+	// forward attempts that failed (degrading to local compute).
+	clusterForwards, clusterForwardErrors uint64
 }
 
 func newMetrics() *metrics {
@@ -132,9 +136,22 @@ func (m *metrics) recordSessionCacheHit() {
 	m.sessionCacheHits++
 }
 
+// recordForward registers one attempt to proxy a miss to its owning
+// replica: ok means the owner's bytes were served, !ok that the forward
+// failed and the replica degraded to local compute.
+func (m *metrics) recordForward(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.clusterForwards++
+	} else {
+		m.clusterForwardErrors++
+	}
+}
+
 // render emits the Prometheus text exposition format. Families and label
 // values are emitted in sorted order so the output is deterministic.
-func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity, sessionsLive int) string {
+func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity, sessionsLive int, gs cluster.GroupStats, clusterPeers int, ready bool) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -220,6 +237,31 @@ func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity, sessionsLiv
 	fmt.Fprintf(&b, "mcs_pool_in_flight %d\n", poolInFlight)
 	b.WriteString("# TYPE mcs_pool_capacity gauge\n")
 	fmt.Fprintf(&b, "mcs_pool_capacity %d\n", poolCapacity)
+
+	b.WriteString("# HELP mcs_coalesce_flights_total Coalesced computations executed (flight leaders).\n")
+	b.WriteString("# TYPE mcs_coalesce_flights_total counter\n")
+	fmt.Fprintf(&b, "mcs_coalesce_flights_total %d\n", gs.Flights)
+	b.WriteString("# HELP mcs_coalesce_dedup_total Requests that joined an in-flight computation instead of running their own.\n")
+	b.WriteString("# TYPE mcs_coalesce_dedup_total counter\n")
+	fmt.Fprintf(&b, "mcs_coalesce_dedup_total %d\n", gs.Dedup)
+
+	b.WriteString("# HELP mcs_cluster_peers Ring members in cluster mode (0 = single-node).\n")
+	b.WriteString("# TYPE mcs_cluster_peers gauge\n")
+	fmt.Fprintf(&b, "mcs_cluster_peers %d\n", clusterPeers)
+	b.WriteString("# HELP mcs_cluster_forward_total Cache misses proxied to their owning replica.\n")
+	b.WriteString("# TYPE mcs_cluster_forward_total counter\n")
+	fmt.Fprintf(&b, "mcs_cluster_forward_total %d\n", m.clusterForwards)
+	b.WriteString("# HELP mcs_cluster_forward_errors_total Forward attempts that failed and degraded to local compute.\n")
+	b.WriteString("# TYPE mcs_cluster_forward_errors_total counter\n")
+	fmt.Fprintf(&b, "mcs_cluster_forward_errors_total %d\n", m.clusterForwardErrors)
+
+	b.WriteString("# HELP mcs_ready Whether the replica reports ready (1) on /readyz.\n")
+	b.WriteString("# TYPE mcs_ready gauge\n")
+	if ready {
+		b.WriteString("mcs_ready 1\n")
+	} else {
+		b.WriteString("mcs_ready 0\n")
+	}
 
 	b.WriteString("# HELP mcs_uptime_seconds Seconds since the server started.\n")
 	b.WriteString("# TYPE mcs_uptime_seconds gauge\n")

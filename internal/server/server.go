@@ -14,6 +14,9 @@
 //	POST /v1/reset     — service resetting time Δ_R (Corollary 5)
 //	POST /v1/simulate  — discrete-event run of the runtime protocol (§IV)
 //	GET  /healthz      — liveness probe
+//	GET  /readyz       — readiness probe: 503 before startup completes
+//	                     and once SIGTERM drain begins
+//	GET  /v1/cluster   — cluster topology, placement, and peer health
 //	GET  /metrics      — Prometheus text exposition
 //
 // Every analysis is a pure function of the task set and options, so POST
@@ -23,6 +26,15 @@
 // whitespace) hit the same entry. In-flight analyses are capped by a
 // par.Pool; when the pool stays saturated past the admission wait the
 // request is rejected with 429 so callers can back off.
+//
+// Concurrent identical misses are coalesced by a singleflight group: a
+// thundering herd on one hot key performs exactly one analysis (or, in
+// cluster mode, one peer fetch) and every caller shares the bytes.
+//
+// With ClusterPeers configured the replica joins a fingerprint-sharded
+// cluster (see internal/cluster and docs/SERVING.md): cache misses on
+// keys owned by another replica are proxied to the owner, single-hop,
+// falling back to local compute when the owner is unreachable.
 package server
 
 import (
@@ -31,9 +43,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"mcspeedup/internal/cache"
+	"mcspeedup/internal/cluster"
 	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/par"
 	"mcspeedup/internal/task"
@@ -64,6 +78,26 @@ type Config struct {
 	// MaxSessions bounds the live /v1/session registry; beyond it the
 	// least-recently-used session is evicted. 0 = 64.
 	MaxSessions int
+	// ClusterPeers lists every replica's advertised address (host:port)
+	// when mcs-serve runs as a fingerprint-sharded cluster. Empty =
+	// single-node mode. All replicas must share the same list (order
+	// does not matter); placement is a pure function of it.
+	ClusterPeers []string
+	// ClusterSelf is this replica's own entry in ClusterPeers. An empty
+	// or absent-from-the-list value makes this replica a pure router:
+	// it owns no keys and forwards every miss.
+	ClusterSelf string
+	// ClusterVNodes is the consistent-hash virtual-node count per
+	// member. 0 = cluster.DefaultVNodes.
+	ClusterVNodes int
+	// NoForward disables proxying misses to their owning replica (the
+	// escape hatch: every miss is computed locally, the ring is only
+	// reported by /v1/cluster).
+	NoForward bool
+	// PeerTimeout caps one forwarded peer request. 0 = 10s.
+	PeerTimeout time.Duration
+	// PeerTransport overrides the forwarding HTTP transport (tests).
+	PeerTransport http.RoundTripper
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +135,10 @@ type Server struct {
 	results  *cache.Cache[[]byte]
 	metrics  *metrics
 	sessions *sessionRegistry
+	node     *cluster.Node
+	flights  cluster.Group
+	ready    atomic.Bool
+	draining atomic.Bool
 	mux      *http.ServeMux
 }
 
@@ -113,7 +151,15 @@ func New(cfg Config) *Server {
 		results:  cache.New[[]byte](cfg.CacheEntries),
 		metrics:  newMetrics(),
 		sessions: newSessionRegistry(cfg.MaxSessions),
-		mux:      http.NewServeMux(),
+		node: cluster.NewNode(cluster.Config{
+			Self:        cfg.ClusterSelf,
+			Peers:       cfg.ClusterPeers,
+			VNodes:      cfg.ClusterVNodes,
+			NoForward:   cfg.NoForward,
+			PeerTimeout: cfg.PeerTimeout,
+			Transport:   cfg.PeerTransport,
+		}),
+		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/analyze", s.instrument("/v1/analyze", s.requirePOST(s.handleAnalyze)))
 	s.mux.HandleFunc("/v1/session", s.instrument("/v1/session", s.requirePOST(s.handleSession)))
@@ -121,7 +167,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/speedup", s.instrument("/v1/speedup", s.requirePOST(s.handleSpeedup)))
 	s.mux.HandleFunc("/v1/reset", s.instrument("/v1/reset", s.requirePOST(s.handleReset)))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.requirePOST(s.handleSimulate)))
+	s.mux.HandleFunc("/v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	return s
 }
@@ -180,10 +228,29 @@ func (s *Server) compute(ctx context.Context, key string, fn func() ([]byte, err
 // for a slot until the request context expires, which is what /v1/batch
 // items want — a saturated pool should stretch a batch out, not shed
 // items that individual retries would recompute anyway.
+//
+// Misses are coalesced per key: a thundering herd of identical requests
+// performs one analysis and shares the bytes. Each request does exactly
+// one cache lookup (the Get here) — followers of a flight share the
+// leader's bytes without a second Get, so the hit/miss counters keep
+// counting requests, not flight internals.
 func (s *Server) computeAdmit(ctx context.Context, wait time.Duration, key string, fn func() ([]byte, error)) ([]byte, bool, error) {
 	if body, ok := s.results.Get(key); ok {
 		return body, true, nil
 	}
+	body, _, err := s.flights.Do(key, func() ([]byte, error) {
+		return s.admitAndRun(ctx, wait, key, fn)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return body, false, nil
+}
+
+// admitAndRun is the post-cache, post-coalescing slow path: acquire a
+// pool slot (bounded by wait when > 0), run the analysis behind the
+// panic boundary, and publish the bytes to the result cache.
+func (s *Server) admitAndRun(ctx context.Context, wait time.Duration, key string, fn func() ([]byte, error)) ([]byte, error) {
 	admit := ctx
 	if wait > 0 {
 		var cancel context.CancelFunc
@@ -192,20 +259,20 @@ func (s *Server) computeAdmit(ctx context.Context, wait time.Duration, key strin
 	}
 	if err := s.pool.Acquire(admit); err != nil {
 		if ctx.Err() != nil {
-			return nil, false, fmt.Errorf("request deadline exceeded: %w", ctx.Err())
+			return nil, fmt.Errorf("request deadline exceeded: %w", ctx.Err())
 		}
-		return nil, false, errSaturated
+		return nil, errSaturated
 	}
 	defer s.pool.Release()
 	if err := ctx.Err(); err != nil {
-		return nil, false, fmt.Errorf("request deadline exceeded: %w", err)
+		return nil, fmt.Errorf("request deadline exceeded: %w", err)
 	}
 	body, err := runAnalysis(fn)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	s.results.Put(key, body)
-	return body, false, nil
+	return body, nil
 }
 
 // runAnalysis invokes fn behind the service's panic boundary. The
@@ -229,10 +296,13 @@ func runAnalysis(fn func() ([]byte, error)) (body []byte, err error) {
 	return fn()
 }
 
-// serveComputed runs compute and writes the JSON response, translating
-// admission and input errors to their status codes.
-func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key string, fn func() ([]byte, error)) {
-	body, hit, err := s.compute(r.Context(), key, fn)
+// serveComputed runs the routed compute path and writes the JSON
+// response, translating admission and input errors to their status
+// codes. endpoint is the request path (reused as the forward target
+// path), shard the task-set fingerprint keying cluster placement, and
+// raw the verbatim request body to replay at the owner.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, endpoint, shard string, raw []byte, key string, fn func() ([]byte, error)) {
+	body, hit, peer, err := s.computeRouted(r, endpoint, shard, raw, key, fn)
 	if err != nil {
 		if errors.Is(err, errSaturated) {
 			w.Header().Set("Retry-After", "1")
@@ -246,7 +316,14 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, key strin
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
-	w.Write(append(body, '\n'))
+	if peer != "" {
+		w.Header().Set(cluster.PeerHeader, peer)
+	}
+	// Two writes, not append(body, '\n'): body is shared — the cache and
+	// the singleflight group hand the same backing array to every
+	// concurrent request, so an in-place append is a data race.
+	w.Write(body)
+	w.Write([]byte{'\n'})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -258,8 +335,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	peers := 0
+	if s.node.Enabled() {
+		peers = len(s.node.Ring().Members())
+	}
+	ready := s.ready.Load() && !s.draining.Load()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.render(s.results.Stats(), s.pool.InFlight(), s.pool.Capacity(), s.sessions.live()))
+	fmt.Fprint(w, s.metrics.render(s.results.Stats(), s.pool.InFlight(), s.pool.Capacity(), s.sessions.live(), s.flights.Stats(), peers, ready))
 }
 
 // errorStatus maps a compute error to its HTTP status: saturation → 429,

@@ -310,6 +310,17 @@ func TestMetricsExposition(t *testing.T) {
 		"mcs_cache_hit_ratio 0.5",
 		"mcs_pool_in_flight 0",
 		"mcs_pool_capacity",
+		// The second identical request hit the cache before reaching the
+		// coalescer, so exactly one flight ran and nothing deduped.
+		"mcs_coalesce_flights_total 1",
+		"mcs_coalesce_dedup_total 0",
+		// Single-node test server: no ring members, no forwards, and the
+		// readiness gauge is 0 until SetReady (mcs-serve calls it after
+		// bind; the bare handler test never does).
+		"mcs_cluster_peers 0",
+		"mcs_cluster_forward_total 0",
+		"mcs_cluster_forward_errors_total 0",
+		"mcs_ready 0",
 		"mcs_uptime_seconds",
 	} {
 		if !strings.Contains(text, want) {

@@ -138,7 +138,7 @@ type sessionResponse struct {
 
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	var req sessionRequest
-	if err := decodeRequest(r, &req); err != nil {
+	if _, err := decodeRequest(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}

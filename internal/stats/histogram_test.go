@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistogramQuantilesBoundedError(t *testing.T) {
+	// 100 buckets/decade bounds the relative quantile error by the
+	// bucket ratio 10^(1/100) ≈ 1.0233.
+	h := NewHistogram(10e-6, 10, 100)
+	r := rand.New(rand.NewSource(1))
+	vals := make([]float64, 50000)
+	for i := range vals {
+		// Log-uniform latencies across 50 µs – 2 s.
+		vals[i] = math.Exp(math.Log(50e-6) + r.Float64()*math.Log(2/50e-6))
+		h.Observe(vals[i])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Quantile(vals, q)
+		est := h.HistQuantile(q)
+		if est < exact*0.999 || est > exact*1.03 {
+			t.Errorf("q=%g: histogram estimate %g vs exact %g (rel err %.3f)", q, est, exact, est/exact-1)
+		}
+	}
+	if got := h.Count(); got != uint64(len(vals)) {
+		t.Errorf("Count = %d, want %d", got, len(vals))
+	}
+	exactMean := Mean(vals)
+	if m := h.Mean(); math.Abs(m-exactMean) > 1e-12 {
+		t.Errorf("Mean = %g, want exact %g", m, exactMean)
+	}
+}
+
+func TestHistogramClampsAndOverflow(t *testing.T) {
+	h := NewHistogram(1e-3, 1, 10)
+	h.Observe(1e-9) // below min: clamps into the first bucket
+	h.Observe(50)   // above max: overflow bucket
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if q := h.HistQuantile(0); q != 1e-3 {
+		t.Errorf("q0 = %g, want the min bound 1e-3", q)
+	}
+	// The overflow observation reports the exact max seen.
+	if q := h.HistQuantile(1); q != 50 {
+		t.Errorf("q1 = %g, want the exact overflow max 50", q)
+	}
+	if h.Max() != 50 {
+		t.Errorf("Max = %g, want 50", h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1e-4, 10, 50)
+	b := NewHistogram(1e-4, 10, 50)
+	whole := NewHistogram(1e-4, 10, 50)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		v := math.Exp(math.Log(1e-4) + r.Float64()*math.Log(10/1e-4))
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		whole.Observe(v)
+	}
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged Count = %d, want %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.99, 1} {
+		if got, want := a.HistQuantile(q), whole.HistQuantile(q); got != want {
+			t.Errorf("q=%g: merged %g, whole %g", q, got, want)
+		}
+	}
+	// Mean compares with float slack: the merged sum adds the same
+	// values in a different order.
+	if a.Max() != whole.Max() || math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("merged Max/Mean (%g, %g) differ from whole (%g, %g)", a.Max(), a.Mean(), whole.Max(), whole.Mean())
+	}
+}
+
+func TestHistogramMergeLayoutMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on layout mismatch")
+		}
+	}()
+	NewHistogram(1e-4, 10, 50).Merge(NewHistogram(1e-3, 10, 50))
+}
+
+func TestHistogramEmptyPanics(t *testing.T) {
+	h := NewHistogram(1e-3, 1, 10)
+	for name, fn := range map[string]func(){
+		"quantile": func() { h.HistQuantile(0.5) },
+		"mean":     func() { h.Mean() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on empty histogram", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Load-harness trajectory run: start a 3-replica fingerprint-sharded
+# mcs-serve cluster on loopback and drive it with mcs-load's open-loop
+# Zipf workload, appending the dated p50/p99/p999 + RPS-at-SLO entry to
+# the shared trajectory history (BENCH_trajectory.json by default; see
+# docs/SERVING.md and docs/PERF.md).
+#
+# Usage: scripts/loadbench.sh [trajectory-file]
+#
+# CI runners are noisy, so absolute latencies from this script are
+# indicative only — the commit-over-commit signal is the shape: a p99
+# regression at the same offered rate, or RPS-at-SLO collapsing.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+trajectory="${1:-BENCH_trajectory.json}"
+
+# Fixed loopback ports so every replica can be given the full -peers
+# list up front (the same triplet docs/SERVING.md and the placement
+# goldens use).
+peers="127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103"
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for pid in $pids; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/mcs-serve" ./cmd/mcs-serve
+go build -o "$tmp/mcs-load" ./cmd/mcs-load
+
+for port in 7101 7102 7103; do
+    "$tmp/mcs-serve" -addr "127.0.0.1:$port" -peers "$peers" \
+        2>"$tmp/rep_$port.log" &
+    pids="$pids $!"
+done
+
+# Wait for every replica's readiness probe.
+for port in 7101 7102 7103; do
+    ok=""
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://127.0.0.1:$port/readyz" 2>/dev/null | grep -q '"status":"ready"'; then
+            ok=1
+            break
+        fi
+        sleep 0.1
+    done
+    [ -n "$ok" ]
+done
+
+"$tmp/mcs-load" -addrs "$peers" -duration 8s -rps 200 -steps 4 \
+    -corpus 64 -zipf 1.1 -seed 1 -trajectory "$trajectory" \
+    -out "$tmp/load.json"
+
+cat "$tmp/load.json"
+echo "load trajectory entry appended to $trajectory"

@@ -23,11 +23,20 @@ import (
 	"time"
 )
 
-// startServe launches the daemon and returns its base URL and a wait
-// function that sends SIGTERM and reports the exit error.
+// startServe launches the daemon on an ephemeral port and returns its
+// base URL and a wait function that sends SIGTERM and reports the exit
+// error.
 func startServe(t *testing.T, bin string, args ...string) (string, func() error) {
 	t.Helper()
-	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	return startServeRaw(t, bin, append([]string{"-addr", "127.0.0.1:0"}, args...))
+}
+
+// startServeRaw is startServe without the implied ephemeral -addr; the
+// cluster e2e needs replicas on pre-reserved ports so a shared -peers
+// list can name them.
+func startServeRaw(t *testing.T, bin string, args []string) (string, func() error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
