@@ -299,6 +299,45 @@ func main() {
 		}),
 	}
 
+	// SimRunFMS: one full simulator run of the FMS set over a 20-period
+	// synchronous workload with every-fifth-job overruns, through the
+	// compiled zero-allocation entry point (compile and workload built
+	// once, Result and SimScratch reused) — allocs/op must read 0.
+	{
+		horizon := 20 * fms.MaxPeriod()
+		wl := mcspeedup.SynchronousPeriodic(fms, horizon, func(_, seq int) bool {
+			return seq%5 == 0
+		})
+		c, err := mcspeedup.CompileSim(fms, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := mcspeedup.SimConfig{Speedup: mcspeedup.RatTwo}
+		var res mcspeedup.SimResult
+		var sc mcspeedup.SimScratch
+		doc.Benchmarks = append(doc.Benchmarks, measure("SimRunFMS", func() {
+			if err := c.RunInto(&res, &sc, cfg); err != nil {
+				log.Fatal(err)
+			}
+		}))
+	}
+
+	// FleetThroughput: sampled-ACET Monte-Carlo runs per second through
+	// the fleet engine (single worker, so the number is per-core and the
+	// measurement composes with -workers linearly).
+	{
+		e := measure("FleetThroughput", func() {
+			if _, err := mcspeedup.RunFleet(mcspeedup.FleetParams{
+				Set: fms, Runs: 32, Seed: 1, Speedup: mcspeedup.RatTwo,
+				Horizon: 4 * fms.MaxPeriod(), Workers: 1,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		})
+		log.Printf("fleet throughput: %.0f runs/sec/core", 32/(e.NsPerOp/1e9))
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+
 	// SessionDeltaEditFMS: one single-parameter C(HI) edit plus the
 	// delta re-analysis it triggers, against AnalyzeColdFMS above — the
 	// delta-vs-cold ratio docs/PERF.md quotes. The session persists

@@ -19,6 +19,15 @@
 //	-responses       print per-task response-time statistics
 //	-workload string replay a workload JSON file instead of generating one
 //	-save string     save the generated workload as JSON for later replay
+//	-fleet int       Monte-Carlo fleet: run N sampled-ACET replicates and
+//	                 print streaming aggregates instead of a single trace
+//	-workers int     fleet worker pool size (0 = one per CPU; output is
+//	                 byte-identical for any value)
+//
+// In fleet mode -speed, -seed, -budget, -horizon, and -overrun keep
+// their meanings (-overrun becomes the per-HI-job ACET overrun
+// probability), -json emits the fleet summary (the same bytes
+// POST /v1/fleet returns), and the other single-run flags are ignored.
 package main
 
 import (
@@ -47,6 +56,8 @@ func main() {
 		responses = flag.Bool("responses", false, "print per-task response-time statistics")
 		loadWL    = flag.String("workload", "", "replay a workload JSON file")
 		saveWL    = flag.String("save", "", "save the generated workload as JSON")
+		fleetN    = flag.Int("fleet", 0, "Monte-Carlo fleet: number of sampled replicates (0 = single run)")
+		workers   = flag.Int("workers", 0, "fleet worker pool size (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -57,6 +68,41 @@ func main() {
 	set, err := mcspeedup.ParseSetJSON(data)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *fleetN > 0 {
+		acet := mcspeedup.DefaultACET()
+		acet.OverrunProb = *overrun
+		p := mcspeedup.FleetParams{
+			Set:     set,
+			Runs:    *fleetN,
+			Seed:    *seed,
+			Speedup: mcspeedup.RatFromFloat(*speed),
+			Horizon: mcspeedup.Time(*horizon),
+			Workers: *workers,
+			ACET:    acet,
+		}
+		if *budget > 0 {
+			p.Budget = mcspeedup.NewRat(*budget, 1)
+		}
+		s, err := mcspeedup.RunFleet(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut != "" {
+			data, err := s.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *jsonOut == "-" {
+				fmt.Println(string(data))
+			} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Print(s.Table())
+		return
 	}
 
 	h := mcspeedup.Time(*horizon)

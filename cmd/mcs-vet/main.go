@@ -21,6 +21,7 @@ import (
 	"mcspeedup/internal/lint/prunecheck"
 	"mcspeedup/internal/lint/ratcheck"
 	"mcspeedup/internal/lint/scratchcheck"
+	"mcspeedup/internal/lint/simcheck"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		ratcheck.Analyzer,
 		determcheck.Analyzer,
 		scratchcheck.Analyzer,
+		simcheck.Analyzer,
 		metricscheck.Analyzer,
 		prunecheck.Analyzer,
 		deltacheck.Analyzer,

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"mcspeedup/internal/rat"
+)
+
+// EpisodeStats is the episode-length (observed reset time) distribution:
+// quantile upper bounds from the HDR histogram, exact mean and max.
+type EpisodeStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summary is the merged fleet aggregate. It is byte-identical for any
+// worker count (see package comment) and marshals identically on the CLI
+// (-fleet -json) and the /v1/fleet endpoint.
+type Summary struct {
+	Runs    int64  `json:"runs"`
+	Seed    int64  `json:"seed"`
+	Speedup string `json:"speedup"`
+	Budget  string `json:"budget,omitempty"`
+	Horizon int64  `json:"horizon"`
+
+	JobsReleased int64 `json:"jobsReleased"`
+	Completed    int64 `json:"completed"`
+	Dropped      int64 `json:"dropped"`
+	Killed       int64 `json:"killed"`
+	Misses       int64 `json:"misses"`
+	RunsWithMiss int64 `json:"runsWithMiss"`
+
+	// Episodes counts mode switches; SwitchesPerRun and SwitchesPerKTick
+	// are the same count rated per run and per 1000 simulated ticks.
+	Episodes         int64   `json:"episodes"`
+	SwitchesPerRun   float64 `json:"switchesPerRun"`
+	SwitchesPerKTick float64 `json:"switchesPerKTick"`
+	BudgetTrips      int64   `json:"budgetTrips"`
+
+	// ResetBound is the analytic Δ_R (Corollary 5) as an exact rational
+	// string ("+Inf" when the speed admits no finite bound);
+	// BoundViolations counts ended, untripped episodes that exceeded it.
+	ResetBound      string        `json:"resetBound"`
+	MaxEpisode      float64       `json:"maxEpisode"`
+	BoundViolations int64         `json:"boundViolations"`
+	EpisodeLengths  *EpisodeStats `json:"episodeLengths,omitempty"`
+
+	// TimeAtSpeed sums the ticks spent at the speedup factor s across
+	// all runs; EnergyPremium is the (s³ − 1)·TimeAtSpeed dynamic-power
+	// proxy — the extra energy attributable to running sped up rather
+	// than at nominal speed for the same interval.
+	TimeAtSpeed   float64 `json:"timeAtSpeed"`
+	EnergyPremium float64 `json:"energyPremium"`
+	SimTime       float64 `json:"simTime"`
+}
+
+// summary renders the merged aggregate against p.
+func (a *agg) summary(p Params, bound rat.Rat) *Summary {
+	s := &Summary{
+		Runs:    a.runs,
+		Seed:    p.Seed,
+		Speedup: p.Speedup.String(),
+		Horizon: int64(p.Horizon),
+
+		JobsReleased: a.jobsReleased,
+		Completed:    a.completed,
+		Dropped:      a.dropped,
+		Killed:       a.killed,
+		Misses:       a.misses,
+		RunsWithMiss: a.runsWithMiss,
+
+		Episodes:    a.episodes,
+		BudgetTrips: a.budgetTrips,
+
+		ResetBound:      bound.String(),
+		MaxEpisode:      a.maxEpisode,
+		BoundViolations: a.boundViolations,
+
+		TimeAtSpeed: a.timeAtSpeed,
+		SimTime:     a.simTime,
+	}
+	if p.Budget.Sign() > 0 {
+		s.Budget = p.Budget.String()
+	}
+	if a.runs > 0 {
+		s.SwitchesPerRun = float64(a.episodes) / float64(a.runs)
+	}
+	if a.simTime > 0 {
+		s.SwitchesPerKTick = 1000 * float64(a.episodes) / a.simTime
+	}
+	sf := p.Speedup.Float64()
+	s.EnergyPremium = (sf*sf*sf - 1) * a.timeAtSpeed
+	if a.episodeLen.Count() > 0 {
+		s.EpisodeLengths = &EpisodeStats{
+			Count: a.episodeLen.Count(),
+			Mean:  a.episodeLen.Mean(),
+			P50:   a.episodeLen.HistQuantile(0.50),
+			P90:   a.episodeLen.HistQuantile(0.90),
+			P99:   a.episodeLen.HistQuantile(0.99),
+			Max:   a.episodeLen.Max(),
+		}
+	}
+	return s
+}
+
+// JSON renders the summary in the indented form both cmd/mcs-sim -json
+// and POST /v1/fleet emit, so the two surfaces stay byte-identical.
+func (s *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Table renders the fig-style text summary.
+func (s *Summary) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d runs, seed %d, speedup %s, horizon %d", s.Runs, s.Seed, s.Speedup, s.Horizon)
+	if s.Budget != "" {
+		fmt.Fprintf(&b, ", budget %s", s.Budget)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  jobs      released %d, completed %d, dropped %d, killed %d\n",
+		s.JobsReleased, s.Completed, s.Dropped, s.Killed)
+	fmt.Fprintf(&b, "  misses    %d across %d/%d runs\n", s.Misses, s.RunsWithMiss, s.Runs)
+	fmt.Fprintf(&b, "  switches  %d (%.4f/run, %.4f per 1k ticks), budget trips %d\n",
+		s.Episodes, s.SwitchesPerRun, s.SwitchesPerKTick, s.BudgetTrips)
+	if s.EpisodeLengths != nil {
+		e := s.EpisodeLengths
+		fmt.Fprintf(&b, "  episodes  p50 %.4g, p90 %.4g, p99 %.4g, max %.4g over %d ended\n",
+			e.P50, e.P90, e.P99, e.Max, e.Count)
+	}
+	fmt.Fprintf(&b, "  reset     observed max %.4g vs Δ_R bound %s (%d violations)\n",
+		s.MaxEpisode, s.ResetBound, s.BoundViolations)
+	fmt.Fprintf(&b, "  energy    %.6g ticks at speed (premium (s³−1)·t = %.6g) of %.6g busy\n",
+		s.TimeAtSpeed, s.EnergyPremium, s.SimTime)
+	return b.String()
+}

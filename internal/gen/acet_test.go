@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcspeedup/internal/task"
+)
+
+func TestACETSampleBounds(t *testing.T) {
+	a := DefaultACET()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(7))
+	const cLO, cHI = 10, 25
+	overruns := 0
+	hot := a
+	hot.OverrunProb = 0.5
+	for i := 0; i < 20000; i++ {
+		if d := a.Sample(rnd, task.LO, cLO, cHI); d < 1 || d > cLO {
+			t.Fatalf("LO sample %d outside [1, %d]", d, cLO)
+		}
+		d := hot.Sample(rnd, task.HI, cLO, cHI)
+		if d < 1 || d > cHI {
+			t.Fatalf("HI sample %d outside [1, %d]", d, cHI)
+		}
+		if d > cLO {
+			overruns++
+		}
+	}
+	if overruns < 8000 || overruns > 12000 {
+		t.Errorf("overrun count %d far from 50%% of 20000", overruns)
+	}
+	// A task that cannot overrun must never exceed C(LO), whatever the
+	// configured probability.
+	always := a
+	always.OverrunProb = 1
+	for i := 0; i < 100; i++ {
+		if d := always.Sample(rnd, task.HI, cLO, cLO); d > cLO {
+			t.Fatalf("overrun %d sampled from task with C(HI) = C(LO)", d)
+		}
+	}
+	// Tiny budgets clamp up to the minimum legal demand.
+	tiny := ACET{LOFloor: 0, LOCeil: 0, HIFloor: 0, HICeil: 0}
+	if d := tiny.Sample(rnd, task.LO, 1, 1); d != 1 {
+		t.Fatalf("clamped sample = %d, want 1", d)
+	}
+}
+
+func TestACETSampleDeterministic(t *testing.T) {
+	a := DefaultACET()
+	draw := func() []task.Time {
+		rnd := rand.New(rand.NewSource(99))
+		out := make([]task.Time, 64)
+		for i := range out {
+			out[i] = a.Sample(rnd, task.Crit(i%2), 20, 37)
+		}
+		return out
+	}
+	x, y := draw(), draw()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("draw %d: %d != %d for identical streams", i, x[i], y[i])
+		}
+	}
+}
+
+func TestACETValidateRejects(t *testing.T) {
+	for name, a := range map[string]ACET{
+		"negative floor":  {LOFloor: -0.1, LOCeil: 1},
+		"ceil above one":  {LOCeil: 1.5},
+		"inverted band":   {HIFloor: 0.9, HICeil: 0.3, LOCeil: 1},
+		"bad probability": {LOCeil: 1, HICeil: 1, OverrunProb: 2},
+	} {
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, a)
+		}
+	}
+}

@@ -39,3 +39,66 @@ func Substream(seed int64, point, index int) int64 {
 func SubRand(seed int64, point, index int) *rand.Rand {
 	return rand.New(rand.NewSource(Substream(seed, point, index)))
 }
+
+// Stream is a SplitMix64 sequence generator over a Substream coordinate:
+// the same splittable keying as SubRand without rand.NewSource's
+// expensive Lagged-Fibonacci warm-up, so hot loops (the fleet engine
+// seeds one stream per (replicate, task) — millions per fleet) can
+// reseed in a few instructions. The zero value is the (0,0,0) stream;
+// Reseed repositions it. Stream satisfies the Rand interface ACET
+// sampling consumes.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns the stream for coordinate (point, index) of the
+// sweep keyed by seed.
+func NewStream(seed int64, point, index int) Stream {
+	var s Stream
+	s.Reseed(seed, point, index)
+	return s
+}
+
+// Reseed repositions the stream to coordinate (point, index) of seed.
+func (s *Stream) Reseed(seed int64, point, index int) {
+	s.state = uint64(Substream(seed, point, index))
+}
+
+// Uint64 returns the next value of the SplitMix64 sequence.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0,
+// matching math/rand, and rejects the biased tail exactly as
+// math/rand.Int63n does.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("gen: Stream.Int63n with n <= 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return int64(s.Uint64()>>1) & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := int64(s.Uint64() >> 1)
+	for v > max {
+		v = int64(s.Uint64() >> 1)
+	}
+	return v % n
+}
+
+// Rand is the sampling interface ACET draws through: both *rand.Rand
+// and *Stream satisfy it.
+type Rand interface {
+	Float64() float64
+	Int63n(n int64) int64
+}

@@ -40,3 +40,62 @@ func TestSubRandStreamsDiffer(t *testing.T) {
 		t.Fatalf("%d/16 identical draws across adjacent substreams", same)
 	}
 }
+
+func TestStreamMatchesSubstreamKeying(t *testing.T) {
+	// Identical coordinates restart the identical sequence; any changed
+	// coordinate lands on an unrelated one.
+	a := NewStream(1, 2, 3)
+	b := NewStream(1, 2, 3)
+	for i := 0; i < 32; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("draw %d diverged for identical coordinates", i)
+		}
+	}
+	b.Reseed(1, 2, 3)
+	first := b.Uint64()
+	c := NewStream(1, 2, 4)
+	if c.Uint64() == first {
+		t.Fatal("adjacent index produced the same first draw")
+	}
+}
+
+func TestStreamInt63nBounds(t *testing.T) {
+	s := NewStream(7, 0, 0)
+	for _, n := range []int64{1, 2, 3, 10, 64, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Int63n(n); v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[s.Int63n(5)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Int63n(5): value %d drawn %d/50000 times, far from uniform", v, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(0) did not panic")
+		}
+	}()
+	s.Int63n(0)
+}
+
+func TestStreamFloat64Range(t *testing.T) {
+	s := NewStream(9, 1, 1)
+	var sum float64
+	for i := 0; i < 20000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g outside [0, 1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / 20000; mean < 0.48 || mean > 0.52 {
+		t.Errorf("Float64 mean %g far from 0.5", mean)
+	}
+}

@@ -6,9 +6,9 @@
 //
 // In the determinism-critical packages — the root package (the
 // experiment API in experiments.go), internal/core, internal/dbf,
-// internal/experiments, internal/gen, and cmd/mcs-experiments — it
-// flags the four ways nondeterminism has historically crept into such
-// code:
+// internal/experiments, internal/fleet, internal/gen, and
+// cmd/mcs-experiments — it flags the four ways nondeterminism has
+// historically crept into such code:
 //
 //   - time.Now (and the rest of the wall clock): results must not
 //     depend on when they are computed;
@@ -42,6 +42,7 @@ var scoped = map[string]bool{
 	"mcspeedup/internal/core":        true,
 	"mcspeedup/internal/dbf":         true,
 	"mcspeedup/internal/experiments": true,
+	"mcspeedup/internal/fleet":       true,
 	"mcspeedup/internal/gen":         true,
 	"mcspeedup/cmd/mcs-experiments":  true,
 }

@@ -10,3 +10,7 @@ import (
 func TestDetermcheck(t *testing.T) {
 	linttest.Run(t, "testdata", "mcspeedup/internal/experiments", determcheck.Analyzer)
 }
+
+func TestDetermcheckFleetReducer(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/fleet", determcheck.Analyzer)
+}

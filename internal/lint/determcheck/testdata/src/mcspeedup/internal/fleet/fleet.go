@@ -1,0 +1,66 @@
+// Package fleet exercises determcheck at the Monte-Carlo engine's
+// import path, which the analyzer scopes: the reducer's fan-out must
+// stay on the per-index-slot discipline (or hand results to a merger
+// method, which is outside the callback literal and therefore the
+// merger's own synchronization problem).
+package fleet
+
+import (
+	"sync"
+
+	"mcspeedup/internal/par"
+)
+
+type agg struct{ runs int64 }
+
+type merger struct {
+	mu    sync.Mutex
+	slots []*agg
+}
+
+// deliver is the sanctioned hand-off: the slot write lives inside a
+// method, not the fan-out callback literal, under the merger's lock.
+func (m *merger) deliver(ci int, a *agg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.slots[ci] = a
+}
+
+// reduce is the real engine's shape: per-chunk aggregate, delivered by
+// chunk index. All clean.
+func reduce(nChunks int) *merger {
+	m := &merger{slots: make([]*agg, nChunks)}
+	_ = par.ForEach(nChunks, 0, func(ci int) error {
+		a := &agg{}
+		for r := ci * 4; r < ci*4+4; r++ {
+			a.runs++
+		}
+		m.deliver(ci, a)
+		return nil
+	})
+	return m
+}
+
+// reduceSlots keeps the per-index-slot discipline directly: clean.
+func reduceSlots(nChunks int) []*agg {
+	slots := make([]*agg, nChunks)
+	_ = par.ForEach(nChunks, 0, func(ci int) error {
+		slots[ci] = &agg{runs: int64(ci)}
+		return nil
+	})
+	return slots
+}
+
+// reduceRacy writes through a shared cursor instead of the worker's own
+// index — the order then depends on scheduling, breaking the
+// byte-identical -workers contract.
+func reduceRacy(nChunks int) []*agg {
+	slots := make([]*agg, nChunks)
+	cursor := 0
+	_ = par.ForEach(nChunks, 0, func(ci int) error {
+		slots[cursor] = &agg{} // want `write to captured slice slots`
+		cursor++
+		return nil
+	})
+	return slots
+}

@@ -1,0 +1,153 @@
+// Package simcheck enforces the ownership discipline of the sim.Scratch
+// simulation arena (aliased as SimScratch at the module root), the
+// sibling of scratchcheck's rules for the analysis arena. A sim.Scratch
+// serializes the runs that borrow it (Scratch.begin panics on re-entry)
+// and must not be shared between concurrent goroutines — the fleet
+// engine allocates one per worker for exactly this reason. Two rules:
+//
+//  1. Outside internal/sim, no struct type may declare a field of type
+//     sim.Scratch or *sim.Scratch. A retained arena outlives the
+//     RunInto/RunWorkload call that borrowed it and invites
+//     cross-goroutine sharing; declare one as a local (or stack value)
+//     next to the loop that reuses it instead.
+//  2. No concurrently-launched function — a go statement's literal or a
+//     par.ForEach/par.Map callback — may capture a sim.Scratch declared
+//     outside itself, and a go statement may not pass one as an
+//     argument. Each worker allocates its own (a stack `var sc
+//     sim.Scratch` inside the callback is free).
+//
+// Test files are exempt: the sim package's own tests deliberately
+// construct shared-arena patterns to pin their runtime behavior.
+package simcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mcspeedup/internal/lint"
+)
+
+const (
+	simPkgPath = "mcspeedup/internal/sim"
+	parPkgPath = "mcspeedup/internal/par"
+)
+
+// Analyzer is the simcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "simcheck",
+	Doc:  "forbid storing or concurrently sharing sim.Scratch simulation arenas",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	inSim := lint.CanonicalPath(pass.Pkg.Path()) == simPkgPath
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		if !inSim {
+			checkStructFields(pass, f)
+		}
+		checkConcurrentCapture(pass, f)
+	}
+	return nil
+}
+
+// isScratchType reports whether t is sim.Scratch or *sim.Scratch.
+func isScratchType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Scratch" && obj.Pkg() != nil && obj.Pkg().Path() == simPkgPath
+}
+
+// checkStructFields flags struct type declarations retaining a Scratch.
+func checkStructFields(pass *lint.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t != nil && isScratchType(t) {
+				pass.Reportf(field.Type.Pos(), "sim.Scratch stored in a struct field: an arena retained beyond one run invites cross-goroutine sharing; declare it as a local next to the loop that reuses it")
+			}
+		}
+		return true
+	})
+}
+
+// checkConcurrentCapture flags Scratch values crossing into concurrently
+// launched functions: captured by (or passed to) a go statement, or
+// captured by a par fan-out callback.
+func checkConcurrentCapture(pass *lint.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if t := pass.TypesInfo.TypeOf(arg); t != nil && isScratchType(t) {
+					pass.Reportf(arg.Pos(), "sim.Scratch passed into a go statement: a Scratch must not be shared between goroutines; allocate one per worker")
+				}
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkLitCapture(pass, lit)
+			}
+		case *ast.CallExpr:
+			if isParFanOut(pass, n) {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkLitCapture(pass, lit)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isParFanOut reports whether call invokes par.ForEach or par.Map.
+func isParFanOut(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != parPkgPath {
+		return false
+	}
+	return fn.Name() == "ForEach" || fn.Name() == "Map"
+}
+
+// checkLitCapture flags uses, inside a concurrently-invoked literal, of
+// Scratch-typed variables declared outside it.
+func checkLitCapture(pass *lint.Pass, lit *ast.FuncLit) {
+	local := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				local[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || local[obj] {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && isScratchType(v.Type()) {
+			pass.Reportf(id.Pos(), "sim.Scratch %s captured by a concurrently-launched function: a Scratch must not be shared between goroutines; allocate one per worker", id.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package simcheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/linttest"
+	"mcspeedup/internal/lint/simcheck"
+)
+
+func TestSimcheckRetentionAndSharing(t *testing.T) {
+	linttest.Run(t, "testdata", "b", simcheck.Analyzer)
+}
+
+func TestSimcheckSimPackageExempt(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/sim", simcheck.Analyzer)
+}

@@ -1,0 +1,28 @@
+// Package sim is a minimal stub of mcspeedup/internal/sim for the
+// simcheck testdata. The struct-field rule does not apply inside the
+// package itself: the pool and the Compiled runner legitimately hold
+// arenas, so a Scratch-typed field here must stay clean.
+package sim
+
+// Scratch mirrors the real single-goroutine simulation arena.
+type Scratch struct {
+	inUse bool
+}
+
+// Result mirrors the reusable run result.
+type Result struct {
+	Completed int
+}
+
+// pooled mirrors internal holders of arenas — exempt inside sim.
+type pooled struct {
+	sc Scratch
+}
+
+// Run mirrors the entry point threading a caller-owned arena through.
+func Run(res *Result, sc *Scratch) error {
+	sc.inUse = true
+	defer func() { sc.inUse = false }()
+	res.Completed++
+	return nil
+}

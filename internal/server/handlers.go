@@ -9,6 +9,8 @@ import (
 	"net/http"
 
 	"mcspeedup/internal/core"
+	"mcspeedup/internal/fleet"
+	"mcspeedup/internal/gen"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/sim"
 	"mcspeedup/internal/task"
@@ -442,5 +444,102 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return sim.ExportJSON(set, res)
+	})
+}
+
+// --- POST /v1/fleet ---
+
+type fleetRequest struct {
+	tasksField
+	// Runs is the number of Monte-Carlo replicates (required, capped by
+	// Config.MaxFleetRuns).
+	Runs int `json:"runs"`
+	// Speed is the HI-mode speed factor s (default 2).
+	Speed *jsonRat `json:"speed,omitempty"`
+	// Seed keys every per-(replicate, task) sample stream (default 1);
+	// the summary is deterministic per seed and therefore cacheable.
+	Seed int64 `json:"seed,omitempty"`
+	// Horizon is the sampled release window per replicate in ticks
+	// (default 20 max-periods, capped by Config.MaxSimHorizon).
+	Horizon int64 `json:"horizon,omitempty"`
+	// Budget is the HI-mode wall-clock budget in ticks (0 = unlimited).
+	Budget int64 `json:"budget,omitempty"`
+	// Overrun is the per-HI-job ACET overrun probability (default the
+	// gen.DefaultACET model's).
+	Overrun *float64 `json:"overrun,omitempty"`
+}
+
+// handleFleet runs a Monte-Carlo fleet through the admission pool. The
+// fleet itself runs single-worker inside its slot — concurrency is the
+// pool's to allocate across requests, not one request's to grab — and
+// the summary bytes are identical to cmd/mcs-sim -fleet -json.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	var req fleetRequest
+	raw, err := decodeRequest(r, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	set, err := parseTasks(req.Tasks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Runs <= 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("\"runs\" %d must be positive", req.Runs))
+		return
+	}
+	if req.Runs > s.cfg.MaxFleetRuns {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d runs exceed the service cap of %d", req.Runs, s.cfg.MaxFleetRuns))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	acet := gen.DefaultACET()
+	if req.Overrun != nil {
+		acet.OverrunProb = *req.Overrun
+	}
+	if err := acet.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	horizon := task.Time(req.Horizon)
+	if horizon <= 0 {
+		horizon = 20 * set.MaxPeriod()
+	}
+	if horizon > s.cfg.MaxSimHorizon {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("horizon %d exceeds the service cap of %d ticks", horizon, s.cfg.MaxSimHorizon))
+		return
+	}
+	speed := rat.Two
+	if req.Speed != nil {
+		speed = req.Speed.Rat
+	}
+
+	fp := set.Fingerprint()
+	key := fmt.Sprintf("fleet|%s|runs=%d|speed=%s|seed=%d|horizon=%d|budget=%d|overrun=%g",
+		fp, req.Runs, speed, req.Seed, horizon, req.Budget, acet.OverrunProb)
+	s.serveComputed(w, r, "/v1/fleet", fp, raw, key, func() ([]byte, error) {
+		p := fleet.Params{
+			Set:     set,
+			Runs:    req.Runs,
+			Seed:    req.Seed,
+			Speedup: speed,
+			Horizon: horizon,
+			Workers: 1,
+			ACET:    acet,
+		}
+		if req.Budget > 0 {
+			p.Budget = rat.FromInt64(req.Budget)
+		}
+		sum, err := fleet.Run(p)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.recordFleet(int64(req.Runs))
+		return sum.JSON()
 	})
 }

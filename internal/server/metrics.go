@@ -58,6 +58,8 @@ type metrics struct {
 	sessionEdits                     uint64
 	sessionDeltas, sessionColds      uint64
 	sessionCacheHits                 uint64
+	// Monte-Carlo replicates computed by /v1/fleet (cache hits excluded).
+	fleetRuns uint64
 	// Cluster forwarding: misses proxied to their owning replica, and
 	// forward attempts that failed (degrading to local compute).
 	clusterForwards, clusterForwardErrors uint64
@@ -136,6 +138,14 @@ func (m *metrics) recordSessionCacheHit() {
 	m.sessionCacheHits++
 }
 
+// recordFleet registers one computed /v1/fleet request's replicate
+// count.
+func (m *metrics) recordFleet(runs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fleetRuns += uint64(runs)
+}
+
 // recordForward registers one attempt to proxy a miss to its owning
 // replica: ok means the owner's bytes were served, !ok that the forward
 // failed and the replica degraded to local compute.
@@ -198,6 +208,10 @@ func (m *metrics) render(cs cache.Stats, poolInFlight, poolCapacity, sessionsLiv
 	fmt.Fprintf(&b, "mcs_batch_item_cache_hits_total %d\n", m.batchHits)
 	b.WriteString("# TYPE mcs_batch_item_errors_total counter\n")
 	fmt.Fprintf(&b, "mcs_batch_item_errors_total %d\n", m.batchErrors)
+
+	b.WriteString("# HELP mcs_fleet_runs_total Monte-Carlo replicates computed by /v1/fleet (cache hits excluded).\n")
+	b.WriteString("# TYPE mcs_fleet_runs_total counter\n")
+	fmt.Fprintf(&b, "mcs_fleet_runs_total %d\n", m.fleetRuns)
 
 	b.WriteString("# HELP mcs_sessions_live Incremental-analysis sessions currently registered.\n")
 	b.WriteString("# TYPE mcs_sessions_live gauge\n")

@@ -72,6 +72,9 @@ type Config struct {
 	// (the horizon drives the simulated-job count). 0 = 2,000,000
 	// (200 s at the experiment tick of 100 µs).
 	MaxSimHorizon task.Time
+	// MaxFleetRuns bounds the number of Monte-Carlo replicates per
+	// /v1/fleet request. 0 = 20,000.
+	MaxFleetRuns int
 	// MaxBatchItems bounds the number of task sets per /v1/batch
 	// request. 0 = 256.
 	MaxBatchItems int
@@ -118,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSimHorizon <= 0 {
 		c.MaxSimHorizon = 2_000_000
+	}
+	if c.MaxFleetRuns <= 0 {
+		c.MaxFleetRuns = 20_000
 	}
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 256
@@ -167,6 +173,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/speedup", s.instrument("/v1/speedup", s.requirePOST(s.handleSpeedup)))
 	s.mux.HandleFunc("/v1/reset", s.instrument("/v1/reset", s.requirePOST(s.handleReset)))
 	s.mux.HandleFunc("/v1/simulate", s.instrument("/v1/simulate", s.requirePOST(s.handleSimulate)))
+	s.mux.HandleFunc("/v1/fleet", s.instrument("/v1/fleet", s.requirePOST(s.handleFleet)))
 	s.mux.HandleFunc("/v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	s.mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("/readyz", s.instrument("/readyz", s.handleReadyz))

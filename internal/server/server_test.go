@@ -15,6 +15,8 @@ import (
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/fleet"
+	"mcspeedup/internal/gen"
 	"mcspeedup/internal/rat"
 	"mcspeedup/internal/task"
 )
@@ -198,6 +200,58 @@ func TestSimulateEndpoint(t *testing.T) {
 	}
 }
 
+func TestFleetEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := `{"tasks":` + tableIJSON + `,"runs":64,"seed":9,"horizon":200,"overrun":0.05}`
+	resp, data := post(t, ts.URL+"/v1/fleet", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+
+	// The endpoint's bytes are the fleet engine's canonical JSON — the
+	// same bytes cmd/mcs-sim -fleet -json emits for these parameters.
+	set, err := task.ParseJSON([]byte(tableIJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acet := gen.DefaultACET()
+	acet.OverrunProb = 0.05
+	sum, err := fleet.Run(fleet.Params{
+		Set: set, Runs: 64, Seed: 9, Speedup: rat.Two,
+		Horizon: 200, Workers: 1, ACET: acet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimRight(data, "\n"), want) {
+		t.Errorf("response differs from fleet.Run:\n%s\n---\n%s", data, want)
+	}
+	if sum.Runs != 64 || sum.JobsReleased == 0 {
+		t.Errorf("degenerate fleet summary %+v", sum)
+	}
+
+	// Deterministic per parameters: the repeat is a byte-identical hit.
+	resp2, data2 := post(t, ts.URL+"/v1/fleet", body)
+	if resp2.Header.Get("X-Cache") != "hit" || !bytes.Equal(data, data2) {
+		t.Error("identical fleet request not served from cache")
+	}
+	// A different seed is a distinct cache entry.
+	resp3, _ := post(t, ts.URL+"/v1/fleet", `{"tasks":`+tableIJSON+`,"runs":64,"seed":10,"horizon":200,"overrun":0.05}`)
+	if resp3.Header.Get("X-Cache") != "miss" {
+		t.Error("distinct fleet request served from cache")
+	}
+
+	// Replicates are counted once per computed request (the hit excluded).
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metricsBody), "mcs_fleet_runs_total 128") {
+		t.Errorf("metrics missing mcs_fleet_runs_total 128:\n%s", metricsBody)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	cases := map[string]struct {
@@ -214,6 +268,10 @@ func TestBadRequests(t *testing.T) {
 		"huge horizon":       {"/v1/simulate", `{"tasks":` + tableIJSON + `,"horizon":999999999}`},
 		"bad overrun prob":   {"/v1/simulate", `{"tasks":` + tableIJSON + `,"overrun":1.5}`},
 		"infeasible x value": {"/v1/analyze", `{"tasks":` + tableIJSON + `,"x":7}`},
+		"fleet without runs": {"/v1/fleet", `{"tasks":` + tableIJSON + `}`},
+		"fleet runs cap":     {"/v1/fleet", `{"tasks":` + tableIJSON + `,"runs":999999}`},
+		"fleet bad overrun":  {"/v1/fleet", `{"tasks":` + tableIJSON + `,"runs":10,"overrun":-0.5}`},
+		"fleet huge horizon": {"/v1/fleet", `{"tasks":` + tableIJSON + `,"runs":10,"horizon":999999999}`},
 	}
 	for name, c := range cases {
 		resp, body := post(t, ts.URL+c.endpoint, c.body)

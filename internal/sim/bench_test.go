@@ -1,0 +1,53 @@
+package sim
+
+// Benchmarks for the simulation hot path. BenchmarkRefRun drives the
+// frozen pre-refactor engine from ref_test.go, so `go test -bench Run`
+// prints the before/after pair that docs/PERF.md quotes; the tracked
+// cross-run numbers live in BENCH_core.json via cmd/mcs-bench.
+
+import (
+	"testing"
+
+	"mcspeedup/internal/fms"
+	"mcspeedup/internal/rat"
+)
+
+func benchCase(b *testing.B) (*Compiled, Config) {
+	b.Helper()
+	set, err := fms.Tasks(fms.DefaultGamma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := SynchronousPeriodic(set, 20*set.MaxPeriod(), func(_, seq int) bool { return seq%5 == 0 })
+	c, err := Compile(set, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, Config{Speedup: rat.Two}
+}
+
+func BenchmarkRunInto(b *testing.B) {
+	c, cfg := benchCase(b)
+	var (
+		res Result
+		sc  Scratch
+	)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.RunInto(&res, &sc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefRun(b *testing.B) {
+	c, cfg := benchCase(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := refRun(c.set, c.w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

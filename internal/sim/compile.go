@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+
+	"mcspeedup/internal/task"
+)
+
+// Compiled is a pre-validated (task set, workload) pair: Compile pays
+// the set and workload validation once, so a loop driving RunInto per
+// configuration — or RunWorkload per sampled workload — never re-walks
+// the validation maps the old per-call Run paid on every invocation.
+type Compiled struct {
+	set task.Set
+	w   Workload
+}
+
+// Compile validates the set and workload and returns the reusable pair.
+func Compile(s task.Set, w Workload) (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(s); err != nil {
+		return nil, err
+	}
+	return &Compiled{set: s, w: w}, nil
+}
+
+// CompileSet validates the set alone, for callers that generate their
+// workloads per run (see RunWorkload).
+func CompileSet(s task.Set) (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compiled{set: s}, nil
+}
+
+// Set returns the compiled task set.
+func (c *Compiled) Set() task.Set { return c.set }
+
+// RunInto simulates the compiled workload, writing the metrics into res
+// (whose buffers are truncated and reused — see Result). A nil sc, or
+// one already mid-run, falls back to the package pool; either way the
+// call is allocation-free in steady state when trace and job collection
+// are off.
+func (c *Compiled) RunInto(res *Result, sc *Scratch, cfg Config) error {
+	return c.RunWorkload(res, sc, c.w, cfg)
+}
+
+// RunWorkload is RunInto over a caller-supplied workload that must be
+// valid by construction (sorted by arrival time, demands within the
+// per-criticality WCET caps, per-task spacing of at least T(LO)) —
+// validation is skipped. This is the fleet engine's hot path: one
+// Compiled per task set, one sampled workload per run.
+func (c *Compiled) RunWorkload(res *Result, sc *Scratch, w Workload, cfg Config) error {
+	if cfg.Speedup.Sign() <= 0 || cfg.Speedup.IsInf() {
+		return fmt.Errorf("sim: speedup %v must be positive and finite", cfg.Speedup)
+	}
+	sc, pooled := borrow(sc)
+	res.reset()
+	sc.begin(c.set, cfg, res)
+	sc.run(w)
+	sc.finish()
+	if pooled != nil {
+		simScratchPool.Put(pooled)
+	}
+	sortMisses(res.Misses)
+	sortJobs(res.Jobs)
+	return nil
+}

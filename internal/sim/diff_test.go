@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcspeedup/internal/gen"
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// Differential property tests: the zero-allocation RunInto engine must
+// reproduce the frozen pre-refactor simulator (ref_test.go) field for
+// field — Misses, Episodes, Trace, and Jobs included, in identical
+// order — on generator task sets under synchronous, sporadic, and bursty
+// workloads across the whole Config matrix. The RunInto side reuses one
+// Result and one Scratch across every case, so buffer-reset bugs show up
+// as cross-case contamination.
+
+// diffSets yields generator sets (terminated and degraded LO reactions
+// both appear; MustSet degrades LO tasks by the generator's y).
+func diffSets(t *testing.T, n int) []task.Set {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(20260808))
+	p := gen.Defaults()
+	var sets []task.Set
+	for i := 0; i < n; i++ {
+		u := 0.4 + 0.5*rnd.Float64()
+		s := p.MustSet(rnd, u)
+		sets = append(sets, s)
+		sets = append(sets, s.TerminateLO())
+	}
+	return sets
+}
+
+// diffConfigs is the policy matrix the equivalence must hold over.
+func diffConfigs(s task.Set) []Config {
+	budget := rat.FromInt64(int64(s.MaxPeriod()))
+	return []Config{
+		{Speedup: rat.One},
+		{Speedup: rat.Two, CollectJobs: true, CollectTrace: true},
+		{Speedup: rat.New(3, 2), Budget: budget, ParkTerminatedCarryOver: true},
+		{Speedup: rat.Two, Budget: budget.Div(rat.FromInt64(4)), CollectJobs: true},
+		{Speedup: rat.New(5, 4), StopOnMiss: true, CollectTrace: true},
+	}
+}
+
+// assertSameResult compares every Result field, treating a nil slice and
+// an empty slice as equal (reused buffers are empty, fresh ones nil —
+// JSON export renders both identically).
+func assertSameResult(t *testing.T, ctx string, want, got *Result) {
+	t.Helper()
+	sameSlice := func(field string, a, b any, n, m int) {
+		t.Helper()
+		if n != m {
+			t.Fatalf("%s: %s length %d != reference %d", ctx, field, m, n)
+		}
+		if n > 0 && !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: %s diverged:\nref: %+v\ngot: %+v", ctx, field, a, b)
+		}
+	}
+	sameSlice("Misses", want.Misses, got.Misses, len(want.Misses), len(got.Misses))
+	sameSlice("Episodes", want.Episodes, got.Episodes, len(want.Episodes), len(got.Episodes))
+	sameSlice("Trace", want.Trace, got.Trace, len(want.Trace), len(got.Trace))
+	sameSlice("Jobs", want.Jobs, got.Jobs, len(want.Jobs), len(got.Jobs))
+	if want.Completed != got.Completed || want.Dropped != got.Dropped || want.Killed != got.Killed {
+		t.Fatalf("%s: counters (completed %d, dropped %d, killed %d) != reference (%d, %d, %d)",
+			ctx, got.Completed, got.Dropped, got.Killed, want.Completed, want.Dropped, want.Killed)
+	}
+	if !want.EndTime.Eq(got.EndTime) {
+		t.Fatalf("%s: EndTime %v != reference %v", ctx, got.EndTime, want.EndTime)
+	}
+}
+
+func diffWorkloads(rnd *rand.Rand, s task.Set) map[string]Workload {
+	horizon := 4 * s.MaxPeriod()
+	return map[string]Workload{
+		"sync":     SynchronousPeriodic(s, horizon, func(_, seq int) bool { return seq%3 == 0 }),
+		"sporadic": RandomSporadic(rnd, s, horizon, 0.3),
+		"bursts":   BurstOverruns(rnd, s, horizon, s.MaxPeriod()/2),
+	}
+}
+
+func TestRunIntoMatchesReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	var (
+		res Result
+		sc  Scratch
+	)
+	for i, s := range diffSets(t, 12) {
+		for name, w := range diffWorkloads(rnd, s) {
+			c, err := Compile(s, w)
+			if err != nil {
+				t.Fatalf("set %d %s: compile: %v", i, name, err)
+			}
+			for k, cfg := range diffConfigs(s) {
+				ctx := fmt.Sprintf("set %d, workload %s, cfg %d", i, name, k)
+				want, err := refRun(s, w, cfg)
+				if err != nil {
+					t.Fatalf("%s: reference: %v", ctx, err)
+				}
+				if err := c.RunInto(&res, &sc, cfg); err != nil {
+					t.Fatalf("%s: RunInto: %v", ctx, err)
+				}
+				assertSameResult(t, ctx+" (RunInto)", want, &res)
+
+				got, err := Run(s, w, cfg)
+				if err != nil {
+					t.Fatalf("%s: Run: %v", ctx, err)
+				}
+				assertSameResult(t, ctx+" (Run)", want, got)
+			}
+		}
+	}
+}
+
+// TestRunWorkloadMatchesReference exercises the validation-skipping
+// fleet entry point on workloads that are valid by construction.
+func TestRunWorkloadMatchesReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	var (
+		res Result
+		sc  Scratch
+	)
+	for i, s := range diffSets(t, 8) {
+		c, err := CompileSet(s)
+		if err != nil {
+			t.Fatalf("set %d: compile: %v", i, err)
+		}
+		cfg := Config{Speedup: rat.Two, CollectJobs: true}
+		for r := 0; r < 4; r++ {
+			w := RandomSporadic(rnd, s, 3*s.MaxPeriod(), 0.25)
+			want, err := refRun(s, w, cfg)
+			if err != nil {
+				t.Fatalf("set %d run %d: reference: %v", i, r, err)
+			}
+			if err := c.RunWorkload(&res, &sc, w, cfg); err != nil {
+				t.Fatalf("set %d run %d: RunWorkload: %v", i, r, err)
+			}
+			assertSameResult(t, fmt.Sprintf("set %d run %d", i, r), want, &res)
+		}
+	}
+}
+
+// TestRunRejectsLikeReference pins the error paths: invalid speedups,
+// invalid workloads, and invalid sets must fail identically.
+func TestRunRejectsLikeReference(t *testing.T) {
+	s := diffSets(t, 1)[0]
+	w := SynchronousPeriodic(s, s.MaxPeriod(), NoOverrun)
+	for _, cfg := range []Config{{}, {Speedup: rat.FromInt64(-1)}, {Speedup: rat.PosInf}} {
+		_, errRef := refRun(s, w, cfg)
+		_, errNew := Run(s, w, cfg)
+		if errRef == nil || errNew == nil || errRef.Error() != errNew.Error() {
+			t.Fatalf("speedup %v: error mismatch: ref %v, new %v", cfg.Speedup, errRef, errNew)
+		}
+	}
+	bad := Workload{{Task: 0, At: 5, Demand: 1}, {Task: 0, At: 0, Demand: 1}}
+	_, errRef := refRun(s, bad, Config{Speedup: rat.One})
+	_, errNew := Run(s, bad, Config{Speedup: rat.One})
+	if errRef == nil || errNew == nil || errRef.Error() != errNew.Error() {
+		t.Fatalf("unsorted workload: error mismatch: ref %v, new %v", errRef, errNew)
+	}
+}
+
+// FuzzSimEquivalence drives randomized sets, workloads, and policies
+// through both engines; scripts/verify.sh runs a 10s smoke on top of the
+// seed corpus (mirroring FuzzWalkEquivalence).
+func FuzzSimEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(30), uint8(0), false, false, uint8(3))
+	f.Add(int64(42), uint8(55), uint8(15), uint8(40), true, false, uint8(0))
+	f.Add(int64(20260808), uint8(90), uint8(49), uint8(200), false, true, uint8(6))
+	f.Add(int64(-7), uint8(17), uint8(10), uint8(1), true, true, uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, uRaw, speedRaw, budgetRaw uint8, park, stop bool, probRaw uint8) {
+		rnd := rand.New(rand.NewSource(seed))
+		u := 0.35 + 0.55*float64(uRaw%100)/100
+		s := gen.Defaults().MustSet(rnd, u)
+		if seed%2 == 0 {
+			s = s.TerminateLO()
+		}
+		w := RandomSporadic(rnd, s, 3*s.MaxPeriod(), float64(probRaw%10)/10)
+		cfg := Config{
+			Speedup:                 rat.New(int64(speedRaw%40)+10, 10), // 1.0 .. 4.9
+			ParkTerminatedCarryOver: park,
+			StopOnMiss:              stop,
+			CollectJobs:             true,
+			CollectTrace:            true,
+		}
+		if budgetRaw > 0 {
+			cfg.Budget = rat.New(int64(budgetRaw), 4)
+		}
+		want, errRef := refRun(s, w, cfg)
+		c, errC := Compile(s, w)
+		if errC != nil {
+			t.Fatalf("compile failed on refRun-accepted input: %v", errC)
+		}
+		var (
+			res Result
+			sc  Scratch
+		)
+		errNew := c.RunInto(&res, &sc, cfg)
+		if (errRef == nil) != (errNew == nil) {
+			t.Fatalf("error mismatch: ref %v, new %v\n%s", errRef, errNew, s.Table())
+		}
+		if errRef != nil {
+			return
+		}
+		assertSameResult(t, "fuzz", want, &res)
+	})
+}

@@ -86,8 +86,18 @@ func ResponseTable(s task.Set, res *Result) string {
 }
 
 // sortJobs orders the records by completion time (stable for rendering).
+// sortJobs orders records by completion time. The event loop appends
+// them as jobs complete and simulation time is monotone, so the scan
+// almost always finds the slice sorted and skips the closure-allocating
+// sort; a stable sort of an already-sorted slice is the identity, so
+// skipping it is byte-identical to the historical unconditional call.
 func sortJobs(jobs []JobRecord) {
-	sort.SliceStable(jobs, func(i, k int) bool {
-		return jobs[i].Completion.Cmp(jobs[k].Completion) < 0
-	})
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Completion.Cmp(jobs[i-1].Completion) < 0 {
+			sort.SliceStable(jobs, func(i, k int) bool {
+				return jobs[i].Completion.Cmp(jobs[k].Completion) < 0
+			})
+			return
+		}
+	}
 }

@@ -1,0 +1,340 @@
+package sim
+
+// This file is a frozen, verbatim copy of the pre-Scratch simulator
+// (pointer jobs, per-run maps, unconditional sorts) kept as the oracle
+// for the differential tests in diff_test.go: the zero-allocation
+// RunInto rework must reproduce this implementation's Result — field
+// for field, including Trace/Jobs ordering — on every workload. Only
+// the names carry a ref prefix; the logic is untouched.
+
+import (
+	"fmt"
+	"sort"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// refJob is a live job instance of the reference simulator.
+type refJob struct {
+	taskIdx   int
+	seq       int
+	arrival   task.Time
+	deadline  rat.Rat // absolute; PosInf for parked jobs
+	demand    task.Time
+	executed  rat.Rat
+	missed    bool
+	parked    bool // terminated carry-over kept at infinite deadline
+	overrunOK bool // mode switch already triggered by this job
+}
+
+func (j *refJob) remaining() rat.Rat {
+	return rat.FromInt64(int64(j.demand)).Sub(j.executed)
+}
+
+// refRun is the pre-refactor sim.Run, verbatim.
+func refRun(s task.Set, w Workload, cfg Config) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(s); err != nil {
+		return nil, err
+	}
+	if cfg.Speedup.Sign() <= 0 || cfg.Speedup.IsInf() {
+		return nil, fmt.Errorf("sim: speedup %v must be positive and finite", cfg.Speedup)
+	}
+	st := &refState{
+		tasks: s, cfg: cfg,
+		res:          &Result{EndTime: rat.Zero},
+		mode:         task.LO,
+		speed:        rat.One,
+		now:          rat.Zero,
+		lastAdmitted: make(map[int]task.Time),
+		seqs:         make(map[int]int),
+	}
+	st.run(w)
+	sort.Slice(st.res.Misses, func(i, k int) bool {
+		return st.res.Misses[i].DetectedAt.Cmp(st.res.Misses[k].DetectedAt) < 0
+	})
+	refSortJobs(st.res.Jobs)
+	return st.res, nil
+}
+
+func refSortJobs(jobs []JobRecord) {
+	sort.SliceStable(jobs, func(i, k int) bool {
+		return jobs[i].Completion.Cmp(jobs[k].Completion) < 0
+	})
+}
+
+type refState struct {
+	tasks task.Set
+	cfg   Config
+	res   *Result
+
+	now     rat.Rat
+	mode    task.Crit
+	speed   rat.Rat
+	pending []*refJob
+
+	// terminatedNow is set when the budget fallback has killed LO tasks
+	// for the remainder of the current episode.
+	terminatedNow bool
+	episodeStart  rat.Rat
+	budgetExpiry  rat.Rat // PosInf when inactive
+
+	lastAdmitted map[int]task.Time
+	seqs         map[int]int
+}
+
+func (st *refState) run(w Workload) {
+	st.budgetExpiry = rat.PosInf
+	idx := 0
+	for {
+		// Admit all arrivals at or before now.
+		for idx < len(w) && rat.FromInt64(int64(w[idx].At)).Cmp(st.now) <= 0 {
+			st.admit(w[idx])
+			idx++
+		}
+		if st.cfg.StopOnMiss && len(st.res.Misses) > 0 {
+			if st.mode == task.HI {
+				st.res.Episodes = append(st.res.Episodes, Episode{
+					Start: st.episodeStart, BudgetTripped: st.terminatedNow,
+				})
+			}
+			return
+		}
+		cur := st.edfPick()
+		if cur == nil {
+			// Processor idle.
+			if st.mode == task.HI {
+				st.reset()
+			}
+			if idx == len(w) {
+				return
+			}
+			st.now = rat.FromInt64(int64(w[idx].At))
+			continue
+		}
+
+		// Next boundary.
+		bound := st.now.Add(cur.remaining().Div(st.speed)) // completion
+		if st.mode == task.LO {
+			if tk := &st.tasks[cur.taskIdx]; tk.Crit == task.HI && cur.demand > tk.WCET[task.LO] && !cur.overrunOK {
+				trigger := st.now.Add(rat.FromInt64(int64(tk.WCET[task.LO])).Sub(cur.executed).Div(st.speed))
+				bound = rat.Min(bound, trigger)
+			}
+		}
+		if idx < len(w) {
+			bound = rat.Min(bound, rat.FromInt64(int64(w[idx].At)))
+		}
+		bound = rat.Min(bound, st.budgetExpiry)
+		// Deadlines are boundaries so misses are detected the instant
+		// they occur, not at the tardy completion.
+		for _, j := range st.pending {
+			if !j.missed && !j.parked && j.deadline.Cmp(st.now) > 0 {
+				bound = rat.Min(bound, j.deadline)
+			}
+		}
+
+		// Execute cur on [now, bound].
+		dt := bound.Sub(st.now)
+		if dt.Sign() > 0 {
+			cur.executed = cur.executed.Add(dt.Mul(st.speed))
+			st.trace(cur, st.now, bound)
+		}
+		st.now = bound
+
+		// Boundary effects, in causal order.
+		if cur.remaining().IsZero() {
+			st.complete(cur)
+		} else if st.mode == task.LO {
+			tk := &st.tasks[cur.taskIdx]
+			if tk.Crit == task.HI && !cur.overrunOK &&
+				cur.executed.Cmp(rat.FromInt64(int64(tk.WCET[task.LO]))) >= 0 &&
+				cur.demand > tk.WCET[task.LO] {
+				cur.overrunOK = true
+				st.switchToHI()
+			}
+		}
+		if st.mode == task.HI && !st.budgetExpiry.IsInf() && st.now.Cmp(st.budgetExpiry) >= 0 {
+			st.tripBudget()
+		}
+		st.detectMisses()
+	}
+}
+
+// admit applies the arrival-time policy for the current mode.
+func (st *refState) admit(a Arrival) {
+	tk := &st.tasks[a.Task]
+	mode := st.mode
+	if tk.Crit == task.LO && (mode == task.HI || st.terminatedNow) {
+		if tk.Terminated() || st.terminatedNow {
+			st.res.Dropped++
+			return
+		}
+		// Degraded service: enforce the enlarged minimum inter-arrival
+		// time T(HI) against the last admitted arrival.
+		if last, ok := st.lastAdmitted[a.Task]; ok && a.At-last < tk.Period[task.HI] {
+			st.res.Dropped++
+			return
+		}
+	}
+	st.lastAdmitted[a.Task] = a.At
+	st.seqs[a.Task]++
+	st.pending = append(st.pending, &refJob{
+		taskIdx:  a.Task,
+		seq:      st.seqs[a.Task],
+		arrival:  a.At,
+		deadline: rat.FromInt64(int64(a.At) + int64(tk.Deadline[mode])),
+		demand:   a.Demand,
+		executed: rat.Zero,
+	})
+}
+
+// edfPick returns the pending job with the earliest deadline (ties by
+// arrival, then task index), or nil when idle.
+func (st *refState) edfPick() *refJob {
+	var best *refJob
+	for _, j := range st.pending {
+		if best == nil || refLess(j, best) {
+			best = j
+		}
+	}
+	return best
+}
+
+func refLess(a, b *refJob) bool {
+	if c := a.deadline.Cmp(b.deadline); c != 0 {
+		return c < 0
+	}
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	return a.taskIdx < b.taskIdx
+}
+
+func (st *refState) complete(j *refJob) {
+	st.res.Completed++
+	if !j.missed && !j.parked && st.now.Cmp(j.deadline) > 0 {
+		j.missed = true
+		st.res.Misses = append(st.res.Misses, Miss{
+			Task: j.taskIdx, Arrival: j.arrival, Deadline: j.deadline, DetectedAt: st.now,
+		})
+	}
+	if st.cfg.CollectJobs {
+		st.res.Jobs = append(st.res.Jobs, JobRecord{
+			Task: j.taskIdx, Seq: j.seq, Arrival: j.arrival,
+			Completion: st.now, Deadline: j.deadline, Missed: j.missed,
+		})
+	}
+	st.removeJob(j)
+}
+
+func (st *refState) removeJob(j *refJob) {
+	for i, p := range st.pending {
+		if p == j {
+			st.pending[i] = st.pending[len(st.pending)-1]
+			st.pending = st.pending[:len(st.pending)-1]
+			return
+		}
+	}
+}
+
+// detectMisses flags pending jobs whose deadline has been reached with
+// work remaining (every pending job has remaining work by construction).
+func (st *refState) detectMisses() {
+	for _, j := range st.pending {
+		if !j.missed && !j.parked && st.now.Cmp(j.deadline) >= 0 {
+			j.missed = true
+			st.res.Misses = append(st.res.Misses, Miss{
+				Task: j.taskIdx, Arrival: j.arrival, Deadline: j.deadline, DetectedAt: j.deadline,
+			})
+		}
+	}
+}
+
+// switchToHI performs the mode-switch protocol.
+func (st *refState) switchToHI() {
+	st.mode = task.HI
+	st.speed = st.cfg.Speedup
+	st.episodeStart = st.now
+	if st.cfg.Budget.Sign() > 0 {
+		st.budgetExpiry = st.now.Add(st.cfg.Budget)
+	}
+	// Re-deadline carry-over jobs.
+	var keep []*refJob
+	for _, j := range st.pending {
+		tk := &st.tasks[j.taskIdx]
+		switch {
+		case tk.Crit == task.HI:
+			j.deadline = rat.FromInt64(int64(j.arrival) + int64(tk.Deadline[task.HI]))
+		case tk.Terminated():
+			if st.cfg.ParkTerminatedCarryOver {
+				j.parked = true
+				j.deadline = rat.PosInf
+			} else {
+				st.res.Killed++
+				continue
+			}
+		default: // degraded
+			j.deadline = rat.FromInt64(int64(j.arrival) + int64(tk.Deadline[task.HI]))
+		}
+		keep = append(keep, j)
+	}
+	st.pending = keep
+}
+
+// tripBudget applies the Section-I fallback: terminate LO-criticality
+// work and restore nominal speed; the episode continues until idle.
+func (st *refState) tripBudget() {
+	st.budgetExpiry = rat.PosInf
+	st.terminatedNow = true
+	st.speed = rat.One
+	var keep []*refJob
+	for _, j := range st.pending {
+		if st.tasks[j.taskIdx].Crit == task.LO {
+			st.res.Killed++
+			continue
+		}
+		keep = append(keep, j)
+	}
+	st.pending = keep
+}
+
+// reset returns the system to LO mode at an idle instant.
+func (st *refState) reset() {
+	st.res.Episodes = append(st.res.Episodes, Episode{
+		Start:         st.episodeStart,
+		End:           st.now,
+		BudgetTripped: st.terminatedNow,
+		Ended:         true,
+	})
+	st.mode = task.LO
+	st.speed = rat.One
+	st.terminatedNow = false
+	st.budgetExpiry = rat.PosInf
+	if st.res.EndTime.Cmp(st.now) < 0 {
+		st.res.EndTime = st.now
+	}
+}
+
+func (st *refState) trace(j *refJob, from, to rat.Rat) {
+	if st.res.EndTime.Cmp(to) < 0 {
+		st.res.EndTime = to
+	}
+	if !st.cfg.CollectTrace {
+		return
+	}
+	n := len(st.res.Trace)
+	if n > 0 {
+		lastSeg := &st.res.Trace[n-1]
+		if lastSeg.Task == j.taskIdx && lastSeg.JobSeq == j.seq &&
+			lastSeg.End.Eq(from) && lastSeg.Speed.Eq(st.speed) && lastSeg.Mode == st.mode {
+			lastSeg.End = to
+			return
+		}
+	}
+	st.res.Trace = append(st.res.Trace, Segment{
+		Start: from, End: to, Task: j.taskIdx, JobSeq: j.seq, Mode: st.mode, Speed: st.speed,
+	})
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"sync"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// Scratch is a reusable simulation arena: the pending-job table and
+// per-task admission arrays behind one in-flight run, in the style of
+// core.Scratch. Callers driving many runs in a tight loop — the fleet
+// Monte-Carlo engine, response-time sweeps, batch serving — thread one
+// Scratch through Compiled.RunInto so every run reuses the same storage
+// instead of round-tripping the package pool. The zero value is ready to
+// use.
+//
+// A Scratch serializes the runs that borrow it and must not be shared
+// between concurrent goroutines; give each worker its own. Runs called
+// with a nil Scratch fall back to the package-level pool, which is safe
+// for concurrent use and still allocation-free in steady state.
+type Scratch struct {
+	inUse bool
+
+	// pending holds the live jobs by value; capacity is retained across
+	// runs. lastAdmitted/seqs are per-task arrays replacing the old
+	// map[int] admission state: seqs[i] > 0 means task i has had an
+	// admitted arrival.
+	pending      []jobState
+	lastAdmitted []task.Time
+	seqs         []int32
+
+	// Per-run state, reset by begin and cleared by finish so a pooled
+	// arena never pins a caller's task set or result.
+	tasks task.Set
+	cfg   Config
+	res   *Result
+
+	now           rat.Rat
+	mode          task.Crit
+	speed         rat.Rat
+	terminatedNow bool
+	episodeStart  rat.Rat
+	budgetExpiry  rat.Rat // PosInf when inactive
+}
+
+// simScratchPool recycles arenas for runs that were not handed an
+// explicit Scratch (including every sim.Run call). Entries keep their
+// slices, so a steady stream of runs reaches 0 allocs/op once the pool
+// is warm.
+var simScratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// borrow returns sc when it is free, falling back to the package pool
+// when sc is nil or mid-run. The second return is the arena to hand back
+// to the pool afterwards (nil when the caller's own Scratch was used).
+func borrow(sc *Scratch) (*Scratch, *Scratch) {
+	if sc != nil && !sc.inUse {
+		return sc, nil
+	}
+	pooled := simScratchPool.Get().(*Scratch)
+	return pooled, pooled
+}
+
+// begin readies the arena for one run over s.
+func (sc *Scratch) begin(s task.Set, cfg Config, res *Result) {
+	sc.inUse = true
+	sc.tasks = s
+	sc.cfg = cfg
+	sc.res = res
+	sc.pending = sc.pending[:0]
+	if cap(sc.lastAdmitted) < len(s) {
+		sc.lastAdmitted = make([]task.Time, len(s))
+		sc.seqs = make([]int32, len(s))
+	} else {
+		sc.lastAdmitted = sc.lastAdmitted[:len(s)]
+		sc.seqs = sc.seqs[:len(s)]
+		for i := range sc.seqs {
+			sc.lastAdmitted[i] = 0
+			sc.seqs[i] = 0
+		}
+	}
+	sc.now = rat.Zero
+	sc.mode = task.LO
+	sc.speed = rat.One
+	sc.terminatedNow = false
+	sc.episodeStart = rat.Zero
+	sc.budgetExpiry = rat.PosInf
+}
+
+// finish drops the per-run references (so a pooled arena never pins the
+// caller's set or result) and marks the arena free.
+func (sc *Scratch) finish() {
+	sc.tasks = nil
+	sc.res = nil
+	sc.inUse = false
+}

@@ -25,6 +25,11 @@
 // rational speed factor finishes at exactly representable rational
 // instants, so property tests can assert "no deadline missed" without
 // epsilon tolerances.
+//
+// The hot path is allocation-free in steady state: jobs are values in a
+// caller-owned Scratch arena (see Scratch), results reuse their buffers
+// (see Compiled.RunInto), and validation is paid once per task set via
+// Compile rather than once per run.
 package sim
 
 import (
@@ -150,7 +155,10 @@ type Segment struct {
 	Speed      rat.Rat
 }
 
-// Result aggregates a simulation run.
+// Result aggregates a simulation run. Results are reusable: passing one
+// back into Compiled.RunInto truncates the slices (keeping capacity) and
+// overwrites every field, so a caller looping over many runs holds
+// buffer growth to the first iteration.
 type Result struct {
 	Misses    []Miss
 	Episodes  []Episode
@@ -174,192 +182,41 @@ func (r *Result) MaxEpisode() rat.Rat {
 	return m
 }
 
-// job is a live job instance.
-type job struct {
-	taskIdx   int
-	seq       int
-	arrival   task.Time
+// reset truncates the slices (retaining capacity) and zeroes the
+// counters, readying r for the next RunInto.
+func (r *Result) reset() {
+	r.Misses = r.Misses[:0]
+	r.Episodes = r.Episodes[:0]
+	r.Trace = r.Trace[:0]
+	r.Jobs = r.Jobs[:0]
+	r.Completed = 0
+	r.Dropped = 0
+	r.Killed = 0
+	r.EndTime = rat.Zero
+}
+
+// jobState is a live job instance, stored by value in Scratch.pending so
+// the event loop never allocates per job.
+type jobState struct {
 	deadline  rat.Rat // absolute; PosInf for parked jobs
-	demand    task.Time
 	executed  rat.Rat
+	arrival   task.Time
+	demand    task.Time
+	taskIdx   int32
+	seq       int32
 	missed    bool
 	parked    bool // terminated carry-over kept at infinite deadline
 	overrunOK bool // mode switch already triggered by this job
 }
 
-func (j *job) remaining() rat.Rat {
+func (j *jobState) remaining() rat.Rat {
 	return rat.FromInt64(int64(j.demand)).Sub(j.executed)
 }
 
-// Run simulates the workload on the task set under the given policy and
-// returns the collected metrics. The run continues past the last arrival
-// until all admitted work has drained, so every admitted job either
-// completes or is killed.
-func Run(s task.Set, w Workload, cfg Config) (*Result, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	if err := w.Validate(s); err != nil {
-		return nil, err
-	}
-	if cfg.Speedup.Sign() <= 0 || cfg.Speedup.IsInf() {
-		return nil, fmt.Errorf("sim: speedup %v must be positive and finite", cfg.Speedup)
-	}
-	st := &state{
-		tasks: s, cfg: cfg,
-		res:          &Result{EndTime: rat.Zero},
-		mode:         task.LO,
-		speed:        rat.One,
-		now:          rat.Zero,
-		lastAdmitted: make(map[int]task.Time),
-		seqs:         make(map[int]int),
-	}
-	st.run(w)
-	sort.Slice(st.res.Misses, func(i, k int) bool {
-		return st.res.Misses[i].DetectedAt.Cmp(st.res.Misses[k].DetectedAt) < 0
-	})
-	sortJobs(st.res.Jobs)
-	return st.res, nil
-}
-
-type state struct {
-	tasks task.Set
-	cfg   Config
-	res   *Result
-
-	now     rat.Rat
-	mode    task.Crit
-	speed   rat.Rat
-	pending []*job
-
-	// terminatedNow is set when the budget fallback has killed LO tasks
-	// for the remainder of the current episode.
-	terminatedNow bool
-	episodeStart  rat.Rat
-	budgetExpiry  rat.Rat // PosInf when inactive
-
-	lastAdmitted map[int]task.Time
-	seqs         map[int]int
-}
-
-func (st *state) run(w Workload) {
-	st.budgetExpiry = rat.PosInf
-	idx := 0
-	for {
-		// Admit all arrivals at or before now.
-		for idx < len(w) && rat.FromInt64(int64(w[idx].At)).Cmp(st.now) <= 0 {
-			st.admit(w[idx])
-			idx++
-		}
-		if st.cfg.StopOnMiss && len(st.res.Misses) > 0 {
-			if st.mode == task.HI {
-				st.res.Episodes = append(st.res.Episodes, Episode{
-					Start: st.episodeStart, BudgetTripped: st.terminatedNow,
-				})
-			}
-			return
-		}
-		cur := st.edfPick()
-		if cur == nil {
-			// Processor idle.
-			if st.mode == task.HI {
-				st.reset()
-			}
-			if idx == len(w) {
-				return
-			}
-			st.now = rat.FromInt64(int64(w[idx].At))
-			continue
-		}
-
-		// Next boundary.
-		bound := st.now.Add(cur.remaining().Div(st.speed)) // completion
-		if st.mode == task.LO {
-			if tk := &st.tasks[cur.taskIdx]; tk.Crit == task.HI && cur.demand > tk.WCET[task.LO] && !cur.overrunOK {
-				trigger := st.now.Add(rat.FromInt64(int64(tk.WCET[task.LO])).Sub(cur.executed).Div(st.speed))
-				bound = rat.Min(bound, trigger)
-			}
-		}
-		if idx < len(w) {
-			bound = rat.Min(bound, rat.FromInt64(int64(w[idx].At)))
-		}
-		bound = rat.Min(bound, st.budgetExpiry)
-		// Deadlines are boundaries so misses are detected the instant
-		// they occur, not at the tardy completion.
-		for _, j := range st.pending {
-			if !j.missed && !j.parked && j.deadline.Cmp(st.now) > 0 {
-				bound = rat.Min(bound, j.deadline)
-			}
-		}
-
-		// Execute cur on [now, bound].
-		dt := bound.Sub(st.now)
-		if dt.Sign() > 0 {
-			cur.executed = cur.executed.Add(dt.Mul(st.speed))
-			st.trace(cur, st.now, bound)
-		}
-		st.now = bound
-
-		// Boundary effects, in causal order.
-		if cur.remaining().IsZero() {
-			st.complete(cur)
-		} else if st.mode == task.LO {
-			tk := &st.tasks[cur.taskIdx]
-			if tk.Crit == task.HI && !cur.overrunOK &&
-				cur.executed.Cmp(rat.FromInt64(int64(tk.WCET[task.LO]))) >= 0 &&
-				cur.demand > tk.WCET[task.LO] {
-				cur.overrunOK = true
-				st.switchToHI()
-			}
-		}
-		if st.mode == task.HI && !st.budgetExpiry.IsInf() && st.now.Cmp(st.budgetExpiry) >= 0 {
-			st.tripBudget()
-		}
-		st.detectMisses()
-	}
-}
-
-// admit applies the arrival-time policy for the current mode.
-func (st *state) admit(a Arrival) {
-	tk := &st.tasks[a.Task]
-	mode := st.mode
-	if tk.Crit == task.LO && (mode == task.HI || st.terminatedNow) {
-		if tk.Terminated() || st.terminatedNow {
-			st.res.Dropped++
-			return
-		}
-		// Degraded service: enforce the enlarged minimum inter-arrival
-		// time T(HI) against the last admitted arrival.
-		if last, ok := st.lastAdmitted[a.Task]; ok && a.At-last < tk.Period[task.HI] {
-			st.res.Dropped++
-			return
-		}
-	}
-	st.lastAdmitted[a.Task] = a.At
-	st.seqs[a.Task]++
-	st.pending = append(st.pending, &job{
-		taskIdx:  a.Task,
-		seq:      st.seqs[a.Task],
-		arrival:  a.At,
-		deadline: rat.FromInt64(int64(a.At) + int64(tk.Deadline[mode])),
-		demand:   a.Demand,
-		executed: rat.Zero,
-	})
-}
-
-// edfPick returns the pending job with the earliest deadline (ties by
-// arrival, then task index), or nil when idle.
-func (st *state) edfPick() *job {
-	var best *job
-	for _, j := range st.pending {
-		if best == nil || less(j, best) {
-			best = j
-		}
-	}
-	return best
-}
-
-func less(a, b *job) bool {
+// jobLess is the EDF total order: deadline, then arrival, then task
+// index. It is total over live jobs (one job per task per arrival), so
+// the pick never depends on pending order.
+func jobLess(a, b *jobState) bool {
 	if c := a.deadline.Cmp(b.deadline); c != 0 {
 		return c < 0
 	}
@@ -369,67 +226,207 @@ func less(a, b *job) bool {
 	return a.taskIdx < b.taskIdx
 }
 
-func (st *state) complete(j *job) {
-	st.res.Completed++
-	if !j.missed && !j.parked && st.now.Cmp(j.deadline) > 0 {
-		j.missed = true
-		st.res.Misses = append(st.res.Misses, Miss{
-			Task: j.taskIdx, Arrival: j.arrival, Deadline: j.deadline, DetectedAt: st.now,
-		})
+// Run simulates the workload on the task set under the given policy and
+// returns the collected metrics. The run continues past the last arrival
+// until all admitted work has drained, so every admitted job either
+// completes or is killed.
+//
+// Run validates the set and workload on every call and allocates a fresh
+// Result; loops over many runs should Compile once and drive RunInto
+// with a caller-owned Scratch and reused Result instead.
+func Run(s task.Set, w Workload, cfg Config) (*Result, error) {
+	c, err := Compile(s, w)
+	if err != nil {
+		return nil, err
 	}
-	if st.cfg.CollectJobs {
-		st.res.Jobs = append(st.res.Jobs, JobRecord{
-			Task: j.taskIdx, Seq: j.seq, Arrival: j.arrival,
-			Completion: st.now, Deadline: j.deadline, Missed: j.missed,
-		})
+	res := new(Result)
+	if err := c.RunInto(res, nil, cfg); err != nil {
+		return nil, err
 	}
-	st.removeJob(j)
+	return res, nil
 }
 
-func (st *state) removeJob(j *job) {
-	for i, p := range st.pending {
-		if p == j {
-			st.pending[i] = st.pending[len(st.pending)-1]
-			st.pending = st.pending[:len(st.pending)-1]
+// run is the event loop. The caller (Compiled.run) has attached tasks,
+// cfg, and res to the scratch and reset the per-run state.
+func (sc *Scratch) run(w Workload) {
+	sc.budgetExpiry = rat.PosInf
+	idx := 0
+	for {
+		// Admit all arrivals at or before now.
+		for idx < len(w) && rat.FromInt64(int64(w[idx].At)).Cmp(sc.now) <= 0 {
+			sc.admit(w[idx])
+			idx++
+		}
+		if sc.cfg.StopOnMiss && len(sc.res.Misses) > 0 {
+			if sc.mode == task.HI {
+				sc.res.Episodes = append(sc.res.Episodes, Episode{
+					Start: sc.episodeStart, BudgetTripped: sc.terminatedNow,
+				})
+			}
+			return
+		}
+		curIdx := sc.edfPick()
+		if curIdx < 0 {
+			// Processor idle.
+			if sc.mode == task.HI {
+				sc.reset()
+			}
+			if idx == len(w) {
+				return
+			}
+			sc.now = rat.FromInt64(int64(w[idx].At))
+			continue
+		}
+		cur := &sc.pending[curIdx]
+
+		// Next boundary.
+		bound := sc.now.Add(cur.remaining().Div(sc.speed)) // completion
+		if sc.mode == task.LO {
+			if tk := &sc.tasks[cur.taskIdx]; tk.Crit == task.HI && cur.demand > tk.WCET[task.LO] && !cur.overrunOK {
+				trigger := sc.now.Add(rat.FromInt64(int64(tk.WCET[task.LO])).Sub(cur.executed).Div(sc.speed))
+				bound = rat.Min(bound, trigger)
+			}
+		}
+		if idx < len(w) {
+			bound = rat.Min(bound, rat.FromInt64(int64(w[idx].At)))
+		}
+		bound = rat.Min(bound, sc.budgetExpiry)
+		// Deadlines are boundaries so misses are detected the instant
+		// they occur, not at the tardy completion.
+		for i := range sc.pending {
+			if j := &sc.pending[i]; !j.missed && !j.parked && j.deadline.Cmp(sc.now) > 0 {
+				bound = rat.Min(bound, j.deadline)
+			}
+		}
+
+		// Execute cur on [now, bound].
+		dt := bound.Sub(sc.now)
+		if dt.Sign() > 0 {
+			cur.executed = cur.executed.Add(dt.Mul(sc.speed))
+			sc.trace(cur, sc.now, bound)
+		}
+		sc.now = bound
+
+		// Boundary effects, in causal order. complete and switchToHI
+		// mutate pending, so cur is dead after either.
+		if cur.remaining().IsZero() {
+			sc.complete(curIdx)
+		} else if sc.mode == task.LO {
+			tk := &sc.tasks[cur.taskIdx]
+			if tk.Crit == task.HI && !cur.overrunOK &&
+				cur.executed.Cmp(rat.FromInt64(int64(tk.WCET[task.LO]))) >= 0 &&
+				cur.demand > tk.WCET[task.LO] {
+				cur.overrunOK = true
+				sc.switchToHI()
+			}
+		}
+		if sc.mode == task.HI && !sc.budgetExpiry.IsInf() && sc.now.Cmp(sc.budgetExpiry) >= 0 {
+			sc.tripBudget()
+		}
+		sc.detectMisses()
+	}
+}
+
+// admit applies the arrival-time policy for the current mode.
+func (sc *Scratch) admit(a Arrival) {
+	tk := &sc.tasks[a.Task]
+	mode := sc.mode
+	if tk.Crit == task.LO && (mode == task.HI || sc.terminatedNow) {
+		if tk.Terminated() || sc.terminatedNow {
+			sc.res.Dropped++
+			return
+		}
+		// Degraded service: enforce the enlarged minimum inter-arrival
+		// time T(HI) against the last admitted arrival. seqs[i] > 0
+		// stands in for the old map's presence bit: both were updated
+		// together on every admission.
+		if sc.seqs[a.Task] > 0 && a.At-sc.lastAdmitted[a.Task] < tk.Period[task.HI] {
+			sc.res.Dropped++
 			return
 		}
 	}
+	sc.lastAdmitted[a.Task] = a.At
+	sc.seqs[a.Task]++
+	sc.pending = append(sc.pending, jobState{
+		taskIdx:  int32(a.Task),
+		seq:      sc.seqs[a.Task],
+		arrival:  a.At,
+		deadline: rat.FromInt64(int64(a.At) + int64(tk.Deadline[mode])),
+		demand:   a.Demand,
+		executed: rat.Zero,
+	})
+}
+
+// edfPick returns the index of the pending job with the earliest
+// deadline (ties by arrival, then task index), or -1 when idle.
+func (sc *Scratch) edfPick() int {
+	best := -1
+	for i := range sc.pending {
+		if best < 0 || jobLess(&sc.pending[i], &sc.pending[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// complete retires pending[i] at sc.now.
+func (sc *Scratch) complete(i int) {
+	j := &sc.pending[i]
+	sc.res.Completed++
+	if !j.missed && !j.parked && sc.now.Cmp(j.deadline) > 0 {
+		j.missed = true
+		sc.res.Misses = append(sc.res.Misses, Miss{
+			Task: int(j.taskIdx), Arrival: j.arrival, Deadline: j.deadline, DetectedAt: sc.now,
+		})
+	}
+	if sc.cfg.CollectJobs {
+		sc.res.Jobs = append(sc.res.Jobs, JobRecord{
+			Task: int(j.taskIdx), Seq: int(j.seq), Arrival: j.arrival,
+			Completion: sc.now, Deadline: j.deadline, Missed: j.missed,
+		})
+	}
+	sc.pending[i] = sc.pending[len(sc.pending)-1]
+	sc.pending = sc.pending[:len(sc.pending)-1]
 }
 
 // detectMisses flags pending jobs whose deadline has been reached with
 // work remaining (every pending job has remaining work by construction).
-func (st *state) detectMisses() {
-	for _, j := range st.pending {
-		if !j.missed && !j.parked && st.now.Cmp(j.deadline) >= 0 {
+func (sc *Scratch) detectMisses() {
+	for i := range sc.pending {
+		j := &sc.pending[i]
+		if !j.missed && !j.parked && sc.now.Cmp(j.deadline) >= 0 {
 			j.missed = true
-			st.res.Misses = append(st.res.Misses, Miss{
-				Task: j.taskIdx, Arrival: j.arrival, Deadline: j.deadline, DetectedAt: j.deadline,
+			sc.res.Misses = append(sc.res.Misses, Miss{
+				Task: int(j.taskIdx), Arrival: j.arrival, Deadline: j.deadline, DetectedAt: j.deadline,
 			})
 		}
 	}
 }
 
-// switchToHI performs the mode-switch protocol.
-func (st *state) switchToHI() {
-	st.mode = task.HI
-	st.speed = st.cfg.Speedup
-	st.episodeStart = st.now
-	if st.cfg.Budget.Sign() > 0 {
-		st.budgetExpiry = st.now.Add(st.cfg.Budget)
+// switchToHI performs the mode-switch protocol. The carry-over pass
+// compacts pending in place (reads run ahead of writes), preserving the
+// old keep-slice order without allocating.
+func (sc *Scratch) switchToHI() {
+	sc.mode = task.HI
+	sc.speed = sc.cfg.Speedup
+	sc.episodeStart = sc.now
+	if sc.cfg.Budget.Sign() > 0 {
+		sc.budgetExpiry = sc.now.Add(sc.cfg.Budget)
 	}
 	// Re-deadline carry-over jobs.
-	var keep []*job
-	for _, j := range st.pending {
-		tk := &st.tasks[j.taskIdx]
+	keep := sc.pending[:0]
+	for i := range sc.pending {
+		j := sc.pending[i]
+		tk := &sc.tasks[j.taskIdx]
 		switch {
 		case tk.Crit == task.HI:
 			j.deadline = rat.FromInt64(int64(j.arrival) + int64(tk.Deadline[task.HI]))
 		case tk.Terminated():
-			if st.cfg.ParkTerminatedCarryOver {
+			if sc.cfg.ParkTerminatedCarryOver {
 				j.parked = true
 				j.deadline = rat.PosInf
 			} else {
-				st.res.Killed++
+				sc.res.Killed++
 				continue
 			}
 		default: // degraded
@@ -437,60 +434,80 @@ func (st *state) switchToHI() {
 		}
 		keep = append(keep, j)
 	}
-	st.pending = keep
+	sc.pending = keep
 }
 
 // tripBudget applies the Section-I fallback: terminate LO-criticality
 // work and restore nominal speed; the episode continues until idle.
-func (st *state) tripBudget() {
-	st.budgetExpiry = rat.PosInf
-	st.terminatedNow = true
-	st.speed = rat.One
-	var keep []*job
-	for _, j := range st.pending {
-		if st.tasks[j.taskIdx].Crit == task.LO {
-			st.res.Killed++
+func (sc *Scratch) tripBudget() {
+	sc.budgetExpiry = rat.PosInf
+	sc.terminatedNow = true
+	sc.speed = rat.One
+	keep := sc.pending[:0]
+	for i := range sc.pending {
+		j := sc.pending[i]
+		if sc.tasks[j.taskIdx].Crit == task.LO {
+			sc.res.Killed++
 			continue
 		}
 		keep = append(keep, j)
 	}
-	st.pending = keep
+	sc.pending = keep
 }
 
 // reset returns the system to LO mode at an idle instant.
-func (st *state) reset() {
-	st.res.Episodes = append(st.res.Episodes, Episode{
-		Start:         st.episodeStart,
-		End:           st.now,
-		BudgetTripped: st.terminatedNow,
+func (sc *Scratch) reset() {
+	sc.res.Episodes = append(sc.res.Episodes, Episode{
+		Start:         sc.episodeStart,
+		End:           sc.now,
+		BudgetTripped: sc.terminatedNow,
 		Ended:         true,
 	})
-	st.mode = task.LO
-	st.speed = rat.One
-	st.terminatedNow = false
-	st.budgetExpiry = rat.PosInf
-	if st.res.EndTime.Cmp(st.now) < 0 {
-		st.res.EndTime = st.now
+	sc.mode = task.LO
+	sc.speed = rat.One
+	sc.terminatedNow = false
+	sc.budgetExpiry = rat.PosInf
+	if sc.res.EndTime.Cmp(sc.now) < 0 {
+		sc.res.EndTime = sc.now
 	}
 }
 
-func (st *state) trace(j *job, from, to rat.Rat) {
-	if st.res.EndTime.Cmp(to) < 0 {
-		st.res.EndTime = to
+func (sc *Scratch) trace(j *jobState, from, to rat.Rat) {
+	if sc.res.EndTime.Cmp(to) < 0 {
+		sc.res.EndTime = to
 	}
-	if !st.cfg.CollectTrace {
+	if !sc.cfg.CollectTrace {
 		return
 	}
-	n := len(st.res.Trace)
+	n := len(sc.res.Trace)
 	if n > 0 {
-		lastSeg := &st.res.Trace[n-1]
-		if lastSeg.Task == j.taskIdx && lastSeg.JobSeq == j.seq &&
-			lastSeg.End.Eq(from) && lastSeg.Speed.Eq(st.speed) && lastSeg.Mode == st.mode {
+		lastSeg := &sc.res.Trace[n-1]
+		if lastSeg.Task == int(j.taskIdx) && lastSeg.JobSeq == int(j.seq) &&
+			lastSeg.End.Eq(from) && lastSeg.Speed.Eq(sc.speed) && lastSeg.Mode == sc.mode {
 			lastSeg.End = to
 			return
 		}
 	}
-	st.res.Trace = append(st.res.Trace, Segment{
-		Start: from, End: to, Task: j.taskIdx, JobSeq: j.seq, Mode: st.mode, Speed: st.speed,
+	sc.res.Trace = append(sc.res.Trace, Segment{
+		Start: from, End: to, Task: int(j.taskIdx), JobSeq: int(j.seq), Mode: sc.mode, Speed: sc.speed,
 	})
+}
+
+// sortMisses orders misses by detection time. The event loop only ever
+// appends misses at non-decreasing DetectedAt (deadlines are boundaries,
+// so detectMisses fires at DetectedAt == now, and tardy completions
+// record DetectedAt == now too), so the scan almost always finds the
+// slice sorted and skips the closure-allocating sort.Slice. When it does
+// sort, the call is identical to the historical unconditional one; on
+// already-sorted input that sort was a no-op permutation, so skipping it
+// is byte-identical either way.
+func sortMisses(m []Miss) {
+	for i := 1; i < len(m); i++ {
+		if m[i].DetectedAt.Cmp(m[i-1].DetectedAt) < 0 {
+			sort.Slice(m, func(i, k int) bool {
+				return m[i].DetectedAt.Cmp(m[k].DetectedAt) < 0
+			})
+			return
+		}
+	}
 }

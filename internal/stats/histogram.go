@@ -125,6 +125,18 @@ func (h *Histogram) HistQuantile(q float64) float64 {
 	return h.maxSeen
 }
 
+// Reset discards the observations while keeping the bucket geometry, so
+// per-worker histograms can be recycled (the fleet engine reuses one per
+// reducer chunk) without reallocating the bounds and counts arrays.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.maxSeen = 0
+}
+
 // Merge adds other's observations into h. The histograms must have been
 // built with identical parameters; Merge panics otherwise. Merging
 // per-worker histograms is how concurrent recorders avoid sharing one

@@ -108,3 +108,92 @@ func TestHistogramEmptyPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestHistogramReset pins the recycle contract the fleet reducers rely
+// on: Reset discards every observation but keeps the bucket geometry, so
+// a recycled histogram observes, merges, and quantiles exactly like a
+// fresh one with the same parameters.
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(1e-3, 1e3, 20)
+	fresh := NewHistogram(1e-3, 1e3, 20)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		h.Observe(math.Exp(math.Log(1e-3) + r.Float64()*math.Log(1e6)))
+	}
+	h.Observe(1e9) // land one in the overflow bucket too
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("after Reset: Count = %d, Max = %g, want 0, 0", h.Count(), h.Max())
+	}
+	vals := []float64{0.002, 0.5, 7, 450, 2e4}
+	for _, v := range vals {
+		h.Observe(v)
+		fresh.Observe(v)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 1} {
+		if got, want := h.HistQuantile(q), fresh.HistQuantile(q); got != want {
+			t.Errorf("q=%g: recycled %g, fresh %g", q, got, want)
+		}
+	}
+	if h.Max() != fresh.Max() || h.Mean() != fresh.Mean() {
+		t.Errorf("recycled Max/Mean (%g, %g) differ from fresh (%g, %g)",
+			h.Max(), h.Mean(), fresh.Max(), fresh.Mean())
+	}
+	// A reset histogram must still merge into a same-geometry peer.
+	fresh.Merge(h)
+	if fresh.Count() != 2*uint64(len(vals)) {
+		t.Errorf("merge after reset: Count = %d, want %d", fresh.Count(), 2*len(vals))
+	}
+}
+
+// TestHistogramMergeMixedScales is the bounds regression test for the
+// fleet reducers: merging histograms whose bucket layouts differ in any
+// parameter — min, span (and hence bucket count), or resolution — must
+// panic rather than silently misfile counts, while same-layout
+// histograms fed observations at wildly different scales must merge with
+// exact bucket-level agreement.
+func TestHistogramMergeMixedScales(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic on mixed-scale merge", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("different min", func() {
+		NewHistogram(1e-3, 10, 20).Merge(NewHistogram(1e-2, 10, 20))
+	})
+	mustPanic("different max", func() {
+		NewHistogram(1e-3, 10, 20).Merge(NewHistogram(1e-3, 100, 20))
+	})
+	mustPanic("different perDecade", func() {
+		NewHistogram(1e-3, 10, 20).Merge(NewHistogram(1e-3, 10, 40))
+	})
+
+	// Same layout, disjoint scales: one recorder saw sub-min values, the
+	// other overflow-range values. The merge must place both piles in the
+	// buckets the whole-stream histogram uses.
+	lo := NewHistogram(0.1, 1e4, 10)
+	hi := NewHistogram(0.1, 1e4, 10)
+	whole := NewHistogram(0.1, 1e4, 10)
+	for i := 0; i < 100; i++ {
+		small := 0.001 * float64(i+1) // clamps into the first bucket
+		large := 1e5 + float64(i)     // overflow bucket
+		lo.Observe(small)
+		hi.Observe(large)
+		whole.Observe(small)
+		whole.Observe(large)
+	}
+	lo.Merge(hi)
+	if lo.Count() != whole.Count() || lo.Max() != whole.Max() {
+		t.Fatalf("mixed-scale merge: Count/Max (%d, %g) != whole (%d, %g)",
+			lo.Count(), lo.Max(), whole.Count(), whole.Max())
+	}
+	for _, q := range []float64{0, 0.49, 0.51, 1} {
+		if got, want := lo.HistQuantile(q), whole.HistQuantile(q); got != want {
+			t.Errorf("q=%g: merged %g, whole %g", q, got, want)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"mcspeedup/internal/core"
 	"mcspeedup/internal/edfvd"
 	"mcspeedup/internal/examplesets"
+	"mcspeedup/internal/fleet"
 	"mcspeedup/internal/fms"
 	"mcspeedup/internal/gen"
 	"mcspeedup/internal/rat"
@@ -307,6 +308,42 @@ func ResponseTable(s Set, res *SimResult) string { return sim.ResponseTable(s, r
 func Simulate(s Set, w Workload, cfg SimConfig) (*SimResult, error) {
 	return sim.Run(s, w, cfg)
 }
+
+// SimScratch is the reusable simulation arena: thread one through
+// CompiledSim.RunInto to keep tight simulation loops allocation-free.
+type SimScratch = sim.Scratch
+
+// CompiledSim is a pre-validated (task set, workload) pair whose RunInto
+// reuses caller-owned Result and SimScratch buffers — the
+// zero-allocation entry point behind Simulate.
+type CompiledSim = sim.Compiled
+
+// CompileSim validates the set and workload once for repeated RunInto
+// calls.
+func CompileSim(s Set, w Workload) (*CompiledSim, error) { return sim.Compile(s, w) }
+
+// CompileSimSet validates the set alone, for callers generating a fresh
+// workload per run (CompiledSim.RunWorkload).
+func CompileSimSet(s Set) (*CompiledSim, error) { return sim.CompileSet(s) }
+
+// FleetParams configures a Monte-Carlo fleet: N sampled-ACET simulation
+// runs reduced into streaming aggregates, byte-identical for any worker
+// count.
+type FleetParams = fleet.Params
+
+// FleetSummary is the merged fleet aggregate (JSON and fig-style table
+// renderings included).
+type FleetSummary = fleet.Summary
+
+// ACETModel is the per-job actual-execution-time sampling model by
+// criticality band; the zero value means DefaultACET.
+type ACETModel = gen.ACET
+
+// DefaultACET returns the fleet experiments' execution-time model.
+func DefaultACET() ACETModel { return gen.DefaultACET() }
+
+// RunFleet executes a Monte-Carlo fleet and returns the merged summary.
+func RunFleet(p FleetParams) (*FleetSummary, error) { return fleet.Run(p) }
 
 // Gantt renders a simulation trace (CollectTrace must have been set).
 func Gantt(s Set, res *SimResult, width int) string { return sim.Gantt(s, res, width) }

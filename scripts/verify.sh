@@ -23,17 +23,19 @@ go build ./...
 go vet ./...
 
 # mcs-vet: the custom analyzer suite (ratcheck, determcheck,
-# scratchcheck, metricscheck, prunecheck, deltacheck, clustercheck) —
-# see docs/STATIC_ANALYSIS.md.
+# scratchcheck, simcheck, metricscheck, prunecheck, deltacheck,
+# clustercheck) — see docs/STATIC_ANALYSIS.md.
 gobin="$(go env GOPATH)/bin"
 go build -o "$gobin/mcs-vet" ./cmd/mcs-vet
 go vet -vettool="$gobin/mcs-vet" ./...
 
-# The -race run is the canonical full suite; the extra plain run covers
-# internal/core's //go:build !race allocation-regression tests, which the
-# race detector's allocations would falsify.
+# The -race run is the canonical full suite; the extra plain runs cover
+# internal/core's and internal/sim's //go:build !race
+# allocation-regression tests, which the race detector's allocations
+# would falsify.
 go test -race ./...
 go test -run Alloc ./internal/core/...
+go test -run Alloc ./internal/sim/
 
 # Fuzz smoke: the pruned and unpruned demand walks must stay equivalent
 # under a short randomized run (the checked-in seed corpus alone already
@@ -44,10 +46,15 @@ go test -fuzz FuzzWalkEquivalence -fuzztime 10s -run '^$' ./internal/core/
 # the cold analysis byte for byte (the incremental-analysis contract).
 go test -fuzz FuzzDeltaEquivalence -fuzztime 10s -run '^$' ./internal/core/
 
-# Bench smoke: every core benchmark must still compile and complete one
-# iteration (allocation regressions are pinned by internal/core's
+# Simulator fuzz smoke: the zero-allocation RunInto hot path must stay
+# byte-identical to the frozen reference simulator on random task sets,
+# workloads, and configs.
+go test -fuzz FuzzSimEquivalence -fuzztime 10s -run '^$' ./internal/sim/
+
+# Bench smoke: every core and sim benchmark must still compile and
+# complete one iteration (allocation regressions are pinned by the
 # zero-allocation tests; this guards the benchmarks themselves).
-go test -bench=. -benchtime=1x -run='^$' ./internal/core/...
+go test -bench=. -benchtime=1x -run='^$' ./internal/core/... ./internal/sim/
 
 # --- mcs-serve smoke test -------------------------------------------------
 tmp=$(mktemp -d)
@@ -120,10 +127,31 @@ curl -fsS -X POST --data-binary "{\"action\":\"close\",\"session\":\"$sid\"}" "$
 curl -fsS "$base/metrics" | grep -q '^mcs_sessions_created_total 1$'
 curl -fsS "$base/metrics" | grep -q '^mcs_session_edits_total 2$'
 
+# /v1/fleet smoke: a small Monte-Carlo fleet over the example set. The
+# summary is deterministic per seed, so the repeat must be a cache hit
+# with identical bytes, and the replicate counter must count the first
+# request only.
+printf '{"tasks":%s,"runs":32,"seed":7,"horizon":200}' "$(cat "$tmp/tasks.json")" >"$tmp/fleet.json"
+curl -fsS -D "$tmp/h5" -o "$tmp/f1" -X POST --data-binary @"$tmp/fleet.json" "$base/v1/fleet"
+curl -fsS -D "$tmp/h6" -o "$tmp/f2" -X POST --data-binary @"$tmp/fleet.json" "$base/v1/fleet"
+grep -qi '^x-cache: miss' "$tmp/h5"
+grep -qi '^x-cache: hit' "$tmp/h6"
+cmp "$tmp/f1" "$tmp/f2"
+grep -q '"runs": 32' "$tmp/f1"
+curl -fsS "$base/metrics" | grep -q '^mcs_fleet_runs_total 32$'
+
 kill "$serve_pid"
 wait "$serve_pid"
 serve_pid=""
 echo "mcs-serve smoke test passed"
+
+# Fleet CLI smoke: -fleet -json on the same parameters must emit the
+# same summary bytes the endpoint served (the two surfaces share
+# fleet.Summary.JSON, and the fleet is workers-invariant by contract).
+go run ./cmd/mcs-sim -fleet 32 -seed 7 -horizon 200 -overrun 0.001 -workers 3 -json - \
+    "$tmp/tasks.json" >"$tmp/fleet_cli.json"
+cmp "$tmp/fleet_cli.json" "$tmp/f1"
+echo "fleet smoke test passed"
 
 # --- cluster + load-harness smoke -----------------------------------------
 # Three replicas on loopback: two compute replicas started first (ports
