@@ -21,6 +21,11 @@
 // commits (CI uploads the file as a build artifact). The event counters
 // are machine-independent: they count examined demand events, the
 // algorithmic work the pruning of docs/PERF.md removes.
+//
+// The entry also carries a vetWallTime row: the wall-clock of a full
+// mcs-vet module sweep over -vetroot, cold into a fresh fact cache and
+// warm replaying from it — the number that keeps the fact cache honest
+// across commits.
 package main
 
 import (
@@ -31,12 +36,15 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"mcspeedup"
+	"mcspeedup/internal/lint"
+	"mcspeedup/internal/lint/suite"
 )
 
 // benchDoc is the BENCH_core.json layout.
@@ -46,6 +54,7 @@ type benchDoc struct {
 	NumCPU      int          `json:"numCPU"`
 	Benchmarks  []benchEntry `json:"benchmarks"`
 	Fig5        fig5Entry    `json:"fig5Sweep"`
+	VetWallTime *vetEntry    `json:"vetWallTime,omitempty"`
 }
 
 type benchEntry struct {
@@ -62,16 +71,28 @@ type fig5Entry struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// vetEntry is one mcs-vet module sweep: cold against a fresh fact
+// cache, then warm replaying from it. The cold/warm ratio is the fact
+// cache's value; packages and cache hits pin that the warm run really
+// replayed everything.
+type vetEntry struct {
+	Packages      int     `json:"packages"`
+	ColdSeconds   float64 `json:"coldSeconds"`
+	WarmSeconds   float64 `json:"warmSeconds"`
+	WarmCacheHits int     `json:"warmCacheHits"`
+}
+
 // trajectoryEntry is one element of the BENCH_trajectory.json array: the
 // same measurements as BENCH_core.json plus the commit they were taken at
 // and the FMS event counters, which compare across machines.
 type trajectoryEntry struct {
-	Date       string       `json:"date"`
-	GitRev     string       `json:"gitRev"`
-	GoVersion  string       `json:"goVersion"`
-	NumCPU     int          `json:"numCPU"`
-	Benchmarks []benchEntry `json:"benchmarks"`
-	FMSEvents  eventsEntry  `json:"fmsEvents"`
+	Date        string       `json:"date"`
+	GitRev      string       `json:"gitRev"`
+	GoVersion   string       `json:"goVersion"`
+	NumCPU      int          `json:"numCPU"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+	FMSEvents   eventsEntry  `json:"fmsEvents"`
+	VetWallTime *vetEntry    `json:"vetWallTime,omitempty"`
 }
 
 // eventsEntry records how many demand events each exact FMS analysis
@@ -168,6 +189,49 @@ func appendTrajectory(path string, entry any) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// measureVet times a full mcs-vet module sweep over root, cold into a
+// fresh fact cache and warm replaying from it. Outside a module
+// checkout (no go.mod at root) the measurement is skipped.
+func measureVet(root string) *vetEntry {
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		log.Printf("vet wall time: skipped (%v)", err)
+		return nil
+	}
+	cacheDir, err := os.MkdirTemp("", "mcsvet-bench-")
+	if err != nil {
+		log.Printf("vet wall time: skipped (%v)", err)
+		return nil
+	}
+	defer os.RemoveAll(cacheDir)
+	opts := lint.ModuleOptions{CacheDir: cacheDir}
+
+	start := time.Now()
+	cold, err := lint.RunModule(root, suite.Analyzers, opts)
+	if err != nil {
+		log.Printf("vet wall time: skipped (%v)", err)
+		return nil
+	}
+	coldSec := time.Since(start).Seconds()
+
+	start = time.Now()
+	warm, err := lint.RunModule(root, suite.Analyzers, opts)
+	if err != nil {
+		log.Printf("vet wall time: skipped (%v)", err)
+		return nil
+	}
+	warmSec := time.Since(start).Seconds()
+
+	e := &vetEntry{
+		Packages:      len(cold.Packages),
+		ColdSeconds:   coldSec,
+		WarmSeconds:   warmSec,
+		WarmCacheHits: warm.CacheHits,
+	}
+	log.Printf("vet wall time: %d packages, cold %.3fs, warm %.3fs (%d cache hits)",
+		e.Packages, e.ColdSeconds, e.WarmSeconds, e.WarmCacheHits)
+	return e
+}
+
 // measure runs fn under testing.Benchmark with allocation reporting.
 func measure(name string, fn func()) benchEntry {
 	res := testing.Benchmark(func(b *testing.B) {
@@ -243,6 +307,7 @@ func main() {
 		trajectory = flag.String("trajectory", "", "append a dated entry to this JSON-array history file")
 		grid       = flag.Int("grid", 9, "Fig.-5 sweep grid resolution")
 		workers    = flag.Int("workers", 0, "Fig.-5 sweep workers (0 = all cores)")
+		vetRoot    = flag.String("vetroot", ".", "module root for the vet wall-time sweep ('' = skip)")
 	)
 	flag.Parse()
 
@@ -376,6 +441,10 @@ func main() {
 	doc.Fig5 = fig5Entry{Grid: *grid, Workers: *workers, Seconds: time.Since(start).Seconds()}
 	log.Printf("fig5 sweep (grid %d, workers %d): %.3fs", *grid, *workers, doc.Fig5.Seconds)
 
+	if *vetRoot != "" {
+		doc.VetWallTime = measureVet(*vetRoot)
+	}
+
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -392,12 +461,13 @@ func main() {
 
 	if *trajectory != "" {
 		entry := trajectoryEntry{
-			Date:       doc.GeneratedAt,
-			GitRev:     gitRev(),
-			GoVersion:  doc.GoVersion,
-			NumCPU:     doc.NumCPU,
-			Benchmarks: doc.Benchmarks,
-			FMSEvents:  fmsEventCounts(fms),
+			Date:        doc.GeneratedAt,
+			GitRev:      gitRev(),
+			GoVersion:   doc.GoVersion,
+			NumCPU:      doc.NumCPU,
+			Benchmarks:  doc.Benchmarks,
+			FMSEvents:   fmsEventCounts(fms),
+			VetWallTime: doc.VetWallTime,
 		}
 		if err := appendTrajectory(*trajectory, entry); err != nil {
 			log.Fatal(err)

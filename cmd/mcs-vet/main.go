@@ -1,38 +1,32 @@
 // Command mcs-vet is the repository's custom static-analysis suite: a
 // vet tool (in the sense of `go vet -vettool`) enforcing the
-// correctness invariants the analysis engine's guarantees rest on.
+// correctness invariants the analysis engine's guarantees rest on,
+// with modular facts carrying interprocedural results (arena borrows,
+// detached contexts, lock-order edges) across package boundaries.
 //
-// Usage:
+// Two ways to drive it:
 //
+//	# under cmd/go, per compilation unit, facts in vetx files
 //	go build -o $(go env GOPATH)/bin/mcs-vet ./cmd/mcs-vet
 //	go vet -vettool=$(go env GOPATH)/bin/mcs-vet ./...
 //
-// scripts/verify.sh runs exactly that on every verification pass. See
-// docs/STATIC_ANALYSIS.md for the analyzers, the invariants they
-// protect, and the //lint:ignore escape hatch.
+//	# standalone module mode: dependency-ordered, parallel, cached
+//	mcs-vet [flags] [module-root]
+//
+// Module-mode flags: -workers N, -json, -sarif FILE, -github,
+// -ignores (audit every //lint:ignore directive and fail on missing
+// justifications or stale suppressions), -cache DIR, -nocache.
+//
+// scripts/verify.sh runs both modes on every verification pass. See
+// docs/STATIC_ANALYSIS.md for the analyzers, their fact types, the
+// invariants they protect, and the //lint:ignore escape hatch.
 package main
 
 import (
 	"mcspeedup/internal/lint"
-	"mcspeedup/internal/lint/clustercheck"
-	"mcspeedup/internal/lint/deltacheck"
-	"mcspeedup/internal/lint/determcheck"
-	"mcspeedup/internal/lint/metricscheck"
-	"mcspeedup/internal/lint/prunecheck"
-	"mcspeedup/internal/lint/ratcheck"
-	"mcspeedup/internal/lint/scratchcheck"
-	"mcspeedup/internal/lint/simcheck"
+	"mcspeedup/internal/lint/suite"
 )
 
 func main() {
-	lint.Main(
-		ratcheck.Analyzer,
-		determcheck.Analyzer,
-		scratchcheck.Analyzer,
-		simcheck.Analyzer,
-		metricscheck.Analyzer,
-		prunecheck.Analyzer,
-		deltacheck.Analyzer,
-		clustercheck.Analyzer,
-	)
+	lint.Main(suite.Analyzers...)
 }

@@ -1,0 +1,60 @@
+// Package b exercises borrowcheck's retention and sharing rules for
+// the simulation arena (sim.Scratch) from outside internal/sim — the
+// rules that used to live in simcheck.
+package b
+
+import (
+	"mcspeedup/internal/par"
+	"mcspeedup/internal/sim"
+)
+
+type cachedRunner struct {
+	scratch *sim.Scratch // want `stored in a struct field`
+	arena   sim.Scratch  // want `stored in a struct field`
+	name    string
+}
+
+func fanOutShared(n int) {
+	sc := new(sim.Scratch)
+	var res sim.Result
+	_ = par.ForEach(n, 0, func(i int) error {
+		return sim.Run(&res, sc) // want `captured by a concurrently-launched function`
+	})
+}
+
+func goShared() {
+	sc := new(sim.Scratch)
+	var res sim.Result
+	done := make(chan struct{})
+	go func() {
+		_ = sim.Run(&res, sc) // want `captured by a concurrently-launched function`
+		close(done)
+	}()
+	<-done
+}
+
+func goArg() {
+	sc := new(sim.Scratch)
+	done := make(chan struct{})
+	go runWorker(sc, done) // want `passed into a go statement`
+	<-done
+}
+
+// perWorker is the fleet engine's pattern: a stack arena per callback.
+func perWorker(n int) {
+	_ = par.ForEach(n, 0, func(i int) error {
+		var sc sim.Scratch // worker-local arena: clean
+		var res sim.Result
+		return sim.Run(&res, &sc)
+	})
+}
+
+func sequential() {
+	var sc sim.Scratch
+	var res sim.Result
+	for i := 0; i < 8; i++ {
+		_ = sim.Run(&res, &sc) // same-goroutine reuse: clean
+	}
+}
+
+func runWorker(sc *sim.Scratch, done chan struct{}) { close(done) }

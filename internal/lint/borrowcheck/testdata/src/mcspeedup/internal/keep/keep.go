@@ -1,0 +1,27 @@
+// Package keep is the laundering helper of the borrowcheck testdata:
+// it retains borrowed arenas in package state, in a different package
+// than the borrow. Its Borrows facts are what let the analyzer flag
+// callers (package a) that current per-package checks cannot see.
+package keep
+
+import "mcspeedup/internal/core"
+
+var global *core.Scratch
+
+// Hold retains its parameter: fact Borrows{Retains:[0]}.
+func Hold(s *core.Scratch) {
+	global = s // want `stored in a package-level variable`
+}
+
+// HoldVia launders through Hold; the intra-package fixed point marks
+// its parameter retained too, so the exported fact is transitive.
+func HoldVia(s *core.Scratch) {
+	Hold(s) // want `escapes into mcspeedup/internal/keep.Hold`
+}
+
+// Use only borrows: no fact, callers stay clean.
+func Use(s *core.Scratch) {
+	if s != nil {
+		_ = *s
+	}
+}

@@ -1,0 +1,13 @@
+// Package par is a minimal stub of mcspeedup/internal/par for the
+// borrowcheck testdata: the analyzer recognizes ForEach and Map by name
+// and import path, so only the signatures matter.
+package par
+
+func ForEach(n, workers int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

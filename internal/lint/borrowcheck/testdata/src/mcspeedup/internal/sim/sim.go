@@ -1,0 +1,28 @@
+// Package sim is a minimal stub of mcspeedup/internal/sim for the
+// borrowcheck testdata. As the sim.Scratch owner it may hold arenas in
+// structs and package state without diagnostics or facts.
+package sim
+
+// Scratch mirrors the real single-goroutine simulation arena.
+type Scratch struct {
+	inUse bool
+}
+
+// Result mirrors the reusable run result.
+type Result struct {
+	Completed int
+}
+
+// pooled mirrors internal holders of arenas — exempt inside sim.
+type pooled struct {
+	sc Scratch
+}
+
+// Run mirrors the entry point threading a caller-owned arena through.
+// It borrows sc but does not retain it: no Borrows fact.
+func Run(res *Result, sc *Scratch) error {
+	sc.inUse = true
+	defer func() { sc.inUse = false }()
+	res.Completed++
+	return nil
+}

@@ -1,0 +1,40 @@
+package ctxcheck_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mcspeedup/internal/lint/ctxcheck"
+	"mcspeedup/internal/lint/linttest"
+)
+
+func TestCtxcheckClusterTier(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/cluster", ctxcheck.Analyzer)
+}
+
+func TestCtxcheckServerTier(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/server", ctxcheck.Analyzer)
+}
+
+// TestCtxcheckHelperUnscoped asserts the out-of-tier package produces
+// facts but no diagnostics (the fixture has no want comments, so any
+// diagnostic fails the run).
+func TestCtxcheckHelperUnscoped(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/helper", ctxcheck.Analyzer)
+}
+
+// TestCtxcheckFactsGolden pins the wire encoding of the helper
+// package's Detached facts.
+func TestCtxcheckFactsGolden(t *testing.T) {
+	got := linttest.Facts(t, "testdata", "mcspeedup/internal/helper", ctxcheck.Analyzer)
+	golden := filepath.Join("testdata", "helper_facts.golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("facts mismatch\n--- got ---\n%s--- want (%s) ---\n%s", got, golden, want)
+	}
+}

@@ -1,0 +1,46 @@
+// Package cluster is a minimal stub of mcspeedup/internal/cluster for
+// the ctxcheck testdata: the forwarding node with one function per
+// deadline-propagation rule in both its flagged and its clean form.
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+// Node mirrors the real forwarding node.
+type Node struct {
+	client *http.Client
+}
+
+// Forward is the peer round-trip. Its body is the clean form: the
+// request derives from the caller's ctx, so Forward exports no
+// Detached fact and callers threading their own context stay clean.
+func (n *Node) Forward(ctx context.Context, owner, path string, body io.Reader) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+owner+path, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// staleRequest builds the peer request without a context: the caller's
+// deadline never crosses the hop.
+func (n *Node) staleRequest(owner string, body io.Reader) (*http.Request, error) {
+	return http.NewRequest(http.MethodPost, "http://"+owner, body) // want `use http.NewRequestWithContext`
+}
+
+// freshContext detaches the forward from the inbound request: the peer
+// call outlives the caller.
+func (n *Node) freshContext(owner string, data []byte) {
+	ctx := context.Background()               // want `starts a fresh context.Background`
+	n.Forward(ctx, owner, "/v1/analyze", nil) // want `feeds Forward a provably fresh context`
+	_ = context.TODO()                        // want `starts a fresh context.TODO`
+	_ = data
+}

@@ -1,0 +1,39 @@
+// Package helper is the ctxcheck testdata's out-of-tier package: its
+// detached outbound calls produce Detached facts but no diagnostics
+// (only the serving tiers report), and those facts are what let the
+// analyzer flag server code calling through it.
+package helper
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Ping detaches: http.Get carries an implicit context.Background.
+// Fact: Detached{Calls:["net/http.Get"]}.
+func Ping() {
+	resp, err := http.Get("http://peer/healthz")
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// PingVia launders through Ping; the intra-package fixed point makes
+// the exported fact transitive.
+func PingVia() {
+	Ping()
+}
+
+// Detonate roots its request context in a fresh Background chain.
+// Fact: Detached{Calls:["net/http.NewRequestWithContext(fresh context)"]}.
+func Detonate(url string) (*http.Request, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// Fetch threads the caller's context: no fact, callers stay clean.
+func Fetch(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}

@@ -1,0 +1,56 @@
+// Package server is a minimal stub of mcspeedup/internal/server for
+// the ctxcheck testdata: handlers in the serving tier, where detached
+// outbound calls — including those hidden inside package helper — are
+// reported.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"mcspeedup/internal/helper"
+)
+
+// handle is the canonical clean handler: the outbound request derives
+// from r.Context() — but the helper call detaches, and only the
+// helper's Detached fact reveals it.
+func handle(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://peer/x", nil)
+	_ = req
+	helper.Ping() // want `whose outbound calls are detached from the inbound context \(net/http\.Get\)`
+}
+
+// handleTransitive detaches two calls deep: PingVia's fact carries
+// Ping's detachment across the chain.
+func handleTransitive(w http.ResponseWriter, r *http.Request) {
+	helper.PingVia() // want `detached from the inbound context \(net/http\.Get\)`
+}
+
+// freshTimeout roots a handler-side timeout in Background instead of
+// the inbound context: both the mint and the use are flagged.
+func freshTimeout(r *http.Request) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `starts a fresh context.Background`
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://peer/x", nil) // want `provably fresh context`
+	_ = req
+}
+
+// implicitBackground uses the package-level convenience client.
+func implicitBackground() {
+	resp, err := http.Get("http://peer/healthz") // want `detaches from the inbound context`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// derivedOK threads the inbound context everywhere: clean.
+func derivedOK(w http.ResponseWriter, r *http.Request) {
+	req, err := helper.Fetch(r.Context(), "http://peer/x")
+	if err != nil {
+		return
+	}
+	_ = req
+}

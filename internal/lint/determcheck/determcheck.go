@@ -4,11 +4,12 @@
 // function of its inputs (internal/experiments/determinism_test.go pins
 // this dynamically; this analyzer pins the reasons it holds).
 //
-// In the determinism-critical packages — the root package (the
-// experiment API in experiments.go), internal/core, internal/dbf,
-// internal/experiments, internal/fleet, internal/gen, and
-// cmd/mcs-experiments — it flags the four ways nondeterminism has
-// historically crept into such code:
+// In the determinism-critical packages — the declared list in
+// lint.ByteIdenticalScope (the single source of truth the docs and
+// this analyzer share), plus any package that uses a par.ForEach or
+// par.Map fan-out (parallel code is in the guarantee's blast radius
+// whether or not anyone remembered to declare it) — it flags the four
+// ways nondeterminism has historically crept into such code:
 //
 //   - time.Now (and the rest of the wall clock): results must not
 //     depend on when they are computed;
@@ -35,18 +36,6 @@ import (
 	"mcspeedup/internal/lint"
 )
 
-// scoped lists the packages whose code carries the byte-identical
-// -workers guarantee.
-var scoped = map[string]bool{
-	"mcspeedup":                      true,
-	"mcspeedup/internal/core":        true,
-	"mcspeedup/internal/dbf":         true,
-	"mcspeedup/internal/experiments": true,
-	"mcspeedup/internal/fleet":       true,
-	"mcspeedup/internal/gen":         true,
-	"mcspeedup/cmd/mcs-experiments":  true,
-}
-
 const parPkgPath = "mcspeedup/internal/par"
 
 // randConstructors are the math/rand top-level functions that only
@@ -61,7 +50,7 @@ var Analyzer = &lint.Analyzer{
 }
 
 func run(pass *lint.Pass) error {
-	if !scoped[lint.CanonicalPath(pass.Pkg.Path())] {
+	if !lint.InByteIdenticalScope(lint.CanonicalPath(pass.Pkg.Path())) && !usesParFanOut(pass) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -77,6 +66,33 @@ func run(pass *lint.Pass) error {
 		checkFanOutWrites(pass, f)
 	}
 	return nil
+}
+
+// usesParFanOut reports whether any non-test file of the package calls
+// par.ForEach or par.Map — the auto-include trigger: a package that
+// fans work out in parallel carries the byte-identical guarantee even
+// if the declared scope list was never updated for it. (Merely
+// importing par — say for its admission Pool — does not qualify.)
+func usesParFanOut(pass *lint.Pass) bool {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isParFanOut(pass, call) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
 }
 
 // checkIdentUses flags uses of time.Now and of the global math/rand

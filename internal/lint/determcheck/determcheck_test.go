@@ -14,3 +14,17 @@ func TestDetermcheck(t *testing.T) {
 func TestDetermcheckFleetReducer(t *testing.T) {
 	linttest.Run(t, "testdata", "mcspeedup/internal/fleet", determcheck.Analyzer)
 }
+
+// TestDetermcheckAutoIncludesParFanOut pins the scope rule: a package
+// outside the declared lint.ByteIdenticalScope list is scoped anyway
+// when it calls par.ForEach/par.Map, so its wall-clock use is flagged.
+func TestDetermcheckAutoIncludesParFanOut(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/adhoc", determcheck.Analyzer)
+}
+
+// TestDetermcheckMereParImportUnscoped pins the converse: importing
+// par without fanning out does not pull a package into scope (the
+// fixture uses time.Now and has no want comments).
+func TestDetermcheckMereParImportUnscoped(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/unscoped", determcheck.Analyzer)
+}

@@ -1,0 +1,24 @@
+// Package adhoc is NOT in the declared byte-identical scope list — it
+// is scoped anyway because it fans work out through par.Map, which is
+// exactly the auto-include rule this fixture pins: parallel code
+// carries the -workers guarantee whether or not anyone declared it.
+package adhoc
+
+import (
+	"time"
+
+	"mcspeedup/internal/par"
+)
+
+// Sweep is the fan-out that pulls the whole package into scope.
+func Sweep(n, workers int) ([]float64, error) {
+	return par.Map(n, workers, func(i int) (float64, error) {
+		return float64(i), nil
+	})
+}
+
+// stamp would be fine in an unscoped package; here the auto-include
+// makes it a diagnostic.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}

@@ -1,0 +1,17 @@
+// Package unscoped is neither in the declared byte-identical scope
+// list nor a par fan-out user — it imports par, but only calls
+// Workers, not ForEach/Map. Its wall-clock use must stay clean: mere
+// import of par must not pull a package into scope.
+package unscoped
+
+import (
+	"time"
+
+	"mcspeedup/internal/par"
+)
+
+// Tuning sizes a worker pool; nothing here fans out.
+func Tuning(n int) int { return par.Workers(n) }
+
+// Stamp reads the wall clock — fine outside the guarantee.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -23,18 +23,40 @@ import (
 // same package, i.e. the internal test variant) are parsed and checked
 // together with the library files.
 func LoadDir(root, path string, includeTests bool) (*Package, error) {
+	pkg, _, err := LoadDirFacts(root, path, includeTests, nil)
+	return pkg, err
+}
+
+// LoadDirFacts is LoadDir plus the facts phase of a modular run: every
+// in-tree dependency package pulled in while resolving the target's
+// imports is re-walked (in dependency order) by the fact-exporting
+// analyzers among those given, and the accumulated store is returned
+// alongside the target package. The store is exactly what a driver
+// would have handed the target's pass, so analyzer testdata suites
+// exercise cross-package fact import for real.
+func LoadDirFacts(root, path string, includeTests bool, analyzers []*Analyzer) (*Package, *FactStore, error) {
 	fset := token.NewFileSet()
 	ld := &dirLoader{
 		root:     root,
 		fset:     fset,
 		packages: make(map[string]*types.Package),
+		loaded:   make(map[string]*Package),
 		fallback: importer.ForCompiler(fset, "source", nil),
 	}
 	files, tpkg, info, err := ld.load(path, includeTests)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, nil
+	store := NewFactStore()
+	for _, dep := range ld.order {
+		if dep == path {
+			continue
+		}
+		if _, _, err := RunPass(ld.loaded[dep], store, nil, true, analyzers...); err != nil {
+			return nil, nil, fmt.Errorf("lint: facts pass over %s: %w", dep, err)
+		}
+	}
+	return &Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, store, nil
 }
 
 // dirLoader is a recursive source importer over a testdata src tree.
@@ -42,6 +64,8 @@ type dirLoader struct {
 	root     string
 	fset     *token.FileSet
 	packages map[string]*types.Package
+	loaded   map[string]*Package // full load results, for the facts phase
+	order    []string            // completion order = dependency order
 	fallback types.Importer
 }
 
@@ -94,6 +118,10 @@ func (l *dirLoader) load(path string, includeTests bool) ([]*ast.File, *types.Pa
 		return nil, nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
 	l.packages[path] = tpkg
+	// Imports complete before the importing package, so appending on
+	// completion yields a dependency order for the facts phase.
+	l.loaded[path] = &Package{Fset: l.fset, Files: files, Pkg: tpkg, TypesInfo: info}
+	l.order = append(l.order, path)
 	return files, tpkg, info, nil
 }
 

@@ -1,0 +1,24 @@
+// Package gate is the lockcheck testdata's blocking helper: it hides
+// pool admission behind an innocent-looking function, so only its
+// Blocks fact lets the analyzer flag callers that hold a lock.
+package gate
+
+import (
+	"context"
+
+	"mcspeedup/internal/par"
+)
+
+var pool = par.NewPool(4)
+
+// Admit blocks on the shared pool.
+// Fact: Blocks ["mcspeedup/internal/par.Acquire"].
+func Admit(ctx context.Context) error {
+	return pool.Acquire(ctx)
+}
+
+// AdmitVia launders the admission one call deeper; the intra-package
+// fixed point keeps the fact transitive.
+func AdmitVia(ctx context.Context) error {
+	return Admit(ctx)
+}

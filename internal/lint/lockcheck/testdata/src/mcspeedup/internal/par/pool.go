@@ -1,0 +1,40 @@
+// Package par is a minimal stub of mcspeedup/internal/par for the
+// lockcheck testdata: the admission pool whose Acquire blocks.
+package par
+
+import "context"
+
+// Pool is a counted admission semaphore.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool returns a pool admitting n callers.
+func NewPool(n int) *Pool {
+	return &Pool{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot frees or ctx is done.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire admits without blocking, reporting success.
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot.
+func (p *Pool) Release() {
+	<-p.slots
+}

@@ -1,0 +1,35 @@
+// Package res is the lockcheck testdata's upstream package: it
+// establishes the module's canonical lock order MuA -> MuB and exports
+// it as Locks facts. Nothing here is flagged — the cycle appears only
+// when a dependent package acquires in the reverse order.
+package res
+
+import "sync"
+
+// MuA and MuB guard two independent resource tables.
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+
+	tableA map[string]int
+	tableB map[string]int
+)
+
+// LockBoth is the canonical order: A then B.
+// Fact: Acquires [MuA, MuB], Edges [MuA -> MuB].
+func LockBoth(key string) {
+	MuA.Lock()
+	defer MuA.Unlock()
+	MuB.Lock()
+	defer MuB.Unlock()
+	tableA[key]++
+	tableB[key]++
+}
+
+// TouchB acquires only MuB: no edges, just the Acquires fact callers
+// fold into their own.
+func TouchB(key string) {
+	MuB.Lock()
+	defer MuB.Unlock()
+	tableB[key]++
+}

@@ -1,0 +1,41 @@
+// Package uses is the lockcheck testdata's downstream package: it
+// acquires package res's locks in the reverse of the order res
+// established, closing cross-package lock-order cycles that only the
+// Locks facts make visible.
+package uses
+
+import "mcspeedup/internal/res"
+
+// Reversed takes B then A directly: with res.LockBoth's A -> B edge in
+// the fact graph, the second acquisition closes the cycle.
+func Reversed(key string) {
+	res.MuB.Lock()
+	defer res.MuB.Unlock()
+	res.MuA.Lock() // want `lock-order cycle`
+	defer res.MuA.Unlock()
+}
+
+// ReversedVia closes the same cycle interprocedurally: holding MuB, it
+// calls a res function whose Acquires fact includes MuA.
+func ReversedVia(key string) {
+	res.MuB.Lock()
+	defer res.MuB.Unlock()
+	res.LockBoth(key) // want `lock-order cycle`
+}
+
+// SameOrder follows the canonical order: clean.
+func SameOrder(key string) {
+	res.MuA.Lock()
+	defer res.MuA.Unlock()
+	res.MuB.Lock()
+	defer res.MuB.Unlock()
+}
+
+// NestedSameLock calls into res holding only MuB, which res.TouchB
+// also takes — reacquiring the same lock is not an order violation
+// this analyzer reports (no self-edges), so this stays clean here.
+func NestedSameLock(key string) {
+	res.MuA.Lock()
+	defer res.MuA.Unlock()
+	res.TouchB(key)
+}

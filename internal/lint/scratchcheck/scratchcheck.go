@@ -1,29 +1,22 @@
-// Package scratchcheck enforces the ownership discipline of the
-// core.Scratch analysis arena (aliased as AnalysisScratch at the module
-// root). A Scratch serializes the walks that borrow it and must not be
-// shared between concurrent goroutines — the comment on core.Scratch
-// says so, this analyzer makes the compiler say so. Four rules:
+// Package scratchcheck enforces the borrow discipline of the
+// core.Scratch analysis arena inside internal/core itself. (Escapes of
+// the arena — retention in struct fields or globals, capture by
+// concurrently-launched functions, cross-package laundering — are
+// borrowcheck's job, interprocedurally via Borrows facts; this
+// analyzer keeps the two rules that are about core's own walker
+// plumbing, not about escape.) Two rules:
 //
-//  1. Outside internal/core, no struct type may declare a field of type
-//     core.Scratch or *core.Scratch. A retained arena outlives the call
-//     that threaded it through Options and invites exactly the
-//     cross-goroutine sharing the type forbids. (core's own Options is
-//     the sanctioned per-call channel and is exempt.)
-//  2. No concurrently-launched function — a go statement's literal or a
-//     par.ForEach/par.Map callback — may capture a Scratch declared
-//     outside itself, and a go statement may not pass one as an
-//     argument. Each worker allocates its own.
-//  3. Inside internal/core, a function that has borrowed the walker via
-//     o.acquireWalker must not pass the same Options o on to another
-//     call while the borrow is live: the nested walk silently falls
-//     back to the pool (scratch_test.go pins that fallback is safe, but
-//     relying on it defeats the arena and hides a layering mistake).
-//  4. Inside internal/core, every w := o.acquireWalker(...) must be
-//     followed immediately by defer o.releaseWalker(w), so a panicking
-//     walk cannot leak the borrow and poison the arena for its owner.
+//  1. A function that has borrowed the walker via o.acquireWalker must
+//     not pass the same Options o on to another call while the borrow
+//     is live: the nested walk silently falls back to the pool
+//     (scratch_test.go pins that fallback is safe, but relying on it
+//     defeats the arena and hides a layering mistake).
+//  2. Every w := o.acquireWalker(...) must be followed immediately by
+//     defer o.releaseWalker(w), so a panicking walk cannot leak the
+//     borrow and poison the arena for its owner.
 //
 // Test files are exempt: scratch_test.go deliberately constructs the
-// sharing patterns to pin their runtime behavior.
+// flagged patterns to pin their runtime behavior.
 package scratchcheck
 
 import (
@@ -33,139 +26,29 @@ import (
 	"mcspeedup/internal/lint"
 )
 
-const (
-	corePkgPath = "mcspeedup/internal/core"
-	parPkgPath  = "mcspeedup/internal/par"
-)
+const corePkgPath = "mcspeedup/internal/core"
 
 // Analyzer is the scratchcheck analyzer.
 var Analyzer = &lint.Analyzer{
 	Name: "scratchcheck",
-	Doc:  "forbid storing, sharing, double-borrowing or leaking core.Scratch arenas",
+	Doc:  "forbid double-borrowing or leaking the core.Scratch walker inside internal/core",
 	Run:  run,
 }
 
 func run(pass *lint.Pass) error {
-	inCore := lint.CanonicalPath(pass.Pkg.Path()) == corePkgPath
+	if lint.CanonicalPath(pass.Pkg.Path()) != corePkgPath {
+		return nil
+	}
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
 			continue
 		}
-		if !inCore {
-			checkStructFields(pass, f)
-		}
-		checkConcurrentCapture(pass, f)
-		if inCore {
-			checkBorrowDiscipline(pass, f)
-		}
+		checkBorrowDiscipline(pass, f)
 	}
 	return nil
 }
 
-// isScratchType reports whether t is core.Scratch or *core.Scratch.
-func isScratchType(t types.Type) bool {
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "Scratch" && obj.Pkg() != nil && obj.Pkg().Path() == corePkgPath
-}
-
-// checkStructFields flags struct type declarations retaining a Scratch.
-func checkStructFields(pass *lint.Pass, f *ast.File) {
-	ast.Inspect(f, func(n ast.Node) bool {
-		st, ok := n.(*ast.StructType)
-		if !ok {
-			return true
-		}
-		for _, field := range st.Fields.List {
-			t := pass.TypesInfo.TypeOf(field.Type)
-			if t != nil && isScratchType(t) {
-				pass.Reportf(field.Type.Pos(), "core.Scratch stored in a struct field: an arena retained beyond one call invites cross-goroutine sharing; thread it through Options per call instead")
-			}
-		}
-		return true
-	})
-}
-
-// checkConcurrentCapture flags Scratch values crossing into concurrently
-// launched functions: captured by (or passed to) a go statement, or
-// captured by a par fan-out callback.
-func checkConcurrentCapture(pass *lint.Pass, f *ast.File) {
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.GoStmt:
-			for _, arg := range n.Call.Args {
-				if t := pass.TypesInfo.TypeOf(arg); t != nil && isScratchType(t) {
-					pass.Reportf(arg.Pos(), "core.Scratch passed into a go statement: a Scratch must not be shared between goroutines; allocate one per worker")
-				}
-			}
-			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
-				checkLitCapture(pass, lit)
-			}
-		case *ast.CallExpr:
-			if isParFanOut(pass, n) {
-				for _, arg := range n.Args {
-					if lit, ok := arg.(*ast.FuncLit); ok {
-						checkLitCapture(pass, lit)
-					}
-				}
-			}
-		}
-		return true
-	})
-}
-
-// isParFanOut reports whether call invokes par.ForEach or par.Map.
-func isParFanOut(pass *lint.Pass, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != parPkgPath {
-		return false
-	}
-	return fn.Name() == "ForEach" || fn.Name() == "Map"
-}
-
-// checkLitCapture flags uses, inside a concurrently-invoked literal, of
-// Scratch-typed variables declared outside it.
-func checkLitCapture(pass *lint.Pass, lit *ast.FuncLit) {
-	local := make(map[types.Object]bool)
-	ast.Inspect(lit, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := pass.TypesInfo.Defs[id]; obj != nil {
-				local[obj] = true
-			}
-		}
-		return true
-	})
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := pass.TypesInfo.Uses[id]
-		if obj == nil || local[obj] {
-			return true
-		}
-		// Fields are not captures: a keyed composite literal's
-		// `Scratch: x` key (and a field selector) resolves to the
-		// Scratch-typed field object, but the captured variable — if
-		// any — is the value expression, which is inspected separately.
-		if v, ok := obj.(*types.Var); ok && !v.IsField() && isScratchType(v.Type()) {
-			pass.Reportf(id.Pos(), "core.Scratch %s captured by a concurrently-launched function: a Scratch must not be shared between goroutines; allocate one per worker", id.Name)
-		}
-		return true
-	})
-}
-
-// checkBorrowDiscipline enforces rules 3 and 4 inside internal/core: an
+// checkBorrowDiscipline enforces both rules inside internal/core: an
 // acquireWalker assignment must be chased by defer releaseWalker on the
 // next statement, and the borrowed Options must not be handed to another
 // call while the borrow is live.

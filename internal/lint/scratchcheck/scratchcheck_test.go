@@ -7,10 +7,6 @@ import (
 	"mcspeedup/internal/lint/scratchcheck"
 )
 
-func TestScratchcheckRetentionAndSharing(t *testing.T) {
-	linttest.Run(t, "testdata", "a", scratchcheck.Analyzer)
-}
-
 func TestScratchcheckBorrowDiscipline(t *testing.T) {
 	linttest.Run(t, "testdata", "mcspeedup/internal/core", scratchcheck.Analyzer)
 }

@@ -1,0 +1,3 @@
+module mcspeedup
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package ignores exercises every audit state of //lint:ignore: one
+// directive suppressing a real diagnostic, one stale, one malformed.
+package ignores
+
+import (
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/keep"
+)
+
+var waived *core.Scratch
+
+// Waived suppresses its escape with a justified directive: [ok].
+func Waived(s *core.Scratch) {
+	//lint:ignore borrowcheck fixture pins the used-directive audit state
+	waived = s
+}
+
+// Stale carries a directive with nothing to suppress: [STALE].
+func Stale(s *core.Scratch) int {
+	//lint:ignore borrowcheck fixture pins the stale-directive audit state
+	return keep.Borrow(s)
+}
+
+// Bare is missing its justification: [MALFORMED], reported as a
+// diagnostic in its own right, and suppressing nothing.
+func Bare(s *core.Scratch) {
+	//lint:ignore borrowcheck
+	waived = s
+}

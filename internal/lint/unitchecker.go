@@ -29,9 +29,27 @@ import (
 //
 // The protocol is the one golang.org/x/tools/go/analysis/unitchecker
 // speaks; this is a stdlib-only reimplementation (the module carries no
-// third-party dependencies). Cross-package facts are not needed by any
-// analyzer in the suite, so dependency units (VetxOnly) are answered
-// immediately with an empty facts file.
+// third-party dependencies). Facts travel exactly as in the original:
+// cmd/go hands each unit the vetx files of its direct dependencies
+// (PackageVetx) and a path to write its own (VetxOutput); a unit writes
+// the union of its dependencies' facts and its own, so the direct-dep
+// vetx files always carry the transitive closure. Standard-library
+// dependency units (VetxOnly with cfg.Standard set) are answered with
+// an empty facts file — the suite's fact vocabulary is about module
+// code only. Module dependency units are genuinely analyzed so their
+// facts exist, with diagnostics suppressed as the protocol requires.
+//
+// Two environment knobs:
+//
+//	MCSVET_CACHE=off    disable the fact cache (unit and module mode)
+//	MCSVET_CACHE=<dir>  cache directory (default: DefaultCacheDir())
+//	MCSVET_STATS=<file> append one {"unit":…,"hit":…} JSON line per unit
+//	                    (unit mode only)
+//
+// Invoked without a vet.cfg argument, the binary switches to module
+// mode (modrunner.go): it discovers and analyzes the enclosing module
+// itself, with -json/-sarif/-github emitters, the -ignores audit, and
+// -workers/-cache/-nocache controls.
 
 // Config mirrors cmd/go's vetConfig (the JSON it writes to vet.cfg).
 // Fields the suite does not consult are omitted; encoding/json ignores
@@ -45,6 +63,7 @@ type Config struct {
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
 	Standard                  map[string]bool
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	GoVersion                 string
@@ -58,6 +77,13 @@ func Main(analyzers ...*Analyzer) {
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	printVersion := fs.String("V", "", "print version and exit (go vet handshake; pass 'full')")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (go vet handshake)")
+	jsonOut := fs.Bool("json", false, "module mode: emit the report as JSON on stdout")
+	sarifOut := fs.String("sarif", "", "module mode: write a SARIF 2.1.0 log to this file ('-' for stdout)")
+	githubOut := fs.Bool("github", false, "module mode: emit GitHub Actions ::error annotations on stdout")
+	ignoresAudit := fs.Bool("ignores", false, "module mode: audit //lint:ignore directives instead of reporting diagnostics")
+	workers := fs.Int("workers", 0, "module mode: parallel analysis workers (0 = one per CPU)")
+	cacheFlag := fs.String("cache", "", "module mode: fact-cache directory (default: user cache dir)")
+	noCache := fs.Bool("nocache", false, "module mode: disable the fact cache")
 	selected := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		doc, _, _ := strings.Cut(a.Doc, "\n")
@@ -109,21 +135,87 @@ func Main(analyzers ...*Analyzer) {
 	}
 
 	args := fs.Args()
-	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		// Unit mode: one package described by cmd/go's vet.cfg.
+		diags, err := runUnit(args[0], run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diags) > 0 {
+			os.Exit(2)
+		}
+		os.Exit(0)
+	}
+
+	// Module mode: analyze the module rooted at the argument (default:
+	// the current directory).
+	root := "."
+	switch len(args) {
+	case 0:
+	case 1:
+		root = args[0]
+	default:
 		fmt.Fprintf(os.Stderr,
-			"%s: expected a single vet configuration file argument\n"+
-				"usage: go vet -vettool=$(command -v %s) ./...\n", progname, progname)
+			"%s: expected a vet configuration file or a single module root\n"+
+				"usage: %s [flags] [module-root]   |   go vet -vettool=$(command -v %s) ./...\n",
+			progname, progname, progname)
 		os.Exit(1)
 	}
-	diags, err := runUnit(args[0], run)
+	// MCSVET_CACHE steers module mode exactly as it does unit mode;
+	// the explicit flags win over the environment.
+	opts := ModuleOptions{Workers: *workers, CacheDir: *cacheFlag, NoCache: *noCache}
+	if env := os.Getenv("MCSVET_CACHE"); env != "" && !opts.NoCache && opts.CacheDir == "" {
+		if env == "off" {
+			opts.NoCache = true
+		} else {
+			opts.CacheDir = env
+		}
+	}
+	res, err := RunModule(root, run, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	if *ignoresAudit {
+		if !res.WriteIgnores(os.Stdout) {
+			os.Exit(1)
+		}
+		os.Exit(0)
 	}
-	if len(diags) > 0 {
+	if *sarifOut != "" {
+		w := io.Writer(os.Stdout)
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.WriteSARIF(w, run); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case *jsonOut:
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+	case *githubOut:
+		res.WriteGitHub(os.Stdout)
+	default:
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
 		os.Exit(2)
 	}
 	os.Exit(0)
@@ -156,28 +248,164 @@ func runUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
+	canonical := CanonicalPath(cfg.ImportPath)
 
-	// Dependencies are analyzed only for cross-package facts, which this
-	// suite does not use: acknowledge with an empty facts file. This also
-	// skips type-checking the entire standard library.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			return nil, err
+	// Standard-library dependency units carry no suite facts:
+	// acknowledge with an empty facts file, skipping the expensive
+	// type-check of the entire standard library.
+	if cfg.Standard[canonical] || len(cfg.GoFiles) == 0 {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				return nil, err
+			}
 		}
-	}
-	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
 		return nil, nil
 	}
 
+	// Dependency facts: cmd/go supplies the vetx file of every direct
+	// dependency; each file already carries its transitive closure.
+	store := NewFactStore()
+	depVetx := make(map[string][]byte, len(cfg.PackageVetx))
+	for _, dep := range sortedKeys(boolKeys(cfg.PackageVetx)) {
+		vetx, err := os.ReadFile(cfg.PackageVetx[dep])
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of %s: %w", dep, err)
+		}
+		facts, err := DecodeWire(vetx)
+		if err != nil {
+			return nil, fmt.Errorf("facts of %s: %w", dep, err)
+		}
+		store.AddWire(facts)
+		depVetx[dep] = vetx
+	}
+
+	// Per-unit fact cache (see the file comment for the env knobs).
+	cacheDir := os.Getenv("MCSVET_CACHE")
+	cacheOn := cacheDir != "off"
+	if cacheOn && cacheDir == "" {
+		if cacheDir, err = DefaultCacheDir(); err != nil {
+			cacheOn = false
+		}
+	}
+	var key string
+	if cacheOn {
+		if key, err = unitCacheKey(toolID(analyzers), &cfg, depVetx); err != nil {
+			return nil, err
+		}
+		if e, ok := readCacheEntry(cacheDir, key); ok {
+			recordUnitStat(cfg.ImportPath, true)
+			if cfg.VetxOutput != "" {
+				if err := os.WriteFile(cfg.VetxOutput, EncodeWire(e.Facts), 0o666); err != nil {
+					return nil, err
+				}
+			}
+			if cfg.VetxOnly {
+				return nil, nil
+			}
+			return e.Diagnostics, nil
+		}
+		recordUnitStat(cfg.ImportPath, false)
+	}
+
+	pkg, typecheckFailed, err := typecheckUnit(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if typecheckFailed { // SucceedOnTypecheckFailure
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+
+	// nil visibility: the store holds exactly the dependency closure
+	// cmd/go supplied, so everything in it is legitimately importable.
+	diags, _, err := RunPass(pkg, store, nil, false, analyzers...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Re-export the closure: dependencies' facts plus our own.
+	merged := store.Wire(nil)
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, EncodeWire(merged), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cacheOn {
+		entry := &cacheEntry{Schema: cacheSchema, Package: canonical, Facts: merged, Diagnostics: diags}
+		if err := writeCacheEntry(cacheDir, key, entry); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return diags, nil
+}
+
+// unitCacheKey hashes everything that determines a unit's output: the
+// tool identity, the unit's own sources, and the dependency facts.
+func unitCacheKey(tool string, cfg *Config, depVetx map[string][]byte) (string, error) {
+	files := make(map[string][]byte, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		files[name] = src
+	}
+	deps := make(map[string]string, len(depVetx))
+	for dep, vetx := range depVetx { //lint:ignore determcheck contentHash sorts its inputs internally
+		deps[dep] = fmt.Sprintf("%x", sha256.Sum256(vetx))
+	}
+	return contentHash(tool, cfg.ImportPath, files, deps), nil
+}
+
+// recordUnitStat appends one JSON line to $MCSVET_STATS, if set — the
+// observability hook the unitchecker round-trip test reads cache
+// behavior from. O_APPEND keeps concurrent unit processes atomic.
+func recordUnitStat(unit string, hit bool) {
+	path := os.Getenv("MCSVET_STATS")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o666)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	line, _ := json.Marshal(struct {
+		Unit string `json:"unit"`
+		Hit  bool   `json:"hit"`
+	}{unit, hit})
+	f.Write(append(line, '\n'))
+}
+
+// boolKeys adapts a string map for sortedKeys.
+func boolKeys[V any](m map[string]V) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m { //lint:ignore determcheck key-set conversion; callers sort the result
+		out[k] = true
+	}
+	return out
+}
+
+// typecheckUnit parses and type-checks the unit's files against the
+// export data cmd/go supplied. The bool result reports a tolerated
+// type-check failure (SucceedOnTypecheckFailure).
+func typecheckUnit(cfg *Config) (*Package, bool, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+				return nil, true, nil
 			}
-			return nil, err
+			return nil, false, err
 		}
 		files = append(files, f)
 	}
@@ -221,11 +449,11 @@ func runUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return nil, true, nil
 		}
-		return nil, err
+		return nil, false, err
 	}
-	return Run(&Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, analyzers...)
+	return &Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, false, nil
 }
 
 // importerFunc adapts a function to types.Importer.

@@ -1,0 +1,148 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolRoundTrip drives the cmd/go vet-tool protocol end to end:
+// build cmd/mcs-vet, run `go vet -vettool` over a copy of the fixture
+// module twice, and assert the exit status, the diagnostic formatting,
+// and that the second run is served entirely from the fact cache. Each
+// run gets a fresh GOCACHE so cmd/go re-invokes the tool instead of
+// replaying its own vet result cache; the MCSVET_CACHE directory is
+// shared, so run two exercises the unit-cache replay path.
+func TestVettoolRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet twice")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go not on PATH: %v", err)
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "mcs-vet")
+	build := exec.Command(goTool, "build", "-o", bin, "mcspeedup/cmd/mcs-vet")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building mcs-vet: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "module")
+	copyTree(t, fixtureModule, mod)
+	factCache := filepath.Join(tmp, "factcache")
+
+	type unitStat struct {
+		Unit string `json:"unit"`
+		Hit  bool   `json:"hit"`
+	}
+	run := func(tag string) (string, []unitStat) {
+		t.Helper()
+		statsFile := filepath.Join(tmp, "stats-"+tag+".jsonl")
+		cmd := exec.Command(goTool, "vet", "-vettool="+bin, "./...")
+		cmd.Dir = mod
+		cmd.Env = append(os.Environ(),
+			"GOCACHE="+filepath.Join(tmp, "gocache-"+tag),
+			"GOFLAGS=",
+			"GOWORK=off",
+			"GOPROXY=off",
+			"MCSVET_CACHE="+factCache,
+			"MCSVET_STATS="+statsFile,
+		)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s run: go vet succeeded; want a diagnostic exit\n%s", tag, out)
+		}
+		data, err := os.ReadFile(statsFile)
+		if err != nil {
+			t.Fatalf("%s run wrote no unit stats: %v", tag, err)
+		}
+		var stats []unitStat
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for {
+			var s unitStat
+			if err := dec.Decode(&s); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("parsing %s stats: %v", tag, err)
+			}
+			stats = append(stats, s)
+		}
+		return string(out), stats
+	}
+
+	wantDiags := []string{
+		"keep.go:13:11: core.Scratch stored in a package-level variable",
+		"use.go:15:12: core.Scratch s escapes into mcspeedup/internal/keep.Hold, which retains its parameter 0 beyond the call (Borrows fact)",
+		"ignores.go:27:2: malformed //lint:ignore",
+		"(borrowcheck)",
+	}
+
+	cold, coldStats := run("cold")
+	for _, want := range wantDiags {
+		if !strings.Contains(cold, want) {
+			t.Errorf("cold run output missing %q:\n%s", want, cold)
+		}
+	}
+	if len(coldStats) < 4 { // core, keep, use, ignores
+		t.Errorf("cold run recorded %d units, want at least 4: %v", len(coldStats), coldStats)
+	}
+	for _, s := range coldStats {
+		if s.Hit {
+			t.Errorf("cold run hit the fact cache for %s", s.Unit)
+		}
+	}
+
+	warm, warmStats := run("warm")
+	for _, want := range wantDiags {
+		if !strings.Contains(warm, want) {
+			t.Errorf("warm run output missing %q:\n%s", want, warm)
+		}
+	}
+	if len(warmStats) == 0 {
+		t.Fatal("warm run recorded no units")
+	}
+	for _, s := range warmStats {
+		if !s.Hit {
+			t.Errorf("warm run missed the fact cache for %s", s.Unit)
+		}
+	}
+}
+
+// copyTree copies the fixture module into dst so go vet runs against a
+// standalone module root, outside the repository's own module.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o777)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o666)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture module: %v", err)
+	}
+}
