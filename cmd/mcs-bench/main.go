@@ -9,11 +9,23 @@
 // Usage:
 //
 //	mcs-bench [-out BENCH_core.json] [-trajectory BENCH_trajectory.json]
-//	          [-grid 9] [-workers 0]
+//	          [-grid 9] [-workers 0] [-compare BENCH_core.json]
+//	          [-cpuprofile bench.pprof]
 //
 // Regenerate the checked-in file with scripts/bench_core.sh. Absolute
 // numbers are machine-dependent; allocs/op is the portable signal the
 // regression tests pin (see internal/core's zero-allocation tests).
+//
+// -compare diffs the fresh numbers against a baseline BENCH_core.json
+// and exits nonzero on a regression: any allocs/op increase (the
+// machine-independent counter), or a ns/op slowdown beyond
+// -compare-tol (default 15%). CI's perf-gate job runs the comparison
+// with -compare-ns-fail=false, demoting wall-clock drift to a warning
+// annotation — shared runners are too noisy for a hard ns/op wall.
+//
+// -cpuprofile writes a pprof CPU profile covering the benchmark loops
+// and the Fig.-5 sweep; docs/PERF.md has a "reading the profile"
+// walkthrough.
 //
 // -trajectory appends one dated entry — git revision, per-benchmark
 // numbers, and the pruned-vs-unpruned event counters of the FMS walks —
@@ -38,6 +50,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -47,11 +60,17 @@ import (
 	"mcspeedup/internal/lint/suite"
 )
 
-// benchDoc is the BENCH_core.json layout.
+// benchDoc is the BENCH_core.json layout. GoMaxProcs and CPUModel
+// qualify the machine the ns/op numbers came from (a baseline taken at
+// GOMAXPROCS=1 or on different silicon is not comparable); both are
+// omitempty so trajectory entries written before they existed re-marshal
+// unchanged.
 type benchDoc struct {
 	GeneratedAt string       `json:"generatedAt"`
 	GoVersion   string       `json:"goVersion"`
 	NumCPU      int          `json:"numCPU"`
+	GoMaxProcs  int          `json:"gomaxprocs,omitempty"`
+	CPUModel    string       `json:"cpuModel,omitempty"`
 	Benchmarks  []benchEntry `json:"benchmarks"`
 	Fig5        fig5Entry    `json:"fig5Sweep"`
 	VetWallTime *vetEntry    `json:"vetWallTime,omitempty"`
@@ -90,6 +109,8 @@ type trajectoryEntry struct {
 	GitRev      string       `json:"gitRev"`
 	GoVersion   string       `json:"goVersion"`
 	NumCPU      int          `json:"numCPU"`
+	GoMaxProcs  int          `json:"gomaxprocs,omitempty"`
+	CPUModel    string       `json:"cpuModel,omitempty"`
 	Benchmarks  []benchEntry `json:"benchmarks"`
 	FMSEvents   eventsEntry  `json:"fmsEvents"`
 	VetWallTime *vetEntry    `json:"vetWallTime,omitempty"`
@@ -151,6 +172,91 @@ func fmsEventCounts(fms mcspeedup.Set) eventsEntry {
 		e.ResetExamined, e.ResetUnpruned, e.ResetJumps,
 		e.SpeedForExamined, e.SpeedForUnpruned, e.SpeedForJumps)
 	return e
+}
+
+// cpuModel returns the "model name" of the first processor entry in
+// /proc/cpuinfo, or "" where that interface does not exist (non-Linux
+// hosts). The field is informational; an empty value is omitted from
+// the JSON rather than guessed at.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(rest, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// compareBaseline diffs fresh benchmark results against the baseline
+// BENCH_core.json at path. Alloc-counter increases always count as
+// regressions — allocs/op is machine-independent, so any growth is a
+// real code change. ns/op slowdowns beyond tol count only when nsFail
+// is set; with nsFail false they are demoted to warnings (GitHub
+// ::warning annotations under Actions), which is how CI's perf-gate job
+// runs on noisy shared runners. Benchmarks present on only one side are
+// reported informationally and never fail the comparison.
+func compareBaseline(path string, fresh []benchEntry, tol float64, nsFail bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s is not a BENCH_core.json document: %v", path, err)
+	}
+	baseline := make(map[string]benchEntry, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	warn := func(msg string) {
+		if os.Getenv("GITHUB_ACTIONS") != "" {
+			fmt.Printf("::warning title=mcs-bench compare::%s\n", msg)
+		}
+		log.Printf("compare: WARN %s", msg)
+	}
+	var failures []string
+	for _, e := range fresh {
+		b, ok := baseline[e.Name]
+		if !ok {
+			log.Printf("compare: %-28s new benchmark (no baseline entry)", e.Name)
+			continue
+		}
+		delete(baseline, e.Name)
+		if e.AllocsPerOp > b.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d",
+				e.Name, b.AllocsPerOp, e.AllocsPerOp))
+			continue
+		}
+		var drift float64
+		if b.NsPerOp > 0 {
+			drift = (e.NsPerOp/b.NsPerOp - 1) * 100
+		}
+		if b.NsPerOp > 0 && e.NsPerOp > b.NsPerOp*(1+tol) {
+			msg := fmt.Sprintf("%s: ns/op %.0f -> %.0f (%+.1f%%, tolerance %.0f%%)",
+				e.Name, b.NsPerOp, e.NsPerOp, drift, tol*100)
+			if nsFail {
+				failures = append(failures, msg)
+			} else {
+				warn(msg)
+			}
+			continue
+		}
+		log.Printf("compare: %-28s ok (ns/op %+.1f%%, allocs/op %d -> %d)",
+			e.Name, drift, b.AllocsPerOp, e.AllocsPerOp)
+	}
+	for name := range baseline {
+		log.Printf("compare: %-28s only in baseline (dropped?)", name)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regressions vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // gitRev returns the short commit hash of the working tree, or "unknown"
@@ -308,6 +414,10 @@ func main() {
 		grid       = flag.Int("grid", 9, "Fig.-5 sweep grid resolution")
 		workers    = flag.Int("workers", 0, "Fig.-5 sweep workers (0 = all cores)")
 		vetRoot    = flag.String("vetroot", ".", "module root for the vet wall-time sweep ('' = skip)")
+		compare    = flag.String("compare", "", "baseline BENCH_core.json to diff against; exit nonzero on regression")
+		compareTol = flag.Float64("compare-tol", 0.15, "ns/op slowdown tolerated by -compare")
+		compareNS  = flag.Bool("compare-ns-fail", true, "fail -compare on ns/op regressions (false: warn only; allocs/op increases always fail)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	)
 	flag.Parse()
 
@@ -316,10 +426,26 @@ func main() {
 	scratch := new(mcspeedup.AnalysisScratch)
 	withScratch := mcspeedup.AnalysisOptions{Scratch: scratch}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		// The profile covers the benchmark loops and the Fig.-5 sweep —
+		// the analysis hot paths — not the vet sweep or file writes;
+		// stopCPUProfile below is called right after the sweep.
+		defer f.Close()
+	}
+
 	doc := benchDoc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		CPUModel:    cpuModel(),
 	}
 	doc.Benchmarks = []benchEntry{
 		measure("MinSpeedupFMS", func() {
@@ -441,6 +567,11 @@ func main() {
 	doc.Fig5 = fig5Entry{Grid: *grid, Workers: *workers, Seconds: time.Since(start).Seconds()}
 	log.Printf("fig5 sweep (grid %d, workers %d): %.3fs", *grid, *workers, doc.Fig5.Seconds)
 
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		log.Printf("wrote CPU profile to %s", *cpuprofile)
+	}
+
 	if *vetRoot != "" {
 		doc.VetWallTime = measureVet(*vetRoot)
 	}
@@ -465,6 +596,8 @@ func main() {
 			GitRev:      gitRev(),
 			GoVersion:   doc.GoVersion,
 			NumCPU:      doc.NumCPU,
+			GoMaxProcs:  doc.GoMaxProcs,
+			CPUModel:    doc.CPUModel,
 			Benchmarks:  doc.Benchmarks,
 			FMSEvents:   fmsEventCounts(fms),
 			VetWallTime: doc.VetWallTime,
@@ -473,5 +606,12 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("appended %s @ %s to %s", entry.Date, entry.GitRev, *trajectory)
+	}
+
+	if *compare != "" {
+		if err := compareBaseline(*compare, doc.Benchmarks, *compareTol, *compareNS); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("compare: no regressions vs %s", *compare)
 	}
 }

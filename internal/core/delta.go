@@ -98,6 +98,14 @@ type speedupCurve struct {
 	// edited lists indices (stable across value-only edits) of tasks
 	// whose parameters changed since recording, ascending and unique.
 	edited []int
+
+	// curPlan/basePlan are the edited tasks' demand columns (current and
+	// recorded parameters), compiled per delta walk; blockCur/blockBase
+	// hold one block's bulk-evaluated values. Together they turn the
+	// per-event per-task deltaAt pointer chase into one column-major
+	// BulkEval per examined block. Unused under Options.NoPlan.
+	curPlan, basePlan   dbf.Plan
+	blockCur, blockBase [curveBlock]task.Time
 }
 
 // noteEdit classifies one applied edit's impact on the recorded curve:
@@ -262,6 +270,17 @@ func (c *speedupCurve) walk(st *dbf.SetState, o Options) (SpeedupResult, bool) {
 	kAbsF := math.Abs(kF)
 	lF := float64(corrL)
 
+	// Lower the edited tasks' demand columns once per walk: examined
+	// blocks are then bulk-evaluated column-major (curve value plus the
+	// exact per-position delta curPlan − basePlan) instead of chasing
+	// task structs per event. Options.NoPlan keeps the scalar deltaAt.
+	usePlan := !o.NoPlan && len(edited) > 0
+	if usePlan {
+		c.curPlan.CompileSubset(cur, edited, dbf.KindDBF)
+		c.basePlan.CompileSubset(c.base, edited, dbf.KindDBF)
+	}
+	bufBlock := -1
+
 	// bound is a proven lower bound on the new supremum: the seed probes
 	// (which evaluate the CURRENT set) joined with the running maximum.
 	// bF is its float64 image, refreshed whenever bound improves; the
@@ -270,7 +289,7 @@ func (c *speedupCurve) walk(st *dbf.SetState, o Options) (SpeedupResult, bool) {
 	// inequality would keep.
 	bound := rat.Zero
 	if !o.NoPrune {
-		bound = seedBound(cur, o.WarmWitness, hyper, hyperOK)
+		bound = seedBound(cur, nil, o.WarmWitness, hyper, hyperOK)
 	}
 	bF := bound.Float64()
 	var bestV task.Time
@@ -292,7 +311,24 @@ func (c *speedupCurve) walk(st *dbf.SetState, o Options) (SpeedupResult, bool) {
 			}
 		}
 		p := c.pos[j]
-		v := c.val[j] + c.deltaAt(cur, edited, p)
+		var dv task.Time
+		if usePlan {
+			if blk := j / curveBlock; blk != bufBlock {
+				lo := blk * curveBlock
+				hi := lo + curveBlock
+				if hi > n {
+					hi = n
+				}
+				c.curPlan.BulkEval(c.blockCur[:hi-lo], c.pos[lo:hi])
+				c.basePlan.BulkEval(c.blockBase[:hi-lo], c.pos[lo:hi])
+				bufBlock = blk
+			}
+			r := j - bufBlock*curveBlock
+			dv = c.blockCur[r] - c.blockBase[r]
+		} else if len(edited) > 0 {
+			dv = c.deltaAt(cur, edited, p)
+		}
+		v := c.val[j] + dv
 		events++
 		if events > o.maxEvents() {
 			return SpeedupResult{}, false // let the canonical path report the cap

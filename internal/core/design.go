@@ -102,10 +102,15 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 	attained := false
 	var witness task.Time
 	events, jumps := 0, 0
-	consider := func(r rat.Rat, at task.Time, pointAttained bool) {
-		switch r.Cmp(best) {
-		case -1:
-			best, attained, witness = r, pointAttained, at
+	// The incumbent comparison runs per event (twice: left limit and
+	// event point); CmpRatio decides it exactly without normalizing the
+	// candidate, and the rational is materialized only on a strict
+	// improvement — rare, since the running infimum only ever decreases.
+	consider := func(num, den int64, at task.Time, pointAttained bool) {
+		switch best.CmpRatio(num, den) {
+		case 1:
+			best = rat.New(num, den)
+			attained, witness = pointAttained, at
 		case 0:
 			attained = attained || pointAttained
 		}
@@ -144,7 +149,7 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 		// continuous at the event, in which case the identical ratio is
 		// recorded as attained right below.
 		leftLimit := w.Value() + w.Slope()*(next-w.Pos())
-		consider(rat.New(int64(leftLimit), int64(next)), next, false)
+		consider(int64(leftLimit), int64(next), next, false)
 		w.Next()
 		events++
 		if events > o.maxEvents() {
@@ -152,12 +157,12 @@ func MinSpeedForResetOpts(s task.Set, budget task.Time, o Options) (SpeedForRese
 				"core: speed-for-reset walk exceeded %d events before budget %d; raise Options.MaxEvents or lower the budget",
 				o.maxEvents(), budget)
 		}
-		consider(rat.New(int64(w.Value()), int64(w.Pos())), w.Pos(), true)
+		consider(int64(w.Value()), int64(w.Pos()), w.Pos(), true)
 	}
 	// The final partial segment up to B (linear, value at B included:
 	// any upward jump exactly at B only raises the ratio).
 	vAtB := w.Value() + w.Slope()*(budget-w.Pos())
-	consider(rat.New(int64(vAtB), int64(budget)), budget, true)
+	consider(int64(vAtB), int64(budget), budget, true)
 	return SpeedForResetResult{Speed: best, Attained: attained, WitnessDelta: witness, Events: events, Jumps: jumps}, nil
 }
 
@@ -190,6 +195,20 @@ func newCapProbe(o Options) *capProbe {
 	return &capProbe{opts: o}
 }
 
+// witnessValue evaluates the summed DBF at the probe's witness Δ through
+// the cross-candidate memo: the Scratch-owned dbf.PointMemo caches each
+// task's curve value keyed by its parameter tuple, so the stream of
+// closely related candidates a design search probes recomputes only the
+// tasks the last edit touched — O(changed) instead of O(n) — with a sum
+// exactly equal to the direct evaluation. Options.NoPlan bypasses the
+// memo (the differential tests' escape hatch, same as the columnar plan).
+func (p *capProbe) witnessValue(set task.Set) task.Time {
+	if p.opts.NoPlan {
+		return dbf.SetValue(set, dbf.KindDBF, p.witness)
+	}
+	return p.opts.Scratch.memo.Value(set, dbf.KindDBF, p.witness)
+}
+
 // atLeast reports whether the certificate proves s_min(set) ≥ bound
 // (strict > when strict is set). An inconclusive certificate reports
 // false — it never decides acceptance, only rejection.
@@ -197,9 +216,9 @@ func (p *capProbe) atLeast(set task.Set, bound rat.Rat, strict bool) bool {
 	if p.opts.NoWarmStart || p.witness <= 0 {
 		return false
 	}
-	v := dbf.SetValue(set, dbf.KindDBF, p.witness)
-	c := rat.New(int64(v), int64(p.witness)).Cmp(bound)
-	if c > 0 || (c == 0 && !strict) {
+	v := p.witnessValue(set)
+	c := bound.CmpRatio(int64(v), int64(p.witness))
+	if c < 0 || (c == 0 && !strict) {
 		p.pruned++
 		return true
 	}
@@ -226,14 +245,26 @@ func (p *capProbe) speedup(set task.Set) (SpeedupResult, error) {
 	return res, err
 }
 
-// meets decides s_min(set) ≤ cap, warm-starting at the witness.
+// meets decides s_min(set) ≤ cap, warm-starting at the witness. The walk
+// carries cap as its CapHint: it stops as soon as it has bracketed the
+// supremum against the cap (see Options.CapHint), and the bracket's safe
+// upper bound decides the comparison exactly as the full supremum would.
 func (p *capProbe) meets(set task.Set, cap rat.Rat) (bool, error) {
 	if p.atLeast(set, cap, true) {
 		return false, nil
 	}
-	res, err := p.speedup(set)
+	p.walks++
+	opts := p.opts
+	opts.CapHint = cap
+	if !opts.NoWarmStart {
+		opts.WarmWitness = p.witness
+	}
+	res, err := MinSpeedupOpts(set, opts)
 	if err != nil {
 		return false, err
+	}
+	if res.WitnessDelta > 0 {
+		p.witness = res.WitnessDelta
 	}
 	return res.Speedup.Cmp(cap) <= 0, nil
 }
@@ -250,9 +281,9 @@ func (p *capProbe) atLeastState(st *dbf.SetState, bound rat.Rat, strict bool) bo
 	if p.opts.NoWarmStart || p.witness <= 0 {
 		return false
 	}
-	v := dbf.SetValue(st.Tasks(), dbf.KindDBF, p.witness)
-	c := rat.New(int64(v), int64(p.witness)).Cmp(bound)
-	if c > 0 || (c == 0 && !strict) {
+	v := p.witnessValue(st.Tasks())
+	c := bound.CmpRatio(int64(v), int64(p.witness))
+	if c < 0 || (c == 0 && !strict) {
 		p.pruned++
 		return true
 	}
@@ -276,9 +307,18 @@ func (p *capProbe) meetsState(st *dbf.SetState, cap rat.Rat) (bool, error) {
 	if p.atLeastState(st, cap, true) {
 		return false, nil
 	}
-	res, err := p.speedupState(st)
+	p.walks++
+	opts := p.opts
+	opts.CapHint = cap
+	if !opts.NoWarmStart {
+		opts.WarmWitness = p.witness
+	}
+	res, err := minSpeedupState(st, opts)
 	if err != nil {
 		return false, err
+	}
+	if res.WitnessDelta > 0 {
+		p.witness = res.WitnessDelta
 	}
 	return res.Speedup.Cmp(cap) <= 0, nil
 }

@@ -1,0 +1,251 @@
+package core
+
+// Differential tests for the compiled columnar demand plans
+// (Options.NoPlan): the planned walks evaluate the same closed forms as
+// the scalar per-task path through flat int64 columns, so every analysis
+// must produce *byte-identical* results either way — including the
+// Events/Jumps accounting, since the plan changes how a point is
+// evaluated, never which points are examined. The same discipline as
+// prune_test.go, but with full-struct equality: any divergence at all is
+// a compile bug in the plan lowering.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcspeedup/internal/rat"
+	"mcspeedup/internal/task"
+)
+
+// planOptPairs returns matched (planned, scalar) option structs for the
+// two pruning regimes, so every differential below covers the plan on
+// both the pruned and the unpruned walk.
+func planOptPairs() [][2]Options {
+	return [][2]Options{
+		{{}, {NoPlan: true}},
+		{{NoPrune: true}, {NoPrune: true, NoPlan: true}},
+	}
+}
+
+func TestMinSpeedupPlanScalarIdentical(t *testing.T) {
+	for i, s := range prunedSets(t, 30) {
+		for j, pair := range planOptPairs() {
+			planned, errP := MinSpeedupOpts(s, pair[0])
+			scalar, errS := MinSpeedupOpts(s, pair[1])
+			if (errP == nil) != (errS == nil) {
+				t.Fatalf("set %d regime %d: error mismatch: %v vs %v", i, j, errP, errS)
+			}
+			if errP != nil {
+				continue
+			}
+			if !reflect.DeepEqual(planned, scalar) {
+				t.Fatalf("set %d regime %d: planned %+v != scalar %+v:\n%s", i, j, planned, scalar, s.Table())
+			}
+		}
+	}
+}
+
+func TestResetTimePlanScalarIdentical(t *testing.T) {
+	speeds := []rat.Rat{rat.New(9, 10), rat.One, rat.New(3, 2), rat.Two, rat.FromInt64(3)}
+	for i, s := range prunedSets(t, 20) {
+		for _, sp := range speeds {
+			for j, pair := range planOptPairs() {
+				planned, errP := ResetTimeOpts(s, sp, pair[0])
+				scalar, errS := ResetTimeOpts(s, sp, pair[1])
+				if (errP == nil) != (errS == nil) {
+					t.Fatalf("set %d speed %v regime %d: error mismatch: %v vs %v", i, sp, j, errP, errS)
+				}
+				if errP != nil {
+					continue
+				}
+				if !reflect.DeepEqual(planned, scalar) {
+					t.Fatalf("set %d speed %v regime %d: planned %+v != scalar %+v:\n%s",
+						i, sp, j, planned, scalar, s.Table())
+				}
+			}
+		}
+	}
+}
+
+func TestMinSpeedForResetPlanScalarIdentical(t *testing.T) {
+	budgets := []task.Time{1, 100, 5_000, 50_000}
+	for i, s := range prunedSets(t, 15) {
+		for _, b := range budgets {
+			for j, pair := range planOptPairs() {
+				planned, errP := MinSpeedForResetOpts(s, b, pair[0])
+				scalar, errS := MinSpeedForResetOpts(s, b, pair[1])
+				if (errP == nil) != (errS == nil) {
+					t.Fatalf("set %d budget %d regime %d: error mismatch: %v vs %v", i, b, j, errP, errS)
+				}
+				if errP != nil {
+					continue
+				}
+				if !reflect.DeepEqual(planned, scalar) {
+					t.Fatalf("set %d budget %d regime %d: planned %+v != scalar %+v:\n%s",
+						i, b, j, planned, scalar, s.Table())
+				}
+			}
+		}
+	}
+}
+
+// TestDesignSearchesPlanScalarIdentical runs the three design searches —
+// MinimalY, TuneDeadlines, FeasibleXWindow — with and without the plan.
+// Their bisections and greedy moves branch on exact rationals, so every
+// intermediate cap probe agreeing (the walk differentials above) must
+// compose into identical final configurations.
+func TestDesignSearchesPlanScalarIdentical(t *testing.T) {
+	for i, s := range prunedSets(t, 12) {
+		for j, pair := range planOptPairs() {
+			yP, setP, errP := MinimalYOpts(s, rat.Two, pair[0])
+			yS, setS, errS := MinimalYOpts(s, rat.Two, pair[1])
+			if (errP == nil) != (errS == nil) {
+				t.Fatalf("set %d regime %d: MinimalY error mismatch: %v vs %v", i, j, errP, errS)
+			}
+			if errP == nil && (!yP.Eq(yS) || !reflect.DeepEqual(setP, setS)) {
+				t.Fatalf("set %d regime %d: MinimalY planned (%v, %v) != scalar (%v, %v)", i, j, yP, setP, yS, setS)
+			}
+
+			xLoP, xHiP, errP := FeasibleXWindowOpts(s, rat.Two, pair[0])
+			xLoS, xHiS, errS := FeasibleXWindowOpts(s, rat.Two, pair[1])
+			if (errP == nil) != (errS == nil) {
+				t.Fatalf("set %d regime %d: FeasibleXWindow error mismatch: %v vs %v", i, j, errP, errS)
+			}
+			if errP == nil && (!xLoP.Eq(xLoS) || !xHiP.Eq(xHiS)) {
+				t.Fatalf("set %d regime %d: FeasibleXWindow planned [%v,%v] != scalar [%v,%v]",
+					i, j, xLoP, xHiP, xLoS, xHiS)
+			}
+
+			trP, errP := TuneDeadlinesOpts(s, rat.New(1, 8), pair[0])
+			trS, errS := TuneDeadlinesOpts(s, rat.New(1, 8), pair[1])
+			if (errP == nil) != (errS == nil) {
+				t.Fatalf("set %d regime %d: TuneDeadlines error mismatch: %v vs %v", i, j, errP, errS)
+			}
+			if errP == nil && !reflect.DeepEqual(trP, trS) {
+				t.Fatalf("set %d regime %d: TuneDeadlines planned %+v != scalar %+v", i, j, trP, trS)
+			}
+		}
+	}
+}
+
+// TestCapHintNeverChangesDecision pins Options.CapHint's contract
+// directly: against arbitrary caps, the early cap-decision walk must
+// reach the same accept/reject verdict as the full exact walk, with a
+// truthful LowerBound, on both the planned and the scalar path.
+func TestCapHintNeverChangesDecision(t *testing.T) {
+	caps := []rat.Rat{rat.New(1, 2), rat.One, rat.New(5, 4), rat.New(3, 2), rat.Two, rat.FromInt64(4)}
+	for i, s := range prunedSets(t, 15) {
+		full, err := MinSpeedup(s)
+		if err != nil || !full.Exact {
+			continue
+		}
+		for _, cap := range caps {
+			want := full.Speedup.Cmp(cap) <= 0
+			for _, noPlan := range []bool{false, true} {
+				res, err := MinSpeedupOpts(s, Options{CapHint: cap, NoPlan: noPlan})
+				if err != nil {
+					t.Fatalf("set %d cap %v noPlan %v: %v", i, cap, noPlan, err)
+				}
+				if got := res.Speedup.Cmp(cap) <= 0; got != want {
+					t.Fatalf("set %d cap %v noPlan %v: hinted decision %v != exact decision %v (hinted %+v, full %+v)",
+						i, cap, noPlan, got, want, res, full)
+				}
+				if res.LowerBound.Cmp(full.Speedup) > 0 {
+					t.Fatalf("set %d cap %v noPlan %v: LowerBound %v exceeds exact supremum %v",
+						i, cap, noPlan, res.LowerBound, full.Speedup)
+				}
+				if res.Speedup.Cmp(res.LowerBound) < 0 {
+					t.Fatalf("set %d cap %v noPlan %v: Speedup %v below LowerBound %v",
+						i, cap, noPlan, res.Speedup, res.LowerBound)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionMatchesScalarGroundTruth drives an edit stream through a
+// Session (whose warm paths always run planned) and checks each
+// re-analysis against the scalar unpruned cold walk — tying the delta /
+// session tier to the plainest possible evaluation of Theorem 2 and
+// Corollary 5 in one end-to-end differential.
+func TestSessionMatchesScalarGroundTruth(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20260808))
+	base := prunedSets(t, 3)[0]
+	ss, err := NewSession(base, rat.Two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextName := 0
+	for step := 0; step < 25; step++ {
+		e, ok := randomEdit(rnd, ss.Set(), &nextName)
+		if !ok {
+			continue
+		}
+		if err := ss.Apply(e); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		r, _, err := ss.Report()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		cold := Options{NoPlan: true, NoPrune: true}
+		want, err := MinSpeedupOpts(ss.Set(), cold)
+		if err != nil {
+			t.Fatalf("step %d: scalar MinSpeedup: %v", step, err)
+		}
+		if want.Exact && (!r.Speedup.Speedup.Eq(want.Speedup) || !r.Speedup.LowerBound.Eq(want.LowerBound) ||
+			r.Speedup.Exact != want.Exact || r.Speedup.WitnessDelta != want.WitnessDelta) {
+			t.Fatalf("step %d: session speedup %+v != scalar %+v:\n%s",
+				step, r.Speedup, want, ss.Set().Table())
+		}
+		wantReset, err := ResetTimeOpts(ss.Set(), rat.Two, cold)
+		if err != nil {
+			t.Fatalf("step %d: scalar ResetTime: %v", step, err)
+		}
+		if !r.Reset.Reset.Eq(wantReset.Reset) {
+			t.Fatalf("step %d: session Δ_R %v != scalar %v", step, r.Reset.Reset, wantReset.Reset)
+		}
+	}
+}
+
+// FuzzPlanEquivalence fuzzes the planned-vs-scalar property over random
+// task sets: the columnar lowering must be invisible in every payload
+// field and in the event accounting, pruned or not, for MinSpeedup and
+// ResetTime (the remaining analyses are compositions of these walks).
+func FuzzPlanEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(20), uint8(2))
+	f.Add(int64(42), uint8(1), uint8(5), uint8(0))
+	f.Add(int64(20260808), uint8(5), uint8(60), uint8(7))
+	f.Add(int64(-11), uint8(2), uint8(120), uint8(15))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, maxPRaw, speedRaw uint8) {
+		rnd := rand.New(rand.NewSource(seed))
+		s := randomSet(rnd, 1+int(nRaw%5), 3+int64(maxPRaw%120))
+		if s.Validate() != nil {
+			t.Skip()
+		}
+		for j, pair := range planOptPairs() {
+			po, so := pair[0], pair[1]
+			po.MaxEvents, so.MaxEvents = 2_000_000, 2_000_000
+
+			planned, errP := MinSpeedupOpts(s, po)
+			scalar, errS := MinSpeedupOpts(s, so)
+			if (errP == nil) != (errS == nil) {
+				t.Fatalf("regime %d: MinSpeedup error mismatch: %v vs %v\n%s", j, errP, errS, s.Table())
+			}
+			if errP == nil && !reflect.DeepEqual(planned, scalar) {
+				t.Fatalf("regime %d: MinSpeedup planned %+v != scalar %+v\n%s", j, planned, scalar, s.Table())
+			}
+
+			speed := rat.New(int64(speedRaw%40)+10, 10) // 1.0 .. 4.9
+			rrP, errP := ResetTimeOpts(s, speed, po)
+			rrS, errS := ResetTimeOpts(s, speed, so)
+			if (errP == nil) != (errS == nil) {
+				t.Fatalf("regime %d: ResetTime(%v) error mismatch: %v vs %v\n%s", j, speed, errP, errS, s.Table())
+			}
+			if errP == nil && !reflect.DeepEqual(rrP, rrS) {
+				t.Fatalf("regime %d: ResetTime(%v) planned %+v != scalar %+v\n%s", j, speed, rrP, rrS, s.Table())
+			}
+		}
+	})
+}

@@ -104,8 +104,10 @@ func resetTimeWalk(s task.Set, speed, uHI rat.Rat, o Options) (ResetResult, erro
 	events, jumps := 0, 0
 	for {
 		pos, v := w.Pos(), w.Value()
-		supply := speed.MulInt(int64(pos))
-		if rat.FromInt64(int64(v)).Cmp(supply) <= 0 {
+		// v ≤ speed·pos, exactly, without materializing the supply
+		// rational (CmpRatio cross-multiplies in 128 bits). pos = 0
+		// reduces to v ≤ 0, i.e. v == 0 for the non-negative curve.
+		if v == 0 || (pos > 0 && speed.CmpRatio(int64(v), int64(pos)) >= 0) {
 			return ResetResult{Reset: rat.FromInt64(int64(pos)), Events: events, Jumps: jumps}, nil
 		}
 		next, ok := w.PeekNext()
@@ -119,13 +121,18 @@ func resetTimeWalk(s task.Set, speed, uHI rat.Rat, o Options) (ResetResult, erro
 			}, nil
 		}
 		// Within (pos, next) the curve is v + m·(Δ − pos); solve
-		// v + m·(Δ − pos) ≤ speed·Δ.
-		m := rat.FromInt64(int64(w.Slope()))
-		if speed.Cmp(m) > 0 {
-			// Δ* = (v − m·pos) / (speed − m); Δ* > pos is implied by
-			// v > speed·pos.
-			cross := rat.FromInt64(int64(v)).Sub(m.MulInt(int64(pos))).Div(speed.Sub(m))
-			if cross.Cmp(rat.FromInt64(int64(next))) < 0 {
+		// v + m·(Δ − pos) ≤ speed·Δ. The segment crosses before the next
+		// event iff the left limit there already sits on or below the
+		// supply line: leftLimit < speed·next (integer left limit, one
+		// exact CmpRatio) — only then is the crossing point materialized
+		// as a rational, off the per-event budget.
+		mInt := w.Slope()
+		if speed.CmpRatio(int64(mInt), 1) > 0 {
+			if leftLimit := v + mInt*(next-pos); speed.CmpRatio(int64(leftLimit), int64(next)) > 0 {
+				// Δ* = (v − m·pos) / (speed − m); Δ* > pos is implied by
+				// v > speed·pos.
+				m := rat.FromInt64(int64(mInt))
+				cross := rat.FromInt64(int64(v)).Sub(m.MulInt(int64(pos))).Div(speed.Sub(m))
 				return ResetResult{Reset: cross, Events: events, Jumps: jumps}, nil
 			}
 		}
@@ -133,7 +140,7 @@ func resetTimeWalk(s task.Set, speed, uHI rat.Rat, o Options) (ResetResult, erro
 		// the function comment), so when floor(v/speed) clears the next
 		// event, fast-forward there instead of popping events singly.
 		if !o.NoPrune {
-			if t0 := task.Time(rat.FromInt64(int64(v)).Div(speed).Floor()); t0 > next {
+			if t0 := task.Time(rat.FloorDiv(int64(v), speed)); t0 > next {
 				w.SkipTo(t0)
 				jumps++
 				continue

@@ -28,6 +28,13 @@ type Scratch struct {
 	// (task.Set.DegradeLOInto / TerminateLOInto) instead of cloning per
 	// candidate. Only the final winner is built as a caller-owned set.
 	candidate task.Set
+
+	// memo is the design searches' cross-candidate demand cache: the
+	// per-task curve values at the capProbe's witness Δ, keyed by each
+	// task's parameter tuple so adjacent bisection candidates (which
+	// differ in one task) recompute only that task's column. Owned by
+	// the Scratch so a search stream stays allocation-free.
+	memo dbf.PointMemo
 }
 
 // walkerPool recycles walker state across analyses that were not handed
@@ -62,6 +69,7 @@ func releaseScratch(sc *Scratch) {
 		return
 	}
 	sc.candidate = sc.candidate[:0]
+	sc.memo.Invalidate()
 	scratchPool.Put(sc)
 }
 
@@ -69,14 +77,21 @@ func releaseScratch(sc *Scratch) {
 // borrowing the caller's Scratch arena when one is set and falling back
 // to the package pool otherwise. Pair every acquire with releaseWalker.
 func (o Options) acquireWalker(s task.Set, kind dbf.Kind) *hiWalker {
+	w := o.pickWalker()
+	if o.NoPlan {
+		w.Reset(s, kind)
+	} else {
+		w.ResetPlanned(s, kind)
+	}
+	return w
+}
+
+func (o Options) pickWalker() *hiWalker {
 	if sc := o.Scratch; sc != nil && !sc.inUse {
 		sc.inUse = true
-		sc.walker.Reset(s, kind)
 		return &sc.walker
 	}
-	w := walkerPool.Get().(*hiWalker)
-	w.Reset(s, kind)
-	return w
+	return walkerPool.Get().(*hiWalker)
 }
 
 // releaseWalker returns the walker to its home (Scratch or pool). The

@@ -18,6 +18,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"mcspeedup/internal/dbf"
 	"mcspeedup/internal/rat"
@@ -44,6 +46,16 @@ type Options struct {
 	// differential tests and for benchmarking the cold path.
 	NoWarmStart bool
 
+	// NoPlan disables the compiled columnar demand plan: every walk then
+	// evaluates the task structs through the scalar dbf entry points
+	// (HIMode/ADB/SetValue) instead of the struct-of-arrays columns, and
+	// the design searches' cross-candidate point memo is bypassed in
+	// favor of direct O(n) evaluation. Results are byte-identical either
+	// way — the plan computes the same closed forms over the same integer
+	// arithmetic — so the flag exists for the plan-vs-legacy differential
+	// and fuzz tests and for benchmarking the lowering itself.
+	NoPlan bool
+
 	// NoPrune disables the incumbent bulk-skip pruning inside the event
 	// walks themselves (MinSpeedup, ResetTime, MinSpeedForReset): every
 	// slope-change event is then examined one by one, as the paper's
@@ -67,6 +79,21 @@ type Options struct {
 	// near the true supremum merely skips more. Ignored when NoPrune is
 	// set.
 	WarmWitness task.Time
+
+	// CapHint, when positive, lets the Theorem-2 walk stop as soon as it
+	// has proven which side of the hint the supremum falls on, instead of
+	// locating the supremum itself: once the running maximum exceeds the
+	// hint the result is a reject bracket (LowerBound > CapHint), and
+	// once the tail envelope U_HI + ΣC(HI)/Δ drops to the hint every
+	// later ratio is at most CapHint, so the result is an accept bracket
+	// (Speedup ≤ CapHint). Either way Speedup stays a safe upper bound
+	// and LowerBound a true witness ratio, so the comparison
+	// Speedup ≤ CapHint decides s_min ≤ CapHint exactly as the full walk
+	// would — the design searches' feasibility probes (capProbe.meets)
+	// set it to their speed cap and read only that boolean. Consumers of
+	// the supremum's exact value (TuneDeadlines' objective, the public
+	// MinSpeedup) leave it unset.
+	CapHint rat.Rat
 
 	// WarmResetWitness, when positive, is a position Δ whose
 	// arrived-demand ratio primes the pruned MinSpeedForReset walk's
@@ -194,15 +221,48 @@ func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyper
 		return SpeedupResult{Speedup: rat.PosInf, LowerBound: rat.PosInf, Exact: true}, nil
 	}
 
-	best := rat.Zero
+	// The running maximum lives as a raw (unnormalized) ratio bestV/bestP
+	// for the whole walk; the rat.Rat (whose construction pays a gcd) is
+	// materialized only at returns and on stopping rule 1's rare exact
+	// confirmation.
+	var bestV task.Time
+	bestP := task.Time(1)
 	var witness task.Time
 	var pos task.Time
 	w := o.acquireWalker(s, dbf.KindDBF)
 	defer o.releaseWalker(w)
+	// The columnar plan backs the certificate probes below; nil on the
+	// scalar path (Options.NoPlan), where dbf.SetValue evaluates instead.
+	var plan *dbf.Plan
+	if !o.NoPlan {
+		plan = w.Plan()
+	}
 	seed := rat.Zero
 	if !o.NoPrune {
-		seed = seedBound(s, o.WarmWitness, hyper, hyperOK)
+		seed = seedBound(s, plan, o.WarmWitness, hyper, hyperOK)
 	}
+	// cutoff = max(best, seed) is the skip certificate's proven lower
+	// bound, kept as a raw ratio cutV/cutP; bestF/uHiF/totalCF are
+	// float64 screens for stopping rule 1 (see below). All are refreshed
+	// only when best improves, which keeps every per-event comparison in
+	// plain integer / float arithmetic.
+	cutV, cutP := task.Time(seed.Num()), task.Time(seed.Den())
+	// The certificate needs a strictly positive cutoff (a zero lower
+	// bound certifies nothing); tracked as a bool so the hot loop never
+	// re-derives the sign from the raw numerator.
+	cutPositive := seed.Sign() > 0
+	// The cap-decision stopping rules (see Options.CapHint), as a raw
+	// ratio plus a float64 screen for the accept side.
+	hasCap := o.CapHint.Sign() > 0
+	var capV, capP task.Time
+	capF := 0.0
+	if hasCap {
+		capV, capP = task.Time(o.CapHint.Num()), task.Time(o.CapHint.Den())
+		capF = o.CapHint.Float64()
+	}
+	bestF := 0.0
+	uHiF := uHi.Float64()
+	totalCF := float64(totalC)
 	events, jumps := 0, 0
 	var chunk task.Time
 	for ; events < o.maxEvents(); events++ {
@@ -212,9 +272,17 @@ func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyper
 		}
 		pos = w.Pos()
 		v := w.Value()
-		ratio := rat.New(int64(v), int64(pos))
-		if ratio.Cmp(best) > 0 {
-			best = ratio
+		// v/pos > best, exactly, via 128-bit cross multiplication — no
+		// per-event rational normalization.
+		if ratioGreater(v, pos, bestV, bestP) {
+			bestV, bestP = v, pos
+			// v and pos are exactly representable (< 2^53), so the
+			// correctly rounded quotient equals rat.New(v, pos).Float64().
+			bestF = float64(v) / float64(pos)
+			if ratioGreater(bestV, bestP, cutV, cutP) {
+				cutV, cutP = bestV, bestP
+				cutPositive = bestV > 0
+			}
 			witness = pos
 		}
 		// Stopping rule 1: beyond the current Δ, every ratio is below
@@ -222,15 +290,24 @@ func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyper
 		// event can improve it. (Equivalent to Δ ≥ ΣC/(best − U_HI),
 		// but stated without dividing by a potentially tiny
 		// difference, which keeps the int64 rationals in range.)
-		if best.Cmp(uHi.Add(rat.New(int64(totalC), int64(pos)))) >= 0 {
-			return SpeedupResult{
-				Speedup: best, LowerBound: best, Exact: true,
-				WitnessDelta: witness, Events: events + 1, Jumps: jumps,
-			}, nil
+		// The inequality is screened in float64 first — inputs are ≤ 2^40
+		// so the relative error is < 1e-14, and the certMargin slack makes
+		// a definite float "no" exact — and only near-misses pay the exact
+		// rational comparison, which still decides. The rule fires at most
+		// once per walk, so the exact path is off the per-event budget.
+		rhsF := uHiF + totalCF/float64(pos)
+		if bestF+certMargin*(bestF+rhsF) >= rhsF {
+			if best := rat.New(int64(bestV), int64(bestP)); best.Cmp(uHi.Add(rat.New(int64(totalC), int64(pos)))) >= 0 {
+				return SpeedupResult{
+					Speedup: best, LowerBound: best, Exact: true,
+					WitnessDelta: witness, Events: events + 1, Jumps: jumps,
+				}, nil
+			}
 		}
 		// Stopping rule 2: one full hyperperiod walked; the supremum is
 		// max(best, U_HI) exactly.
 		if hyperOK && pos >= hyper {
+			best := rat.New(int64(bestV), int64(bestP))
 			if best.Cmp(uHi) >= 0 {
 				return SpeedupResult{
 					Speedup: best, LowerBound: best, Exact: true,
@@ -249,6 +326,38 @@ func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyper
 				WitnessDelta: 0, Events: events + 1, Jumps: jumps,
 			}, nil
 		}
+		// Cap-decision stopping rules (Options.CapHint), reject checked
+		// first so the accept bracket always has best ≤ cap exactly.
+		// (They can never disagree: a supremum above the cap is attained
+		// at an event at or before the position where the tail envelope
+		// reaches the cap, so best crosses the cap no later than the
+		// accept rule could fire.) Reject needs no float screen — it is
+		// one 128-bit cross multiplication per event.
+		if hasCap {
+			if ratioGreater(bestV, bestP, capV, capP) {
+				best := rat.New(int64(bestV), int64(bestP))
+				env := uHi.Add(rat.New(int64(totalC), int64(pos)))
+				return SpeedupResult{
+					Speedup: rat.Max(best, env), LowerBound: best, Exact: false,
+					WitnessDelta: witness, Events: events + 1, Jumps: jumps,
+				}, nil
+			}
+			// Accept: the tail envelope has dropped to the cap, so every
+			// ratio beyond pos is at most CapHint; with best ≤ cap (the
+			// reject rule above), max(best, envelope) ≤ cap decides.
+			// Screened in float64 like stopping rule 1: a definite float
+			// "envelope above cap" is exact, and near-misses pay the
+			// rational confirmation at most a handful of times.
+			if rhsF <= capF+certMargin*(rhsF+capF) {
+				if env := uHi.Add(rat.New(int64(totalC), int64(pos))); env.Cmp(o.CapHint) <= 0 {
+					best := rat.New(int64(bestV), int64(bestP))
+					return SpeedupResult{
+						Speedup: rat.Max(best, env), LowerBound: best, Exact: false,
+						WitnessDelta: witness, Events: events + 1, Jumps: jumps,
+					}, nil
+				}
+			}
+		}
 		// Incumbent bulk skip: probe b beyond the next event and certify
 		// the whole run (pos, b] irrelevant with a single O(n)
 		// evaluation (see the function comment for the proof). The probe
@@ -259,8 +368,7 @@ func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyper
 		if o.NoPrune || pos >= skipHorizon {
 			continue
 		}
-		bound := rat.Max(best, seed)
-		if bound.Sign() <= 0 {
+		if !cutPositive {
 			continue
 		}
 		next, ok := w.PeekNext()
@@ -280,7 +388,20 @@ func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyper
 		if b <= next {
 			continue
 		}
-		if rat.New(int64(dbf.SetValue(s, dbf.KindDBF, b)), int64(pos)).Cmp(bound) <= 0 {
+		// value(b) ≤ cutoff·pos, exactly, as an integer comparison
+		// against thr = floor(cutV·pos/cutP): value(b) is an integer, so
+		// the two predicates coincide. The capped evaluation exits the
+		// column pass the moment the running sum exceeds thr, which is
+		// where the (mostly failing) probes stop paying for the whole
+		// set.
+		thr := floorMulDiv(cutV, pos, cutP)
+		var certified bool
+		if plan != nil {
+			_, certified = plan.ValueCapped(b, thr)
+		} else {
+			certified = dbf.SetValue(s, dbf.KindDBF, b) <= thr
+		}
+		if certified {
 			w.SkipTo(b)
 			jumps++
 			chunk = (b - pos) * 2
@@ -289,6 +410,7 @@ func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyper
 		}
 	}
 	// Inexact: report the safe envelope.
+	best := rat.New(int64(bestV), int64(bestP))
 	envelope := uHi.Add(rat.New(int64(totalC), int64(pos)))
 	return SpeedupResult{
 		Speedup:      rat.Max(best, envelope),
@@ -298,6 +420,24 @@ func minSpeedupWalk(s task.Set, uLo, uHi rat.Rat, totalC, hyper task.Time, hyper
 		Events:       events,
 		Jumps:        jumps,
 	}, nil
+}
+
+// floorMulDiv returns floor(a·b/d) for non-negative a, b and positive d,
+// saturating at the int64 maximum. The skip certificate uses it to turn
+// the rational predicate value(b)/pos ≤ cutoff into a single integer
+// threshold; saturation is sound there because demand values always fit
+// in int64, so a saturated threshold certifies trivially — exactly as the
+// exact rational comparison would.
+func floorMulDiv(a, b, d task.Time) task.Time {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi >= uint64(d) {
+		return task.Time(math.MaxInt64)
+	}
+	quo, _ := bits.Div64(hi, lo, uint64(d))
+	if quo > uint64(math.MaxInt64) {
+		return task.Time(math.MaxInt64)
+	}
+	return task.Time(quo)
 }
 
 // skipHorizon caps how far the bulk skips may carry any pruned walk. It
@@ -320,8 +460,12 @@ const skipHorizon = task.Time(1) << 40
 // U_HI, which rule 2 accounts for separately). Probes are therefore
 // discarded there, so the seeded cutoff can never certify away the event
 // that attains the walk's maximum.
-func seedBound(s task.Set, warm task.Time, hyper task.Time, hyperOK bool) rat.Rat {
-	seed := rat.Zero
+// The probes are batched through the plan's BulkEval (one column-major
+// pass over the compiled set) when a plan is available; under
+// Options.NoPlan each probe pays the scalar O(n) SetHIMode instead.
+func seedBound(s task.Set, plan *dbf.Plan, warm task.Time, hyper task.Time, hyperOK bool) rat.Rat {
+	var probes, vals [8]task.Time
+	n := 0
 	consider := func(p task.Time) {
 		if p <= 0 || p > skipHorizon {
 			return
@@ -329,7 +473,8 @@ func seedBound(s task.Set, warm task.Time, hyper task.Time, hyperOK bool) rat.Ra
 		if hyperOK && p >= hyper {
 			return
 		}
-		seed = rat.Max(seed, rat.New(int64(dbf.SetHIMode(s, p)), int64(p)))
+		probes[n] = p
+		n++
 	}
 	consider(warm)
 	if hyperOK {
@@ -337,7 +482,26 @@ func seedBound(s task.Set, warm task.Time, hyper task.Time, hyperOK bool) rat.Ra
 			consider(j * hyper / 8)
 		}
 	}
-	return seed
+	if n == 0 {
+		return rat.Zero
+	}
+	if plan != nil {
+		plan.BulkEval(vals[:n], probes[:n])
+	} else {
+		for j := 0; j < n; j++ {
+			vals[j] = dbf.SetHIMode(s, probes[j])
+		}
+	}
+	// Track the maximum as a raw ratio (one 128-bit cross comparison per
+	// probe) and normalize once at the end: rat.New's gcd is the only
+	// expensive step, and the maximum is the same rational either way.
+	bv, bp := task.Time(0), task.Time(1)
+	for j := 0; j < n; j++ {
+		if ratioGreater(vals[j], probes[j], bv, bp) {
+			bv, bp = vals[j], probes[j]
+		}
+	}
+	return rat.New(int64(bv), int64(bp))
 }
 
 // sumActiveCHI sums C_i(HI) over tasks that are not terminated. The

@@ -19,6 +19,14 @@ type hiWalker struct {
 	set  task.Set
 	kind dbf.Kind
 
+	// plan is the set's compiled columnar lowering (package dbf): when
+	// planned is set, every per-task evaluation reads the plan's flat
+	// int64 columns instead of re-deriving the carry-over geometry from
+	// the task structs. Options.NoPlan keeps the scalar path
+	// (Reset instead of ResetPlanned) for the differential tests.
+	plan    dbf.Plan
+	planned bool
+
 	pos   task.Time // current position (an event point, or 0)
 	value task.Time // Σ_i curve_i(pos)
 	slope task.Time // Σ_i right-slope_i(pos)
@@ -69,6 +77,41 @@ func (h *eventHeap) push(t task.Time, taskIdx int) {
 	}
 }
 
+// append adds an entry without restoring heap order; callers batch
+// appends during Reset/SkipTo and fix the order with one heapify, which
+// is O(n) instead of the O(n log n) of n sifted pushes.
+func (h *eventHeap) append(t task.Time, taskIdx int) {
+	h.times = append(h.times, t)
+	h.tasks = append(h.tasks, taskIdx)
+}
+
+// heapify restores the min-heap invariant over the appended entries by
+// the standard bottom-up sift-down build. Pop order among equal times is
+// unspecified either way: the walker drains all ties at a position before
+// acting, and its per-task updates commute, so walk results do not depend
+// on the construction method.
+func (h *eventHeap) heapify() {
+	n := len(h.times)
+	for i := n/2 - 1; i >= 0; i-- {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < n && h.times[l] < h.times[smallest] {
+				smallest = l
+			}
+			if r < n && h.times[r] < h.times[smallest] {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			h.times[i], h.times[smallest] = h.times[smallest], h.times[i]
+			h.tasks[i], h.tasks[smallest] = h.tasks[smallest], h.tasks[i]
+			i = smallest
+		}
+	}
+}
+
 // pop removes and returns the minimum entry.
 func (h *eventHeap) pop() (task.Time, int) {
 	t, taskIdx := h.times[0], h.tasks[0]
@@ -110,6 +153,31 @@ func newHIWalker(s task.Set, kind dbf.Kind) *hiWalker {
 // lets the package pool and the Scratch arena run the Theorem-2 /
 // Corollary-5 analyses allocation-free in steady state.
 func (w *hiWalker) Reset(s task.Set, kind dbf.Kind) {
+	w.planned = false
+	w.reset(s, kind)
+}
+
+// ResetPlanned is Reset through the compiled columnar plan: the set is
+// lowered once (O(n), allocation-free after the first compile at a given
+// size) and every subsequent per-task evaluation reads the plan columns.
+// Walk results are byte-identical to Reset — the plan computes the same
+// closed forms — which the differential and fuzz tests pin.
+func (w *hiWalker) ResetPlanned(s task.Set, kind dbf.Kind) {
+	w.plan.Compile(s, kind)
+	w.planned = true
+	w.reset(s, kind)
+}
+
+// Plan returns the walker's compiled plan, or nil when the walker was
+// reset on the scalar path (Options.NoPlan).
+func (w *hiWalker) Plan() *dbf.Plan {
+	if !w.planned {
+		return nil
+	}
+	return &w.plan
+}
+
+func (w *hiWalker) reset(s task.Set, kind dbf.Kind) {
 	w.set, w.kind = s, kind
 	w.pos, w.value, w.slope = 0, 0, 0
 	n := len(s)
@@ -118,15 +186,17 @@ func (w *hiWalker) Reset(s task.Set, kind dbf.Kind) {
 	w.taskPos = sizedTimes(w.taskPos, n)
 	w.events.reset(n)
 	for i := range s {
-		w.taskVal[i] = w.eval(i, 0)
-		w.taskSlope[i] = dbf.RightSlope(&s[i], kind, 0)
+		v, slope, next, ok := w.step(i, 0)
+		w.taskVal[i] = v
+		w.taskSlope[i] = slope
 		w.taskPos[i] = 0
-		w.value += w.taskVal[i]
-		w.slope += w.taskSlope[i]
-		if next, ok := dbf.NextEvent(&s[i], kind, 0); ok {
-			w.events.push(next, i)
+		w.value += v
+		w.slope += slope
+		if ok {
+			w.events.append(next, i)
 		}
 	}
+	w.events.heapify()
 }
 
 // sizedTimes returns buf resized to n entries, reusing its backing array
@@ -140,10 +210,40 @@ func sizedTimes(buf []task.Time, n int) []task.Time {
 }
 
 func (w *hiWalker) eval(i int, at task.Time) task.Time {
+	if w.planned {
+		return w.plan.TaskValue(i, at)
+	}
 	if w.kind == dbf.KindDBF {
 		return dbf.HIMode(&w.set[i], at)
 	}
 	return dbf.ADB(&w.set[i], at)
+}
+
+func (w *hiWalker) rightSlope(i int, at task.Time) task.Time {
+	if w.planned {
+		return w.plan.TaskRightSlope(i, at)
+	}
+	return dbf.RightSlope(&w.set[i], w.kind, at)
+}
+
+func (w *hiWalker) nextEvent(i int, after task.Time) (task.Time, bool) {
+	if w.planned {
+		return w.plan.TaskNextEvent(i, after)
+	}
+	return dbf.NextEvent(&w.set[i], w.kind, after)
+}
+
+// step fetches task i's (value, right slope, next event) at `at` in one
+// call: the plan's fused TaskStep on the columnar path, the three scalar
+// dbf entry points otherwise. Results are identical either way.
+func (w *hiWalker) step(i int, at task.Time) (v, slope, next task.Time, ok bool) {
+	if w.planned {
+		return w.plan.TaskStep(i, at)
+	}
+	v = w.eval(i, at)
+	slope = dbf.RightSlope(&w.set[i], w.kind, at)
+	next, ok = dbf.NextEvent(&w.set[i], w.kind, at)
+	return v, slope, next, ok
 }
 
 // Pos, Value and Slope describe the current event point: the summed curve
@@ -180,9 +280,24 @@ func (w *hiWalker) SkipTo(target task.Time) {
 	}
 	w.pos, w.value, w.slope = target, 0, 0
 	w.events.reset(len(w.set))
+	if w.planned {
+		for i := range w.set {
+			v, slope, next, ok := w.plan.TaskStep(i, target)
+			w.taskVal[i] = v
+			w.taskPos[i] = target
+			w.taskSlope[i] = slope
+			w.value += v
+			w.slope += slope
+			if ok {
+				w.events.append(next, i)
+			}
+		}
+		w.events.heapify()
+		return
+	}
 	for i := range w.set {
+		var v task.Time
 		t := &w.set[i]
-		v := task.Time(0)
 		if d := target - w.taskPos[i]; !t.Terminated() && d%t.Period[task.HI] == 0 {
 			v = dbf.Advance(t, w.taskVal[i], d/t.Period[task.HI])
 		} else {
@@ -190,13 +305,14 @@ func (w *hiWalker) SkipTo(target task.Time) {
 		}
 		w.taskVal[i] = v
 		w.taskPos[i] = target
-		w.taskSlope[i] = dbf.RightSlope(t, w.kind, target)
+		w.taskSlope[i] = w.rightSlope(i, target)
 		w.value += v
 		w.slope += w.taskSlope[i]
-		if next, ok := dbf.NextEvent(t, w.kind, target); ok {
-			w.events.push(next, i)
+		if next, ok := w.nextEvent(i, target); ok {
+			w.events.append(next, i)
 		}
 	}
+	w.events.heapify()
 }
 
 // Next advances to the next event point. ok is false when no task has
@@ -215,14 +331,13 @@ func (w *hiWalker) Next() (ok bool) {
 	for w.events.Len() > 0 && w.events.times[0] == next {
 		_, i := w.events.pop()
 		predicted := w.taskVal[i] + w.taskSlope[i]*(next-w.taskPos[i])
-		exact := w.eval(i, next)
+		exact, slope, nn, hasNext := w.step(i, next)
 		w.value += exact - predicted
-		w.slope -= w.taskSlope[i]
+		w.slope += slope - w.taskSlope[i]
 		w.taskVal[i] = exact
 		w.taskPos[i] = next
-		w.taskSlope[i] = dbf.RightSlope(&w.set[i], w.kind, next)
-		w.slope += w.taskSlope[i]
-		if nn, hasNext := dbf.NextEvent(&w.set[i], w.kind, next); hasNext {
+		w.taskSlope[i] = slope
+		if hasNext {
 			w.events.push(nn, i)
 		}
 	}

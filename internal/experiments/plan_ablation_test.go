@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+// TestFig6PlanAblationIdentical pins the Fig6Config.NoPlan contract: the
+// columnar demand plans are a pure evaluation strategy, so the ablation
+// arm (NoPlan: true) must render byte-identically to the planned default
+// for the same seed. A divergence here means the plan lowering changed a
+// result, not just its cost.
+func TestFig6PlanAblationIdentical(t *testing.T) {
+	run := func(noPlan bool) string {
+		r, err := Fig6(Fig6Config{
+			SetsPerPoint: 6,
+			UBounds:      []float64{0.5, 0.8},
+			Seed:         41,
+			NoPlan:       noPlan,
+		})
+		if err != nil {
+			t.Fatalf("noPlan=%v: %v", noPlan, err)
+		}
+		return r.Render()
+	}
+	planned, scalar := run(false), run(true)
+	if planned == "" {
+		t.Fatal("empty render")
+	}
+	if planned != scalar {
+		t.Errorf("fig6 renders diverge between planned and NoPlan runs:\n--- planned ---\n%s\n--- NoPlan ---\n%s",
+			planned, scalar)
+	}
+}
+
+// TestFig7PlanAblationIdentical is the Fig. 7 counterpart: the
+// schedulability-region fractions must not move when the plans are
+// disabled.
+func TestFig7PlanAblationIdentical(t *testing.T) {
+	run := func(noPlan bool) string {
+		r, err := Fig7(Fig7Config{
+			SetsPerPoint: 4,
+			Grid:         []float64{0.3, 0.8},
+			Seed:         41,
+			NoPlan:       noPlan,
+		})
+		if err != nil {
+			t.Fatalf("noPlan=%v: %v", noPlan, err)
+		}
+		return r.Render()
+	}
+	planned, scalar := run(false), run(true)
+	if planned == "" {
+		t.Fatal("empty render")
+	}
+	if planned != scalar {
+		t.Errorf("fig7 renders diverge between planned and NoPlan runs:\n--- planned ---\n%s\n--- NoPlan ---\n%s",
+			planned, scalar)
+	}
+}

@@ -1,0 +1,224 @@
+// Package plancheck enforces the containment contract of the compiled
+// columnar demand plans (see the "Columnar demand plans" section of
+// docs/PERF.md). The plan is a struct-of-arrays lowering of a task set;
+// its correctness rests on two invariants that types alone cannot carry
+// across packages, so this analyzer pins them:
+//
+//  1. No hand-built plans: a dbf.Plan (or dbf.PointMemo) composite
+//     literal outside internal/dbf bypasses CompilePlan/Compile and can
+//     leave the columns mutually inconsistent (lengths, carry geometry,
+//     reciprocal cache). Plans must be produced by the compile entry
+//     points. Raw column *indexing* is already impossible outside
+//     internal/dbf — the columns are unexported — so flagging raw
+//     construction closes the remaining hole.
+//  2. Confined API: Plan/PointMemo methods (and dbf.CompilePlan) may be
+//     called only from internal/core, the analysis layer that owns the
+//     walkers. Higher layers (server, experiments, cmd) consume demand
+//     through core's analyses; letting them hold plans would decouple a
+//     plan from the set fingerprint that keyed it, breaking the
+//     "plan reuse requires fingerprint match" rule that PointMemo.Value
+//     checks internally.
+//  3. Escape hatch: inside internal/core, every function that *decides*
+//     to use a plan — calls dbf.CompilePlan, Plan.Compile/CompileSubset,
+//     PointMemo.Value, or hiWalker.ResetPlanned/Plan — must read
+//     Options.NoPlan. A decision site without the flag cannot be
+//     switched to the scalar path, which breaks the plan-vs-legacy
+//     differential and fuzz equivalence tests.
+//
+// Test files are exempt everywhere (the differential tests deliberately
+// drive both paths), and the hiWalker methods themselves are exempt from
+// rule 3 (ResetPlanned is the mechanism, not a policy site).
+package plancheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mcspeedup/internal/lint"
+)
+
+const (
+	dbfPkgPath  = "mcspeedup/internal/dbf"
+	corePkgPath = "mcspeedup/internal/core"
+)
+
+// Analyzer is the plancheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "plancheck",
+	Doc:  "confine the columnar demand-plan API to internal/dbf + internal/core and require Options.NoPlan at every plan decision site",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	pkgPath := lint.CanonicalPath(pass.Pkg.Path())
+	if pkgPath == dbfPkgPath {
+		return nil
+	}
+	inCore := pkgPath == corePkgPath
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		checkLiterals(pass, f)
+		if !inCore {
+			checkConfinement(pass, f)
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isWalkerMethod(fd) {
+				continue
+			}
+			checkDecision(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkLiterals flags dbf.Plan / dbf.PointMemo composite literals (rule
+// 1): outside internal/dbf the only way to obtain a usable plan is the
+// compile entry points. Embedding the zero value as a struct field is
+// fine and not a literal.
+func checkLiterals(pass *lint.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if name := dbfPlanTypeName(pass, cl); name != "" {
+			pass.Reportf(cl.Pos(), "dbf.%s composite literal: construct plans with dbf.CompilePlan or (*dbf.Plan).Compile so the columns stay mutually consistent", name)
+		}
+		return true
+	})
+}
+
+// checkConfinement flags Plan/PointMemo method calls and dbf.CompilePlan
+// outside internal/core (rule 2).
+func checkConfinement(pass *lint.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || lint.CanonicalPath(fn.Pkg().Path()) != dbfPkgPath {
+			return true
+		}
+		recv := recvTypeName(fn)
+		if recv == "Plan" || recv == "PointMemo" || (recv == "" && fn.Name() == "CompilePlan") {
+			pass.Reportf(sel.Pos(), "the columnar demand-plan API (%s) is confined to internal/core: evaluate demand through the core analyses so plan reuse stays keyed by set fingerprint", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// checkDecision applies rule 3 to one internal/core function body: a
+// plan decision call requires a read of Options.NoPlan in the same
+// function.
+func checkDecision(pass *lint.Pass, fd *ast.FuncDecl) {
+	var (
+		decision    ast.Node // first plan decision call
+		decisionSel string
+		readsNoPlan bool
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj := obj.(type) {
+		case *types.Func:
+			if isDecisionFunc(pass, obj) && decision == nil {
+				decision, decisionSel = sel, sel.Sel.Name
+			}
+		case *types.Var:
+			if obj.IsField() && obj.Name() == "NoPlan" && obj.Pkg().Path() == pass.Pkg.Path() {
+				readsNoPlan = true
+			}
+		}
+		return true
+	})
+	if decision != nil && !readsNoPlan {
+		pass.Reportf(decision.Pos(), "%s selects the columnar plan path (%s) without reading Options.NoPlan: every plan decision site needs the escape hatch so the differential tests can compare planned and scalar walks", fd.Name.Name, decisionSel)
+	}
+}
+
+// isDecisionFunc reports whether fn is one of the entry points that
+// commits a walk or probe to the columnar plan path.
+func isDecisionFunc(pass *lint.Pass, fn *types.Func) bool {
+	recv := recvTypeName(fn)
+	if fn.Pkg().Path() == pass.Pkg.Path() {
+		// hiWalker.ResetPlanned compiles the plan; hiWalker.Plan hands it
+		// out for direct probing.
+		return recv == "hiWalker" && (fn.Name() == "ResetPlanned" || fn.Name() == "Plan")
+	}
+	if lint.CanonicalPath(fn.Pkg().Path()) != dbfPkgPath {
+		return false
+	}
+	switch recv {
+	case "":
+		return fn.Name() == "CompilePlan"
+	case "Plan":
+		return fn.Name() == "Compile" || fn.Name() == "CompileSubset"
+	case "PointMemo":
+		return fn.Name() == "Value"
+	}
+	return false
+}
+
+// isWalkerMethod reports whether fd is declared on hiWalker (the walk
+// mechanism itself, exempt from the decision rule).
+func isWalkerMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "hiWalker"
+}
+
+// recvTypeName returns the name of fn's receiver named type ("" for
+// package-level functions).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// dbfPlanTypeName returns "Plan" or "PointMemo" when the composite
+// literal's type is the corresponding dbf type, "" otherwise.
+func dbfPlanTypeName(pass *lint.Pass, cl *ast.CompositeLit) string {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || lint.CanonicalPath(named.Obj().Pkg().Path()) != dbfPkgPath {
+		return ""
+	}
+	switch name := named.Obj().Name(); name {
+	case "Plan", "PointMemo":
+		return name
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+package plancheck_test
+
+import (
+	"testing"
+
+	"mcspeedup/internal/lint/linttest"
+	"mcspeedup/internal/lint/plancheck"
+)
+
+func TestCore(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/core", plancheck.Analyzer)
+}
+
+func TestAboveCore(t *testing.T) {
+	linttest.Run(t, "testdata", "mcspeedup/internal/srv", plancheck.Analyzer)
+}

@@ -1,0 +1,25 @@
+// Package srv stands in for any layer above internal/core (server,
+// experiments, cmd): the columnar plan API is out of bounds here.
+package srv
+
+import "mcspeedup/internal/dbf"
+
+// memo at package scope is fine: declaring the zero value is not a
+// composite literal and calls are what leak plans.
+var memo dbf.PointMemo
+
+// leak compiles and probes a plan outside the analysis layer.
+func leak(s []int) int64 {
+	p := dbf.CompilePlan(s, 0) // want `the columnar demand-plan API \(CompilePlan\) is confined to internal/core`
+	return p.Value(3)          // want `the columnar demand-plan API \(Value\) is confined to internal/core`
+}
+
+// leakMemo consults the memo outside the analysis layer.
+func leakMemo(s []int) int64 {
+	return memo.Value(s, 0, 2) // want `the columnar demand-plan API \(Value\) is confined to internal/core`
+}
+
+// leakLiteral hand-builds a memo.
+func leakLiteral() dbf.PointMemo {
+	return dbf.PointMemo{} // want `dbf.PointMemo composite literal`
+}

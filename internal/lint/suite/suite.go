@@ -11,6 +11,7 @@ import (
 	"mcspeedup/internal/lint/determcheck"
 	"mcspeedup/internal/lint/lockcheck"
 	"mcspeedup/internal/lint/metricscheck"
+	"mcspeedup/internal/lint/plancheck"
 	"mcspeedup/internal/lint/prunecheck"
 	"mcspeedup/internal/lint/ratcheck"
 	"mcspeedup/internal/lint/scratchcheck"
@@ -25,6 +26,7 @@ var Analyzers = []*lint.Analyzer{
 	scratchcheck.Analyzer,
 	metricscheck.Analyzer,
 	prunecheck.Analyzer,
+	plancheck.Analyzer,
 	deltacheck.Analyzer,
 	borrowcheck.Analyzer,
 	ctxcheck.Analyzer,

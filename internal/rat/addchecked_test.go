@@ -1,0 +1,142 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestAddCheckedOverflowBoundary pins AddChecked exactly at the int64
+// edges: the largest sums that must still work, the first ones that must
+// report false, and the intermediate cross-multiplication overflows that
+// force a refusal even when the operands themselves are comfortable.
+// Every representable case is cross-checked against math/big.
+func TestAddCheckedOverflowBoundary(t *testing.T) {
+	const (
+		maxI = int64(math.MaxInt64)
+		minR = -maxI // most negative numerator Neg/New round-trip safely
+	)
+	cases := []struct {
+		name string
+		a, b Rat
+		ok   bool
+		want Rat // checked only when ok
+	}{
+		{"max plus zero", FromInt64(maxI), Zero, true, FromInt64(maxI)},
+		{"max minus one plus one", FromInt64(maxI - 1), One, true, FromInt64(maxI)},
+		{"max plus one overflows", FromInt64(maxI), One, false, Zero},
+		{"min plus zero", FromInt64(minR), Zero, true, FromInt64(minR)},
+		// −(2^63−1) − 1 = −2^63 still exists in int64 …
+		{"minus max minus one lands on MinInt64", FromInt64(minR), FromInt64(-1), true, FromInt64(math.MinInt64)},
+		// … but one further step does not.
+		{"min int64 minus one overflows", FromInt64(math.MinInt64), FromInt64(-1), false, Zero},
+		{"max plus min cancels", FromInt64(maxI), FromInt64(minR), true, Zero},
+		{"half max doubles to the edge", FromInt64(maxI / 2), FromInt64(maxI/2 + 1), true, FromInt64(maxI)},
+		{"half max doubles past the edge", FromInt64(maxI/2 + 1), FromInt64(maxI/2 + 1), false, Zero},
+
+		// Denominator side: lcm(2^62, 2^62) = 2^62 stays put and the unit
+		// numerators add, but coprime giant denominators need a product
+		// that does not exist in int64.
+		{"same pow2 denominator", New(1, 1<<62), New(1, 1<<62), true, New(1, 1<<61)},
+		{"coprime giant denominators", New(1, maxI), New(1, maxI-1), false, Zero},
+		// gcd reduction alone is not enough here: lcm(2^62, 3·2^60) =
+		// 3·2^62 > MaxInt64.
+		{"shared factor but lcm overflows", New(1, 1<<62), New(1, 3*(1<<60)), false, Zero},
+
+		// Numerator cross-multiplication: a numerator scaled by the other
+		// side's reduced denominator can overflow before any addition.
+		{"cross multiplication overflows", New(maxI, 2), New(1, 3), false, Zero},
+		// (maxI/3−1)·3 + 1·2 = maxI−2: the largest cross-multiplied sum
+		// this shape can reach without tripping tryAdd64.
+		{"cross multiplication at the edge", New(maxI/3-1, 2), New(1, 3), true, New(maxI-2, 6)},
+		// Same giant denominator: the numerators add directly, so the sum
+		// itself is the only overflow site (maxI ≡ 1 mod 3, nothing reduces).
+		{"same giant denominator at the edge", New(maxI-2, 3), New(2, 3), true, New(maxI, 3)},
+		{"same giant denominator past the edge", New(maxI-2, 3), New(4, 3), false, Zero},
+
+		// Infinities follow Add's conventions without panicking.
+		{"inf plus inf", PosInf, PosInf, true, PosInf},
+		{"inf plus finite", PosInf, FromInt64(7), true, PosInf},
+		{"neg inf plus finite", NegInf, FromInt64(7), true, NegInf},
+		{"inf minus inf undefined", PosInf, NegInf, false, Zero},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := tc.a.AddChecked(tc.b)
+			if ok != tc.ok {
+				t.Fatalf("AddChecked(%v, %v) ok = %v, want %v", tc.a, tc.b, ok, tc.ok)
+			}
+			if !ok {
+				if !got.Eq(Zero) {
+					t.Fatalf("AddChecked(%v, %v) = %v on overflow, want Zero", tc.a, tc.b, got)
+				}
+				return
+			}
+			if !got.Eq(tc.want) {
+				t.Fatalf("AddChecked(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+			if !tc.a.IsInf() && !tc.b.IsInf() {
+				want := new(big.Rat).Add(toBig(tc.a), toBig(tc.b))
+				if toBig(got).Cmp(want) != 0 {
+					t.Fatalf("AddChecked(%v, %v) = %v, big.Rat says %v", tc.a, tc.b, got, want)
+				}
+			}
+			// AddChecked must agree with Add wherever Add succeeds.
+			if sum := tc.a.Add(tc.b); !got.Eq(sum) {
+				t.Fatalf("AddChecked(%v, %v) = %v but Add = %v", tc.a, tc.b, got, sum)
+			}
+		})
+	}
+}
+
+// TestAddCheckedRandomNearBoundary sweeps random operands with numerators
+// and denominators drawn near the int64 limits: every accepted sum must
+// equal the math/big reference, and refusals must return Zero. (A refusal
+// with a representable exact sum is allowed — AddChecked is conservative
+// when an intermediate product overflows — so only accepted results are
+// value-checked.)
+func TestAddCheckedRandomNearBoundary(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	big1 := func() int64 { return math.MaxInt64 - rnd.Int63n(1<<20) }
+	for i := 0; i < 20000; i++ {
+		var a, b Rat
+		switch i % 3 {
+		case 0: // giant numerators, small denominators
+			a, b = New(big1()-rnd.Int63n(4), 1+rnd.Int63n(8)), New(rnd.Int63n(16)-8, 1+rnd.Int63n(8))
+		case 1: // unit numerators, giant denominators
+			a, b = New(1, big1()), New(1, big1())
+		default: // mixed magnitudes, both signs
+			a = New(rnd.Int63()-rnd.Int63(), 1+rnd.Int63n(math.MaxInt64-1))
+			b = New(rnd.Int63()-rnd.Int63(), 1+rnd.Int63n(math.MaxInt64-1))
+		}
+		got, ok := a.AddChecked(b)
+		if !ok {
+			if !got.Eq(Zero) {
+				t.Fatalf("AddChecked(%v, %v) = %v on overflow, want Zero", a, b, got)
+			}
+			continue
+		}
+		want := new(big.Rat).Add(toBig(a), toBig(b))
+		if toBig(got).Cmp(want) != 0 {
+			t.Fatalf("AddChecked(%v, %v) = %v, big.Rat says %v", a, b, got, want)
+		}
+	}
+}
+
+// TestAddCheckedSmallAlwaysSucceeds: within the smallRat envelope (the
+// range the cross-check property tests use) AddChecked must never
+// refuse — callers rely on the fallback path being cold.
+func TestAddCheckedSmallAlwaysSucceeds(t *testing.T) {
+	rnd := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		a, b := smallRat(rnd), smallRat(rnd)
+		got, ok := a.AddChecked(b)
+		if !ok {
+			t.Fatalf("AddChecked(%v, %v) refused inside the small envelope", a, b)
+		}
+		if sum := a.Add(b); !got.Eq(sum) {
+			t.Fatalf("AddChecked(%v, %v) = %v, Add = %v", a, b, got, sum)
+		}
+	}
+}

@@ -207,6 +207,46 @@ func (r Rat) infClass() int {
 	return r.Sign()
 }
 
+// CmpRatio compares r with the ratio num/den without materializing (or
+// normalizing) the right-hand side: -1 if r < num/den, 0 if equal, +1 if
+// r > num/den. den must be positive; num may be any int64. Infinite r
+// compares as in Cmp. This is the demand walks' per-event comparison
+// primitive — value/position ratios are compared against an incumbent
+// without paying New's gcd normalization, with the cross products carried
+// in 128 bits so no input can overflow.
+func (r Rat) CmpRatio(num, den int64) int {
+	if den <= 0 {
+		panic(fmt.Errorf("rat: CmpRatio with non-positive denominator %d", den))
+	}
+	if r.den == 0 {
+		return r.Sign()
+	}
+	ah, al, aneg := mul128(r.num, den)
+	bh, bl, bneg := mul128(num, r.den)
+	return cmp128(ah, al, aneg, bh, bl, bneg)
+}
+
+// FloorDiv returns floor(v / r) for non-negative v and positive finite r.
+// The intermediate v·den product is carried in 128 bits, so the result is
+// exact for any int64 inputs (saturating at MaxInt64 when the quotient
+// exceeds it). It backs the reset walk's QPA fast-forward, which needs
+// floor(value/speed) per iteration without Div's gcd reductions.
+func FloorDiv(v int64, r Rat) int64 {
+	if r.num <= 0 || r.den == 0 || v < 0 {
+		panic(fmt.Errorf("rat: FloorDiv(%d, %v) out of domain", v, r))
+	}
+	hi, lo := bits.Mul64(uint64(v), uint64(r.den))
+	num := uint64(r.num)
+	if hi >= num {
+		return math.MaxInt64 // quotient ≥ 2^64
+	}
+	quo, _ := bits.Div64(hi, lo, num)
+	if quo > uint64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return int64(quo)
+}
+
 // Less reports r < s.
 func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
 

@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"mcspeedup/internal/core"
+	"mcspeedup/internal/rat"
 )
 
 // degradedJSON is a second distinct task set for batch tests.
@@ -165,6 +168,41 @@ func TestBatchMetricsCounters(t *testing.T) {
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestBatchMatchesScalarAnalysis ties the serving tier to the plainest
+// possible evaluation: each batch item's result bytes must equal a cold
+// core.AnalyzeOpts run with the compiled demand plans AND the walk
+// pruning disabled. The served path runs planned and pruned (the
+// defaults), so this is the end-to-end plan-vs-legacy differential
+// through HTTP — any columnar-lowering or skip-certificate divergence
+// shows up as a byte mismatch here.
+func TestBatchMatchesScalarAnalysis(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	items := []string{tableIJSON, degradedJSON}
+	_, body := post(t, ts.URL+"/v1/batch", batchBody(items...))
+	doc := decodeBatch(t, body)
+	if doc.Errors != 0 {
+		t.Fatalf("errors = %d: %s", doc.Errors, body)
+	}
+	for i, item := range doc.Items {
+		set, err := parseTasks(json.RawMessage(items[i]))
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		report, err := core.AnalyzeOpts(set, rat.Two, core.Options{NoPlan: true, NoPrune: true})
+		if err != nil {
+			t.Fatalf("item %d: scalar analyze: %v", i, err)
+		}
+		want, err := report.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(item.Result, bytes.TrimRight(want, "\n")) {
+			t.Errorf("item %d served bytes != scalar unpruned analysis:\n%s\n---\n%s",
+				i, item.Result, want)
 		}
 	}
 }

@@ -54,6 +54,11 @@ go test -fuzz FuzzWalkEquivalence -fuzztime 10s -run '^$' ./internal/core/
 # the cold analysis byte for byte (the incremental-analysis contract).
 go test -fuzz FuzzDeltaEquivalence -fuzztime 10s -run '^$' ./internal/core/
 
+# Plan fuzz smoke: the compiled columnar demand plans must stay
+# byte-identical to the scalar per-task walks (Options.NoPlan) on random
+# task sets, pruned and unpruned.
+go test -fuzz FuzzPlanEquivalence -fuzztime 10s -run '^$' ./internal/core/
+
 # Simulator fuzz smoke: the zero-allocation RunInto hot path must stay
 # byte-identical to the frozen reference simulator on random task sets,
 # workloads, and configs.
